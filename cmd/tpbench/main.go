@@ -1,0 +1,49 @@
+// Command tpbench regenerates every experiment table of EXPERIMENTS.md:
+// the attack/defence capacity measurements T2-T9 and the padding
+// sufficiency check T11, plus the aISA contract report.
+//
+// Usage:
+//
+//	tpbench [-rounds N] [-seed S] [-run T2,T5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"timeprot"
+)
+
+func main() {
+	rounds := flag.Int("rounds", 60, "transmission rounds per configuration (more = tighter estimates, slower)")
+	seed := flag.Uint64("seed", 42, "deterministic seed for workloads and estimators")
+	run := flag.String("run", "", "comma-separated experiment IDs to run (default: all)")
+	flag.Parse()
+
+	ids := timeprot.ExperimentIDs
+	if *run != "" {
+		ids = strings.Split(*run, ",")
+	}
+
+	fmt.Println("timeprot experiment harness — reproducing the evaluation of")
+	fmt.Println("\"Can We Prove Time Protection?\" (HotOS 2019) on the simulated platform")
+	fmt.Println()
+	fmt.Println("aISA contract (full protection on the default platform):")
+	fmt.Print(timeprot.CheckContract(timeprot.FullProtection(), timeprot.DefaultPlatform()))
+	fmt.Println()
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		e, err := timeprot.RunExperiment(id, *rounds, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tpbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(e)
+		fmt.Printf("  (%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

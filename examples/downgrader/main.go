@@ -1,0 +1,139 @@
+// Downgrader: the paper's Figure 1 end-to-end, with all three of its
+// boxes as separate security domains. A web server (Hi) holds secrets
+// and hands them to an encryption component (Hi, the downgrader), which
+// publishes ciphertext to a network stack (Lo) through a sanctioned IPC
+// channel. The ciphertext itself is fine — but WHEN it arrives leaks the
+// secret if the crypto computation is secret-dependent (§3.2, an
+// algorithmic channel). Deterministic minimum-time delivery (the Cock et
+// al. model) plus padded domain switches close the channel.
+//
+// The example runs each configuration with two DIFFERENT secret streams
+// and compares the network stack's arrival intervals: noninterference
+// means the intervals are identical no matter the secrets.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"timeprot"
+)
+
+// runScenario executes the Fig.-1 pipeline with the given protection and
+// secret stream and returns per-message (secret, inter-arrival) pairs.
+func runScenario(prot timeprot.Config, minDelivery uint64, secrets []int) []pair {
+	pcfg := timeprot.DefaultPlatform()
+	pcfg.Cores = 1
+	sys, err := timeprot.NewSystem(timeprot.SystemConfig{
+		Platform:   pcfg,
+		Protection: prot,
+		Domains: []timeprot.DomainSpec{
+			{Name: "Web", SliceCycles: 30_000, PadCycles: 10_000, Colors: timeprot.ColorRange(1, 20), CodePages: 4, HeapPages: 8},
+			{Name: "Crypto", SliceCycles: 30_000, PadCycles: 10_000, Colors: timeprot.ColorRange(20, 40), CodePages: 4, HeapPages: 8},
+			{Name: "Net", SliceCycles: 30_000, PadCycles: 10_000, Colors: timeprot.ColorRange(40, 64), CodePages: 4, HeapPages: 8},
+		},
+		Schedule: [][]int{{0, 1, 2}},
+		Endpoints: []timeprot.EndpointSpec{
+			{ID: 0},                            // Web -> Crypto (intra-Hi flow, unrestricted)
+			{ID: 1, MinDelivery: minDelivery},  // Crypto -> Net: the downgrader edge
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Web server (Hi): produces the plaintext secrets.
+	if _, err := sys.Spawn(0, "web", 0, func(c *timeprot.UserCtx) {
+		for _, s := range secrets {
+			c.Compute(1_000)
+			c.Send(0, uint64(s))
+		}
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Encryption component (Hi): per message, "encryption" whose run
+	// time depends on the secret — an algorithmic channel — then
+	// publish the ciphertext to the network stack.
+	if _, err := sys.Spawn(1, "crypto", 0, func(c *timeprot.UserCtx) {
+		for range secrets {
+			s, _ := c.Recv(0)
+			work := 8_000 + s*12_000
+			for done := uint64(0); done < work; done += 500 {
+				c.Compute(500)
+			}
+			c.Send(1, s) // "ciphertext": payload is ground truth only
+		}
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Network stack (Lo): receive each ciphertext and timestamp it.
+	var out []pair
+	if _, err := sys.Spawn(2, "net", 0, func(c *timeprot.UserCtx) {
+		prev := uint64(0)
+		for range secrets {
+			v, at := c.Recv(1)
+			if prev != 0 {
+				out = append(out, pair{secret: int(v), delta: at - prev})
+			}
+			prev = at
+		}
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	if _, err := sys.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return out
+}
+
+type pair struct {
+	secret int
+	delta  uint64
+}
+
+// show prints two runs with different secret streams side by side: the
+// noninterference question is whether the arrival intervals differ.
+func show(title string, a, b []pair) {
+	fmt.Printf("%s\n", title)
+	fmt.Printf("  %-10s %-14s | %-10s %-14s\n", "secret A", "interval A", "secret B", "interval B")
+	same := len(a) == len(b)
+	for i := range a {
+		if i >= len(b) {
+			break
+		}
+		fmt.Printf("  %-10d %-14d | %-10d %-14d\n", a[i].secret, a[i].delta, b[i].secret, b[i].delta)
+		if a[i].delta != b[i].delta {
+			same = false
+		}
+	}
+	if same {
+		fmt.Println("  -> intervals IDENTICAL despite different secrets: nothing leaks")
+	} else {
+		fmt.Println("  -> intervals TRACK the secrets: the timing channel is open")
+	}
+	fmt.Println()
+}
+
+func main() {
+	fmt.Println("Figure 1: web server -> encryption -> network stack")
+	fmt.Println()
+	secretsA := []int{3, 0, 2, 1, 3, 3, 0, 1, 2, 0}
+	secretsB := []int{0, 3, 1, 2, 0, 1, 3, 2, 0, 3}
+
+	show("UNPROTECTED:",
+		runScenario(timeprot.NoProtection(), 0, secretsA),
+		runScenario(timeprot.NoProtection(), 0, secretsB))
+
+	show("PROTECTED (padded switches + deterministic delivery):",
+		runScenario(timeprot.FullProtection(), 300_000, secretsA),
+		runScenario(timeprot.FullProtection(), 300_000, secretsB))
+
+	fmt.Println("The Web->Crypto edge is intra-Hi and unrestricted (§2); only the")
+	fmt.Println("Crypto->Net edge crosses the security boundary and is gated to a")
+	fmt.Println("fixed delivery cadence chosen by the system designer (>= the crypto")
+	fmt.Println("WCET; the kernel flags overruns). Mechanism is the kernel's; policy —")
+	fmt.Println("the delivery period — is the designer's (§3.2).")
+}

@@ -1,0 +1,132 @@
+// Prime-and-probe: the cache covert channel of §3.1, shown bit by bit.
+//
+// A Trojan in the Hi domain transmits a message by touching one of four
+// L1 cache-set groups per time slice; a spy in the Lo domain primes the
+// cache and decodes each symbol from which group probes slowly. The
+// example runs the attack against an unprotected kernel (message comes
+// through) and a protected one (decoder output is noise), printing the
+// decoded stream next to the transmitted one.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"timeprot"
+)
+
+const (
+	groups       = 4
+	setsPerGroup = 16
+	pageBytes    = 4096
+	lineBytes    = 64
+)
+
+// message is what the Trojan exfiltrates, two bits per slice.
+var message = []int{2, 1, 3, 0, 0, 3, 1, 2, 2, 0, 1, 3, 3, 1, 0, 2}
+
+func run(prot timeprot.Config) []int {
+	pcfg := timeprot.DefaultPlatform()
+	pcfg.Cores = 1
+	sys, err := timeprot.NewSystem(timeprot.SystemConfig{
+		Platform:   pcfg,
+		Protection: prot,
+		Domains: []timeprot.DomainSpec{
+			{Name: "Hi", SliceCycles: 100_000, PadCycles: 25_000, Colors: timeprot.ColorRange(1, 32), CodePages: 4, HeapPages: 16},
+			{Name: "Lo", SliceCycles: 100_000, PadCycles: 25_000, Colors: timeprot.ColorRange(32, 64), CodePages: 4, HeapPages: 16},
+		},
+		Schedule: [][]int{{0, 1}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// spin burns the rest of a slice without touching the data cache.
+	spin := func(c *timeprot.UserCtx, e uint64) uint64 {
+		for {
+			if n := c.Epoch(); n != e {
+				return n
+			}
+			c.Compute(180)
+		}
+	}
+
+	// Trojan: per slice, fill every way of every set in group m. The
+	// first slice is left idle so the spy's initial prime lands before
+	// the first symbol.
+	if _, err := sys.Spawn(0, "trojan", 0, func(c *timeprot.UserCtx) {
+		e := c.Epoch()
+		e = spin(c, e)
+		for _, m := range message {
+			for pg := 0; pg < 8; pg++ { // 8 ways
+				for s := 0; s < setsPerGroup; s++ {
+					set := m*setsPerGroup + s
+					c.ReadHeap(uint64(pg*pageBytes + set*lineBytes))
+				}
+			}
+			e = spin(c, e)
+		}
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Spy: probe all groups at slice start; slowest group = symbol.
+	var decoded []int
+	if _, err := sys.Spawn(1, "spy", 0, func(c *timeprot.UserCtx) {
+		probe := func() int {
+			best, bestLat := 0, uint64(0)
+			for g := 0; g < groups; g++ {
+				var lat uint64
+				for pg := 0; pg < 2; pg++ { // prime 2 ways
+					for s := 0; s < setsPerGroup; s++ {
+						set := g*setsPerGroup + s
+						lat += c.ReadHeap(uint64(pg*pageBytes + set*lineBytes))
+					}
+				}
+				if lat > bestLat {
+					bestLat, best = lat, g
+				}
+			}
+			return best
+		}
+		probe() // initial prime
+		e := c.Epoch()
+		e = spin(c, e)
+		for range message {
+			decoded = append(decoded, probe())
+			e = spin(c, e)
+		}
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	if _, err := sys.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return decoded
+}
+
+func score(dec []int) int {
+	ok := 0
+	for i := range dec {
+		if i < len(message) && dec[i] == message[i] {
+			ok++
+		}
+	}
+	return ok
+}
+
+func main() {
+	fmt.Println("prime-and-probe covert channel through the L1-D cache (§3.1)")
+	fmt.Printf("transmitted:  %v\n\n", message)
+
+	dec := run(timeprot.NoProtection())
+	fmt.Printf("UNPROTECTED decoded: %v  (%d/%d correct)\n", dec, score(dec), len(message))
+
+	dec = run(timeprot.FullProtection())
+	fmt.Printf("PROTECTED   decoded: %v  (%d/%d correct — chance is %d)\n",
+		dec, score(dec), len(message), len(message)/groups)
+
+	fmt.Println("\nFlushing on domain switch resets the L1 to a defined state, so the")
+	fmt.Println("spy's probe sees uniform misses whatever the Trojan did (§4.1/§4.2).")
+}

@@ -1,0 +1,217 @@
+// Package attacks implements the covert- and side-channel attack
+// scenarios that evaluate time protection, one per experiment of
+// DESIGN.md §4: prime-and-probe on the L1 and the LLC, the flush-latency
+// channel, the kernel-image channel, the interrupt channel, the SMT
+// channel, the interconnect bandwidth channel, and the Fig.-1 downgrader.
+//
+// Every scenario follows the same shape: a Trojan thread in the Hi
+// domain transmits a deterministic pseudo-random symbol sequence through
+// some shared hardware resource; a spy thread in the Lo domain measures
+// its own timing; the harness labels the spy's timestamped observations
+// with the symbol the Trojan had committed most recently, and
+// internal/channel turns the labelled samples into a capacity estimate
+// with a shuffled-label noise floor. A defence works when the measured
+// capacity drops to the floor.
+//
+// The lockstep execution of internal/kernel makes it safe for the Trojan
+// and the harness to share plain Go slices for symbol commits and
+// observations: all user code is serialised by the simulator's event
+// loop, with happens-before edges through its channels.
+package attacks
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"timeprot/internal/channel"
+	"timeprot/internal/kernel"
+	"timeprot/internal/rng"
+)
+
+// SymCommit records that the Trojan finished transmitting sym at cycle T.
+type SymCommit struct {
+	T   uint64
+	Sym int
+}
+
+// Obs is one timestamped spy observation.
+type Obs struct {
+	T uint64
+	V float64
+}
+
+// SymLog accumulates Trojan commits.
+type SymLog struct{ commits []SymCommit }
+
+// Commit records a symbol transmission completed at time t.
+func (l *SymLog) Commit(t uint64, sym int) {
+	l.commits = append(l.commits, SymCommit{T: t, Sym: sym})
+}
+
+// Len returns the number of commits.
+func (l *SymLog) Len() int { return len(l.commits) }
+
+// ObsLog accumulates spy observations.
+type ObsLog struct{ obs []Obs }
+
+// Record stores one observation.
+func (l *ObsLog) Record(t uint64, v float64) {
+	l.obs = append(l.obs, Obs{T: t, V: v})
+}
+
+// Len returns the number of observations.
+func (l *ObsLog) Len() int { return len(l.obs) }
+
+// Label attributes each observation to the most recent commit at or
+// before its timestamp, returning parallel symbol/value slices.
+// Observations before the first commit are dropped, as are the first
+// warmup labelled observations (cold-start transients).
+func Label(syms *SymLog, obs *ObsLog, warmup int) (labels []int, vals []float64) {
+	if len(syms.commits) == 0 {
+		return nil, nil
+	}
+	for _, o := range obs.obs {
+		// Find the last commit with T <= o.T.
+		i := sort.Search(len(syms.commits), func(k int) bool {
+			return syms.commits[k].T > o.T
+		})
+		if i == 0 {
+			continue
+		}
+		labels = append(labels, syms.commits[i-1].Sym)
+		vals = append(vals, o.V)
+	}
+	if warmup > 0 && len(labels) > warmup {
+		labels = labels[warmup:]
+		vals = vals[warmup:]
+	}
+	return labels, vals
+}
+
+// EstimateLabelled converts labelled scalar observations into a capacity
+// estimate.
+func EstimateLabelled(labels []int, vals []float64, bins int, seed uint64) (channel.Estimate, error) {
+	if len(labels) == 0 {
+		return channel.Estimate{}, fmt.Errorf("attacks: no labelled observations")
+	}
+	s := channel.NewSamples()
+	for i := range labels {
+		s.Add(labels[i], vals[i])
+	}
+	return channel.EstimateScalar(s, bins, seed)
+}
+
+// Row is one configuration's measured outcome within an experiment.
+type Row struct {
+	// Label names the configuration (e.g. "flush+pad").
+	Label string
+	// Est is the channel capacity estimate.
+	Est channel.Estimate
+	// ErrRate is the spy's symbol decode error rate; NaN when the
+	// scenario has no decoder.
+	ErrRate float64
+	// Extra carries scenario-specific values (e.g. utilisation), in
+	// insertion order.
+	Extra []KV
+}
+
+// KV is an ordered key/value pair for Row.Extra.
+type KV struct {
+	K string
+	V float64
+}
+
+// Leaks reports whether this row demonstrates a channel (capacity above
+// floor by the standard margin).
+func (r Row) Leaks() bool { return r.Est.Leaks(LeakMargin) }
+
+// LeakMargin is the capacity-above-floor margin (bits) that counts as a
+// demonstrated channel.
+const LeakMargin = 0.05
+
+// Experiment is a completed experiment: an ordered set of configuration
+// rows reproducing one table of EXPERIMENTS.md.
+type Experiment struct {
+	// ID is the experiment identifier (T2..T9).
+	ID string
+	// Title describes the scenario.
+	Title string
+	// Rows are the per-configuration results.
+	Rows []Row
+}
+
+// String renders the experiment as an aligned text table.
+func (e Experiment) String() string {
+	out := fmt.Sprintf("%s — %s\n", e.ID, e.Title)
+	out += fmt.Sprintf("  %-28s %12s %12s %10s %8s  %s\n", "config", "capacity b/u", "floor b/u", "err-rate", "leaks", "extra")
+	for _, r := range e.Rows {
+		errs := "-"
+		if !math.IsNaN(r.ErrRate) {
+			errs = fmt.Sprintf("%.3f", r.ErrRate)
+		}
+		leak := "no"
+		if r.Leaks() {
+			leak = "YES"
+		}
+		extra := ""
+		for _, kv := range r.Extra {
+			extra += fmt.Sprintf("%s=%.3f ", kv.K, kv.V)
+		}
+		out += fmt.Sprintf("  %-28s %12.4f %12.4f %10s %8s  %s\n",
+			r.Label, r.Est.CapacityBits, r.Est.FloorBits, errs, leak, extra)
+	}
+	return out
+}
+
+// SymbolSeq generates a deterministic pseudo-random symbol sequence over
+// an alphabet of size arity.
+func SymbolSeq(n, arity int, seed uint64) []int {
+	r := rng.New(seed)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Intn(arity)
+	}
+	return out
+}
+
+// waitEpoch spins until the thread's domain enters its next slice,
+// returning the new epoch. The spin uses only Epoch reads, so it leaves
+// the data cache untouched.
+func waitEpoch(c *kernel.UserCtx, cur uint64) uint64 {
+	for {
+		e := c.Epoch()
+		if e != cur {
+			return e
+		}
+	}
+}
+
+// mustRun runs the system and panics on harness-level errors: attack
+// scenarios are deterministic constructions, so a thread fault is a bug
+// in the scenario, not a measurable outcome.
+func mustRun(sys *kernel.System) kernel.Report {
+	rep, err := sys.Run()
+	if err != nil {
+		panic(err)
+	}
+	if len(rep.Errors) > 0 {
+		panic(fmt.Sprintf("attacks: thread errors: %v", rep.Errors))
+	}
+	return rep
+}
+
+// imageColors returns the set of LLC colours occupied by domain
+// domainIdx's kernel image.
+func imageColors(sys *kernel.System, domainIdx int) map[int]bool {
+	d := sys.Domains()[domainIdx]
+	m := sys.Machine()
+	colors := make(map[int]bool)
+	for _, pfn := range d.Image.TextPFNs {
+		colors[m.Mem.Color(pfn)] = true
+	}
+	return colors
+}
+
+// nan is the missing-value marker for Row.ErrRate.
+func nan() float64 { return math.NaN() }

@@ -1,0 +1,116 @@
+package attacks
+
+import (
+	"fmt"
+
+	"timeprot/internal/core"
+	"timeprot/internal/hw/mem"
+	"timeprot/internal/hw/platform"
+	"timeprot/internal/kernel"
+)
+
+// This file implements T6, the interrupt channel of §4.2: "interrupts
+// could also be used as a channel, if the Trojan triggers an I/O such
+// that its completion interrupt fires during Lo's execution. We prevent
+// this by partitioning interrupts (other than the preemption timer)
+// between domains, and keep all interrupts masked that are not
+// associated with the presently-executing domain."
+//
+// The Trojan either programs its device's completion interrupt to fire in
+// the middle of the spy's next slice (sym=1) or stays quiet (sym=0). The
+// spy watches for unexplained gaps in its own execution — the footprint
+// of the kernel's interrupt handling. With partitioning, the interrupt
+// stays masked until the Trojan's domain runs again, and the spy's
+// execution is gap-free.
+
+// runIRQChannel runs one T6 configuration.
+func runIRQChannel(label string, prot core.Config, rounds int, seed uint64) Row {
+	const (
+		slice    = 60_000
+		pad      = 20_000
+		fireIn   = 100_000 // from Trojan slice start: mid spy slice
+		gapLo    = 350     // below: ordinary op jitter
+		gapHi    = 9_000   // above: a domain switch, not an IRQ
+	)
+	pcfg := platform.DefaultConfig()
+	pcfg.Cores = 1
+
+	sys, err := kernel.NewSystem(kernel.SystemConfig{
+		Platform:   pcfg,
+		Protection: prot,
+		Domains: []core.DomainSpec{
+			{Name: "Hi", SliceCycles: slice, PadCycles: pad, Colors: mem.ColorRange(1, 32), IRQLines: []int{0}, CodePages: 4, HeapPages: 16},
+			{Name: "Lo", SliceCycles: slice, PadCycles: pad, Colors: mem.ColorRange(32, 64), IRQLines: []int{1}, CodePages: 4, HeapPages: 16},
+		},
+		Schedule:  [][]int{{0, 1}},
+		MaxCycles: uint64(rounds+16) * (slice + pad + 60_000) * 2,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("attacks: T6 %s: %v", label, err))
+	}
+
+	seq := SymbolSeq(rounds+8, 2, seed)
+	var syms SymLog
+	var obs ObsLog
+
+	if _, err := sys.Spawn(0, "trojan", 0, func(c *kernel.UserCtx) {
+		e := c.Epoch()
+		for r := 0; r < rounds+4; r++ {
+			sym := seq[r]
+			if sym == 1 {
+				c.StartIO(0, fireIn)
+			}
+			syms.Commit(c.Now(), sym)
+			e = spinEpoch(c, e)
+		}
+	}); err != nil {
+		panic(err)
+	}
+
+	// Spy: continuously read the cycle counter; per slice, record the
+	// largest mid-slice gap in the IRQ-footprint range.
+	if _, err := sys.Spawn(1, "spy", 0, func(c *kernel.UserCtx) {
+		e := c.Epoch()
+		maxGap := 0.0
+		prev := c.Now()
+		for len(obs.obs) < rounds+6 {
+			t := c.Now()
+			if ne := c.Epoch(); ne != e {
+				obs.Record(prev, maxGap)
+				maxGap = 0
+				e = ne
+				prev = c.Now()
+				continue
+			}
+			if g := float64(t - prev); g > gapLo && g < gapHi && g > maxGap {
+				maxGap = g
+			}
+			prev = t
+		}
+	}); err != nil {
+		panic(err)
+	}
+
+	mustRun(sys)
+	labels, vals := Label(&syms, &obs, 3)
+	est, err := EstimateLabelled(labels, vals, 12, seed^0x6666)
+	if err != nil {
+		panic(err)
+	}
+	return Row{Label: label, Est: est, ErrRate: nan()}
+}
+
+// T6IRQ reproduces experiment T6: the Trojan-programmed completion
+// interrupt channel, closed by per-domain interrupt partitioning.
+func T6IRQ(rounds int, seed uint64) Experiment {
+	unpartitioned := core.FullProtection()
+	unpartitioned.PartitionIRQs = false
+	return Experiment{
+		ID:    "T6",
+		Title: "interrupt channel: Trojan-timed completion IRQ (§4.2)",
+		Rows: []Row{
+			runIRQChannel("unpartitioned IRQs", unpartitioned, rounds, seed),
+			runIRQChannel("partitioned (full)", core.FullProtection(), rounds, seed),
+		},
+	}
+}

@@ -1,0 +1,131 @@
+package attacks
+
+import (
+	"fmt"
+
+	"timeprot/internal/core"
+	"timeprot/internal/hw"
+	"timeprot/internal/hw/mem"
+	"timeprot/internal/hw/platform"
+	"timeprot/internal/kernel"
+)
+
+// This file implements T5, the kernel-image channel of §4.2: "As even
+// read-only sharing of code is sufficient for creating a channel, we
+// also colour the kernel image. This is achieved by a policy-free kernel
+// clone mechanism, which allows setting up a domain-private kernel image
+// in coloured memory."
+//
+// With a shared kernel image, its text occupies LLC sets inside the user
+// domains' colour partitions, so a Trojan can evict the very lines the
+// spy's syscall path fetches — user-memory colouring notwithstanding.
+// The spy observes its own null-syscall latency. Cloning gives each
+// domain a private image inside its own partition and closes the channel.
+
+// runKernelImage runs one T5 configuration.
+func runKernelImage(label string, prot core.Config, rounds int, seed uint64) Row {
+	const (
+		slice = 200_000
+		pad   = 30_000
+	)
+	pcfg := platform.DefaultConfig()
+	pcfg.Cores = 1
+
+	sys, err := kernel.NewSystem(kernel.SystemConfig{
+		Platform:   pcfg,
+		Protection: prot,
+		Domains: []core.DomainSpec{
+			{Name: "Hi", SliceCycles: slice, PadCycles: pad, Colors: mem.ColorRange(1, 32), CodePages: 4, HeapPages: 512},
+			{Name: "Lo", SliceCycles: slice, PadCycles: pad, Colors: mem.ColorRange(32, 64), CodePages: 4, HeapPages: 16},
+		},
+		Schedule:  [][]int{{0, 1}},
+		MaxCycles: uint64(rounds+16) * (slice + pad + 60_000) * 2,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("attacks: T5 %s: %v", label, err))
+	}
+
+	// The Trojan targets the LLC sets of the spy's syscall path: the
+	// entry/exit stubs and the TrapNull vector, all in image page 0.
+	// With a shared image that page's colour lies inside the Trojan's
+	// own partition; with clones it does not, and the Trojan can only
+	// thrash its own partition.
+	spyImage := sys.Domains()[1].Image
+	target := sys.Machine().Mem.Color(spyImage.TextPFNs[0])
+	trojPages := firstN(pagesByColor(sys, 0)[target], pcfg.LLCWays+2)
+	if len(trojPages) == 0 {
+		own := pagesByColor(sys, 0)
+		trojPages = firstN(own[sortedKeys(own)[0]], pcfg.LLCWays+2)
+	}
+	pathLines := kernel.SyscallPathLines()
+
+	seq := SymbolSeq(rounds+8, 2, seed)
+	var syms SymLog
+	var obs ObsLog
+
+	// Trojan: sym=1 evicts the syscall-path sets of the target colour;
+	// sym=0 computes quietly. Two passes with two extra ways of
+	// overpressure: under LRU, a victim line that is fresher than the
+	// eviction set's stale lines survives a single in-capacity pass
+	// (misses evict the stale lines first), so the set must be
+	// overfilled and swept again. The thrash touches only the twelve
+	// syscall-path line offsets so a full round fits comfortably
+	// within one time slice — stretching a round across slices would
+	// let the spy re-warm its lines mid-thrash.
+	if _, err := sys.Spawn(0, "trojan", 0, func(c *kernel.UserCtx) {
+		e := c.Epoch()
+		for r := 0; r < rounds+4; r++ {
+			sym := seq[r]
+			if sym == 1 {
+				for pass := 0; pass < 2; pass++ {
+					for _, pg := range trojPages {
+						for _, l := range pathLines {
+							c.ReadHeap(uint64(pg)*hw.PageSize + uint64(l)*hw.LineSize)
+						}
+					}
+				}
+			}
+			syms.Commit(c.Now(), sym)
+			e = spinEpoch(c, e)
+		}
+	}); err != nil {
+		panic(err)
+	}
+
+	// Spy: at the top of each slice, time the first null syscall — its
+	// latency reflects whether the kernel text survived in the LLC.
+	if _, err := sys.Spawn(1, "spy", 0, func(c *kernel.UserCtx) {
+		e := c.Epoch()
+		e = spinEpoch(c, e)
+		for r := 0; r < rounds+4; r++ {
+			lat := c.NullSyscall()
+			obs.Record(c.Now(), float64(lat))
+			e = spinEpoch(c, e)
+		}
+	}); err != nil {
+		panic(err)
+	}
+
+	mustRun(sys)
+	labels, vals := Label(&syms, &obs, 4)
+	est, err := EstimateLabelled(labels, vals, 16, seed^0x55AA)
+	if err != nil {
+		panic(err)
+	}
+	return Row{Label: label, Est: est, ErrRate: nan()}
+}
+
+// T5KernelImage reproduces experiment T5: the kernel-text channel that
+// survives user-memory colouring and is closed only by kernel cloning.
+func T5KernelImage(rounds int, seed uint64) Experiment {
+	sharedKernel := core.FullProtection()
+	sharedKernel.CloneKernel = false
+	return Experiment{
+		ID:    "T5",
+		Title: "kernel-image channel via shared kernel text (§4.2)",
+		Rows: []Row{
+			runKernelImage("shared kernel (no clone)", sharedKernel, rounds, seed),
+			runKernelImage("cloned kernel (full)", core.FullProtection(), rounds, seed),
+		},
+	}
+}

@@ -1,0 +1,136 @@
+package attacks
+
+import (
+	"fmt"
+	"math"
+
+	"timeprot/internal/channel"
+	"timeprot/internal/core"
+	"timeprot/internal/hw/mem"
+	"timeprot/internal/hw/platform"
+	"timeprot/internal/kernel"
+)
+
+// This file implements T12, the cost side of time protection: the same
+// mixed workload (memory sweeps, compute, syscalls) run to completion
+// under progressively stronger protection. Time protection is not free —
+// flushing destroys cache state each switch, padding burns the gap
+// between actual and worst-case switch work, and colouring shrinks each
+// domain's effective LLC. The experiment quantifies each step so the
+// security/performance trade-off the paper implies is visible.
+
+// runOverhead measures one configuration: total cycles for both domains
+// to finish a fixed workload.
+func runOverhead(label string, prot core.Config, workRounds int) (Row, float64) {
+	const (
+		slice = 60_000
+		pad   = 20_000
+	)
+	pcfg := platform.DefaultConfig()
+	pcfg.Cores = 1
+	pcfg.LLCSets = 1024 // 512 KiB, 16 colours: small enough that
+	pcfg.LLCWays = 8    // colouring visibly shrinks the working space
+	pcfg.Frames = 8192
+
+	sys, err := kernel.NewSystem(kernel.SystemConfig{
+		Platform:   pcfg,
+		Protection: prot,
+		Domains: []core.DomainSpec{
+			{Name: "A", SliceCycles: slice, PadCycles: pad, Colors: mem.ColorRange(1, 8), CodePages: 4, HeapPages: 60},
+			{Name: "B", SliceCycles: slice, PadCycles: pad, Colors: mem.ColorRange(8, 16), CodePages: 4, HeapPages: 60},
+		},
+		Schedule:  [][]int{{0, 1}},
+		MaxCycles: uint64(workRounds)*3_000_000 + 100_000_000,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("attacks: T12 %s: %v", label, err))
+	}
+
+	// The workload: per round, a sweep over the 240 KiB working set,
+	// a burst of compute, and a few syscalls — a stand-in for a
+	// cache-sensitive service.
+	ops := 0
+	work := func(c *kernel.UserCtx) {
+		lines := c.HeapBytes() / 64
+		for r := 0; r < workRounds; r++ {
+			for i := uint64(0); i < lines; i += 2 {
+				c.ReadHeap(i * 64)
+				ops++
+			}
+			for i := 0; i < 50; i++ {
+				c.Compute(100)
+				ops++
+			}
+			c.NullSyscall()
+			ops++
+		}
+	}
+	for d, name := range map[int]string{0: "a", 1: "b"} {
+		if _, err := sys.Spawn(d, name, 0, work); err != nil {
+			panic(err)
+		}
+	}
+	rep := mustRun(sys)
+	total := float64(rep.CPUCycles[0])
+	cpo := total / float64(ops)
+	return Row{
+		Label:   label,
+		Est:     channel.Estimate{},
+		ErrRate: nan(),
+		Extra: []KV{
+			{K: "cycles_per_op", V: cpo},
+			{K: "total_Mcycles", V: total / 1e6},
+		},
+	}, cpo
+}
+
+// T12Overheads reproduces the overhead ablation: what each mechanism
+// costs on a cache-sensitive workload.
+func T12Overheads(workRounds int, seed uint64) Experiment {
+	_ = seed // the workload is deterministic; kept for signature symmetry
+	if workRounds < 4 {
+		workRounds = 4
+	}
+	flushOnly := core.NoProtection()
+	flushOnly.FlushOnSwitch = true
+	flushPad := flushOnly
+	flushPad.PadSwitch = true
+
+	configs := []struct {
+		label string
+		prot  core.Config
+	}{
+		{"unprotected", core.NoProtection()},
+		{"flush", flushOnly},
+		{"flush+pad", flushPad},
+		{"full (colour+clone+irq)", core.FullProtection()},
+	}
+	e := Experiment{
+		ID:    "T12",
+		Title: "protection overheads on a cache-sensitive workload",
+	}
+	var base float64
+	for i, cfg := range configs {
+		row, cpo := runOverhead(cfg.label, cfg.prot, workRounds)
+		if i == 0 {
+			base = cpo
+		}
+		slow := 0.0
+		if base > 0 {
+			slow = cpo / base
+		}
+		row.Extra = append(row.Extra, KV{K: "slowdown", V: slow})
+		e.Rows = append(e.Rows, row)
+	}
+	return e
+}
+
+// overheadSlowdown extracts a row's slowdown metric (for tests).
+func overheadSlowdown(r Row) float64 {
+	for _, kv := range r.Extra {
+		if kv.K == "slowdown" {
+			return kv.V
+		}
+	}
+	return math.NaN()
+}

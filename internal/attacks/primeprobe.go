@@ -1,0 +1,358 @@
+package attacks
+
+import (
+	"fmt"
+
+	"timeprot/internal/channel"
+	"timeprot/internal/core"
+	"timeprot/internal/hw"
+	"timeprot/internal/hw/mem"
+	"timeprot/internal/hw/platform"
+	"timeprot/internal/kernel"
+	"timeprot/internal/rng"
+)
+
+// This file implements the cache prime-and-probe attacks (Osvik et al.
+// 2006; Percival 2005), the paper's canonical example of exploiting
+// competition for stateful shared hardware (§3.1):
+//
+//   - T2: the time-shared core-private L1-D cache. The spy primes the
+//     cache during its slice; the Trojan encodes a symbol in WHICH cache
+//     sets it touches; the spy's probe latencies reveal the set group —
+//     address information, the basis of high-bandwidth channels. Flushing
+//     on domain switch resets the L1 to a defined state and closes it.
+//   - T3: the concurrently shared LLC across cores, where flushing
+//     cannot help and partitioning by page colouring is the only defence
+//     (§4.1).
+//
+// Probe loops visit lines in a shuffled order: a sequential sweep would
+// train the stride prefetcher, which then hides the very misses the probe
+// measures. Real attacks do the same.
+
+// l1Params sizes the T2 scenario.
+type l1Params struct {
+	groups       int
+	setsPerGroup int
+	primeWays    int
+	trojanWays   int
+	rounds       int
+	slice, pad   uint64
+}
+
+func defaultL1Params(rounds int) l1Params {
+	return l1Params{
+		groups:       4,
+		setsPerGroup: 16, // 64 L1 sets / 4 groups
+		primeWays:    2,
+		trojanWays:   8,
+		rounds:       rounds,
+		slice:        100_000,
+		pad:          25_000,
+	}
+}
+
+// spinEpoch burns cycles in compute-only operations until the next slice
+// of the calling thread's domain, leaving the data cache untouched.
+func spinEpoch(c *kernel.UserCtx, cur uint64) uint64 {
+	for {
+		if e := c.Epoch(); e != cur {
+			return e
+		}
+		c.Compute(180)
+	}
+}
+
+// shuffledOffsets returns the line offsets {0, step, 2*step, ...} < lines
+// in a deterministic shuffled order, so that probing them defeats the
+// stride prefetcher.
+func shuffledOffsets(lines, step int, seed uint64) []int {
+	r := rng.New(seed)
+	n := (lines + step - 1) / step
+	perm := r.Perm(n)
+	out := make([]int, n)
+	for i, p := range perm {
+		out[i] = p * step
+	}
+	return out
+}
+
+// decodePairs converts labelled decoded-symbol observations into a row.
+func decodePairs(label string, labels []int, vals []float64, seed uint64) Row {
+	decoded := make([]int, len(vals))
+	for i, v := range vals {
+		decoded[i] = int(v)
+	}
+	est, err := channel.EstimatePairs(labels, decoded, seed)
+	if err != nil {
+		panic(fmt.Sprintf("attacks: %s: %v", label, err))
+	}
+	return Row{Label: label, Est: est, ErrRate: channel.ErrorRate(labels, decoded)}
+}
+
+// runL1PrimeProbe runs one T2 configuration and returns its row.
+func runL1PrimeProbe(label string, prot core.Config, p l1Params, seed uint64) Row {
+	pcfg := platform.DefaultConfig()
+	pcfg.Cores = 1
+	seq := SymbolSeq(p.rounds+8, p.groups, seed)
+
+	sys, err := kernel.NewSystem(kernel.SystemConfig{
+		Platform:   pcfg,
+		Protection: prot,
+		Domains: []core.DomainSpec{
+			{Name: "Hi", SliceCycles: p.slice, PadCycles: p.pad, Colors: mem.ColorRange(1, 32), CodePages: 4, HeapPages: 16},
+			{Name: "Lo", SliceCycles: p.slice, PadCycles: p.pad, Colors: mem.ColorRange(32, 64), CodePages: 4, HeapPages: 16},
+		},
+		Schedule:  [][]int{{0, 1}},
+		MaxCycles: uint64(p.rounds+16) * (p.slice + p.pad + 60_000) * 2,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("attacks: T2 %s: %v", label, err))
+	}
+
+	var syms SymLog
+	var obs ObsLog
+	setOrder := shuffledOffsets(p.setsPerGroup, 1, seed^0xA0)
+
+	// Trojan: in its k-th slice, touch every way of every set in group
+	// seq[k]. The line offset within a page equals the L1 set index
+	// (64-set VIPT L1, 64 lines per page), so page pg at offset set*64
+	// fills way pg of set `set`.
+	if _, err := sys.Spawn(0, "trojan", 0, func(c *kernel.UserCtx) {
+		e := c.Epoch()
+		for r := 0; r < p.rounds+4; r++ {
+			sym := seq[r]
+			for pg := 0; pg < p.trojanWays; pg++ {
+				for _, s := range setOrder {
+					set := sym*p.setsPerGroup + s
+					c.ReadHeap(uint64(pg)*hw.PageSize + uint64(set)*hw.LineSize)
+				}
+			}
+			syms.Commit(c.Now(), sym)
+			e = spinEpoch(c, e)
+		}
+	}); err != nil {
+		panic(err)
+	}
+
+	// Spy: probe (and thereby re-prime) its resident lines at the top
+	// of each slice; the group with the highest total latency is the
+	// decoded symbol.
+	if _, err := sys.Spawn(1, "spy", 0, func(c *kernel.UserCtx) {
+		probe := func() int {
+			best, bestLat := 0, uint64(0)
+			for g := 0; g < p.groups; g++ {
+				var lat uint64
+				for pg := 0; pg < p.primeWays; pg++ {
+					for _, s := range setOrder {
+						set := g*p.setsPerGroup + s
+						lat += c.ReadHeap(uint64(pg)*hw.PageSize + uint64(set)*hw.LineSize)
+					}
+				}
+				if lat > bestLat {
+					bestLat = lat
+					best = g
+				}
+			}
+			return best
+		}
+		probe() // initial prime
+		e := c.Epoch()
+		e = spinEpoch(c, e)
+		for r := 0; r < p.rounds+4; r++ {
+			dec := probe()
+			obs.Record(c.Now(), float64(dec))
+			e = spinEpoch(c, e)
+		}
+	}); err != nil {
+		panic(err)
+	}
+
+	mustRun(sys)
+	labels, vals := Label(&syms, &obs, 4)
+	return decodePairs(label, labels, vals, seed^0x5151)
+}
+
+// T2L1PrimeProbe reproduces experiment T2: the L1-D prime-and-probe
+// covert channel on a time-shared core, under no protection, flush-only,
+// and flush+pad.
+func T2L1PrimeProbe(rounds int, seed uint64) Experiment {
+	p := defaultL1Params(rounds)
+	flushOnly := core.NoProtection()
+	flushOnly.FlushOnSwitch = true
+	return Experiment{
+		ID:    "T2",
+		Title: "L1-D prime-and-probe, time-shared core (§3.1)",
+		Rows: []Row{
+			runL1PrimeProbe("unprotected", core.NoProtection(), p, seed),
+			runL1PrimeProbe("flush-only", flushOnly, p, seed),
+			runL1PrimeProbe("flush+pad (full)", core.FullProtection(), p, seed),
+		},
+	}
+}
+
+// llcParams sizes the T3 scenario.
+type llcParams struct {
+	windows   int
+	windowLen uint64
+	primeWays int
+}
+
+func defaultLLCParams(windows int) llcParams {
+	return llcParams{windows: windows, windowLen: 150_000, primeWays: 2}
+}
+
+// pagesByColor maps LLC page colour to the domain's heap page indices of
+// that colour. This introspection stands in for eviction-set construction
+// by timing, a well-established attacker capability (Osvik et al. 2006).
+func pagesByColor(sys *kernel.System, domainIdx int) map[int][]int {
+	d := sys.Domains()[domainIdx]
+	m := sys.Machine()
+	out := make(map[int][]int)
+	for p := 0; ; p++ {
+		pte, ok := d.PT.Lookup(kernel.UserHeapVPN + uint64(p))
+		if !ok {
+			break
+		}
+		c := m.Mem.Color(pte.PFN)
+		out[c] = append(out[c], p)
+	}
+	return out
+}
+
+func firstN(xs []int, n int) []int {
+	if len(xs) <= n {
+		return xs
+	}
+	return xs[:n]
+}
+
+// runLLCPrimeProbe runs one T3 configuration: Trojan and spy on separate
+// cores, running concurrently; no domain switch ever happens, so flushing
+// and padding are structurally irrelevant and only colouring can help.
+func runLLCPrimeProbe(label string, prot core.Config, p llcParams, seed uint64) Row {
+	pcfg := platform.DefaultConfig()
+	pcfg.Cores = 2
+	pcfg.LLCSets = 512 // 256 KiB, 8 colours: small enough to thrash
+	pcfg.LLCWays = 8
+	pcfg.Frames = 4096
+
+	sys, err := kernel.NewSystem(kernel.SystemConfig{
+		Platform:   pcfg,
+		Protection: prot,
+		Domains: []core.DomainSpec{
+			{Name: "Hi", SliceCycles: 400_000, PadCycles: 20_000, Colors: mem.NewColorSet(1, 2, 3), CodePages: 4, HeapPages: 128},
+			{Name: "Lo", SliceCycles: 400_000, PadCycles: 20_000, Colors: mem.NewColorSet(4, 5, 6, 7), CodePages: 4, HeapPages: 64},
+		},
+		Schedule:  [][]int{{1}, {0}}, // Lo on core 0, Hi on core 1: co-resident forever
+		MaxCycles: uint64(p.windows+8)*p.windowLen + 8_000_000,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("attacks: T3 %s: %v", label, err))
+	}
+
+	// The spy builds two single-colour eviction groups from its own
+	// pages; the Trojan transmits by thrashing pages of the matching
+	// colours. Under colouring the partitions are disjoint, so the
+	// Trojan owns no matching pages and falls back to thrashing its
+	// own partition — same memory volume, no set conflicts.
+	spyPages := pagesByColor(sys, 1)
+	trojPages := pagesByColor(sys, 0)
+	spyColors := sortedKeys(spyPages)
+	if len(spyColors) < 2 {
+		panic("attacks: T3: spy needs two colours")
+	}
+	c0, c1 := spyColors[0], spyColors[1]
+	spyG := [2][]int{firstN(spyPages[c0], p.primeWays), firstN(spyPages[c1], p.primeWays)}
+	trojG := [2][]int{firstN(trojPages[c0], 10), firstN(trojPages[c1], 10)}
+	trojOwn := sortedKeys(trojPages)
+	if len(trojG[0]) == 0 {
+		trojG[0] = firstN(trojPages[trojOwn[0]], 10)
+	}
+	if len(trojG[1]) == 0 {
+		trojG[1] = firstN(trojPages[trojOwn[len(trojOwn)-1]], 10)
+	}
+
+	seq := SymbolSeq(p.windows+8, 2, seed)
+	var syms SymLog
+	var obs ObsLog
+	lineOrder := shuffledOffsets(hw.LinesPerPage, 2, seed^0xB7)
+
+	if _, err := sys.Spawn(0, "trojan", 1, func(c *kernel.UserCtx) {
+		start := c.Now()
+		for w := 0; w < p.windows+4; w++ {
+			sym := seq[w]
+			syms.Commit(c.Now(), sym)
+			end := start + uint64(w+1)*p.windowLen
+			for c.Now() < end {
+				for _, pg := range trojG[sym] {
+					for _, l := range lineOrder {
+						c.ReadHeap(uint64(pg)*hw.PageSize + uint64(l)*hw.LineSize)
+					}
+				}
+			}
+		}
+	}); err != nil {
+		panic(err)
+	}
+
+	if _, err := sys.Spawn(1, "spy", 0, func(c *kernel.UserCtx) {
+		probeGroup := func(pages []int) uint64 {
+			var lat uint64
+			for _, pg := range pages {
+				for _, l := range lineOrder {
+					lat += c.ReadHeap(uint64(pg)*hw.PageSize + uint64(l)*hw.LineSize)
+				}
+			}
+			return lat
+		}
+		probeGroup(spyG[0]) // initial prime
+		probeGroup(spyG[1])
+		deadline := uint64(p.windows+4) * p.windowLen
+		for c.Now() < deadline {
+			l0 := probeGroup(spyG[0])
+			l1 := probeGroup(spyG[1])
+			dec := 0
+			if l1 > l0 {
+				dec = 1
+			}
+			obs.Record(c.Now(), float64(dec))
+		}
+	}); err != nil {
+		panic(err)
+	}
+
+	mustRun(sys)
+	labels, vals := Label(&syms, &obs, 6)
+	return decodePairs(label, labels, vals, seed^0x1313)
+}
+
+func sortedKeys(m map[int][]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// T3LLCPrimeProbe reproduces experiment T3: the cross-core LLC
+// prime-and-probe channel, closed by cache colouring and by nothing else.
+func T3LLCPrimeProbe(windows int, seed uint64) Experiment {
+	p := defaultLLCParams(windows)
+	flushPad := core.NoProtection()
+	flushPad.FlushOnSwitch = true
+	flushPad.PadSwitch = true
+	return Experiment{
+		ID:    "T3",
+		Title: "LLC prime-and-probe, concurrent cross-core (§4.1)",
+		Rows: []Row{
+			runLLCPrimeProbe("unprotected", core.NoProtection(), p, seed),
+			runLLCPrimeProbe("flush+pad (no colour)", flushPad, p, seed),
+			runLLCPrimeProbe("coloured (full)", core.FullProtection(), p, seed),
+		},
+	}
+}

@@ -1,0 +1,139 @@
+package attacks
+
+import (
+	"fmt"
+
+	"timeprot/internal/core"
+	"timeprot/internal/hw"
+	"timeprot/internal/hw/mem"
+	"timeprot/internal/hw/platform"
+	"timeprot/internal/kernel"
+)
+
+// This file implements T7, the hyperthreading channel of §4.1: SMT
+// siblings share all core-local state (L1 caches, TLB, branch predictor,
+// prefetcher) *concurrently*, so neither flushing (there is no switch)
+// nor colouring (the L1 is virtually indexed) can separate them. The
+// paper's conclusion: "hyperthreading is fundamentally insecure, and
+// multiple hardware threads must never be allocated to different
+// security domains" — a scheduler policy, not a hardware mechanism.
+//
+// The Trojan on one hardware thread modulates its L1-D footprint; the spy
+// on the sibling measures the latency of re-reading its own small
+// resident buffer. The defence row co-schedules both domains (identical
+// sibling schedules under DisallowSMTSharing), so no cross-domain
+// co-residency ever occurs.
+
+// runSMT runs one T7 configuration. coResident selects the insecure
+// placement (Hi and Lo pinned to sibling hardware threads) versus the
+// policy-compliant time-shared placement.
+func runSMT(label string, prot core.Config, coResident bool, windows int, seed uint64) Row {
+	const (
+		windowLen = 60_000
+		slice     = 60_000
+		pad       = 20_000
+		spyLines  = 48 // spy's resident buffer: 48 lines in distinct sets
+		trojWays  = 8  // trojan fills all 8 ways of the shared L1 sets
+	)
+	pcfg := platform.DefaultConfig()
+	pcfg.Cores = 1
+	pcfg.SMTWays = 2
+
+	schedule := [][]int{{0, 1}, {0, 1}} // co-scheduled time sharing
+	spyCPU, trojCPU := 0, 1
+	if coResident {
+		schedule = [][]int{{1}, {0}} // Lo on thread 0, Hi on thread 1
+	}
+
+	sys, err := kernel.NewSystem(kernel.SystemConfig{
+		Platform:   pcfg,
+		Protection: prot,
+		Domains: []core.DomainSpec{
+			{Name: "Hi", SliceCycles: slice, PadCycles: pad, Colors: mem.ColorRange(1, 32), CodePages: 4, HeapPages: 16},
+			{Name: "Lo", SliceCycles: slice, PadCycles: pad, Colors: mem.ColorRange(32, 64), CodePages: 4, HeapPages: 16},
+		},
+		Schedule:  schedule,
+		MaxCycles: uint64(windows+16)*windowLen*4 + 8_000_000,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("attacks: T7 %s: %v", label, err))
+	}
+
+	seq := SymbolSeq(windows+8, 2, seed)
+	var syms SymLog
+	var obs ObsLog
+	setOrder := shuffledOffsets(spyLines, 1, seed^0xE1)
+
+	// Trojan: sym=1 hammers every way of the L1 sets the spy lives in;
+	// sym=0 computes. On SMT siblings this evicts the spy's lines
+	// *while the spy runs*.
+	if _, err := sys.Spawn(0, "trojan", trojCPU, func(c *kernel.UserCtx) {
+		start := c.Now()
+		for w := 0; w < windows+4; w++ {
+			sym := seq[w]
+			syms.Commit(c.Now(), sym)
+			end := start + uint64(w+1)*windowLen
+			for c.Now() < end {
+				if sym == 1 {
+					for pg := 0; pg < trojWays; pg++ {
+						for _, s := range setOrder {
+							c.ReadHeap(uint64(pg)*hw.PageSize + uint64(s)*hw.LineSize)
+						}
+					}
+				} else {
+					c.Compute(500)
+				}
+			}
+		}
+	}); err != nil {
+		panic(err)
+	}
+
+	// Spy: probe once per window, late in the window, then stay off
+	// the data cache until the next one. Probing continuously would
+	// keep the spy's own lines most-recently-used, and LRU would then
+	// deflect every trojan fill onto the trojan's own stale lines —
+	// the probe cadence must give the eviction set time to win.
+	if _, err := sys.Spawn(1, "spy", spyCPU, func(c *kernel.UserCtx) {
+		start := c.Now()
+		for w := 0; w < windows+4; w++ {
+			target := start + uint64(w)*windowLen + windowLen*3/4
+			for c.Now() < target {
+				c.Compute(150)
+			}
+			var lat uint64
+			for _, s := range setOrder {
+				lat += c.ReadHeap(uint64(s) * hw.LineSize)
+			}
+			obs.Record(c.Now(), float64(lat))
+		}
+	}); err != nil {
+		panic(err)
+	}
+
+	mustRun(sys)
+	labels, vals := Label(&syms, &obs, 6)
+	est, err := EstimateLabelled(labels, vals, 16, seed^0x7777)
+	if err != nil {
+		panic(err)
+	}
+	return Row{Label: label, Est: est, ErrRate: nan()}
+}
+
+// T7SMT reproduces experiment T7: cross-domain SMT co-residency leaks
+// through the live-shared L1 despite flushing and colouring; the only
+// remedy is the scheduler policy banning such placements.
+func T7SMT(windows int, seed uint64) Experiment {
+	// Everything except the SMT ban armed: flushing and colouring are
+	// demonstrably not enough.
+	allButPolicy := core.FullProtection()
+	allButPolicy.DisallowSMTSharing = false
+	return Experiment{
+		ID:    "T7",
+		Title: "SMT sibling channel through the live-shared L1 (§4.1)",
+		Rows: []Row{
+			runSMT("SMT co-resident (flush+colour)", allButPolicy, true, windows, seed),
+			runSMT("policy: co-scheduled domains", core.FullProtection(), false, windows, seed),
+		},
+	}
+}

@@ -1,0 +1,114 @@
+package attacks
+
+import (
+	"fmt"
+
+	"timeprot/internal/core"
+	"timeprot/internal/hw"
+	"timeprot/internal/hw/mem"
+	"timeprot/internal/hw/platform"
+	"timeprot/internal/kernel"
+)
+
+// This file implements T14, the TLB capacity channel — the timing side
+// of the §5.3 story. The functional theorem says one ASID's operations
+// never corrupt another's translations; but the TLB is still a FINITE
+// shared structure, so the NUMBER of entries a Trojan touches evicts a
+// measurable number of the spy's translations — page-walk latencies
+// reveal the Trojan's working-set size. Exactly why the TLB appears in
+// the paper's flushable-state list (§4.1): consistency partitioning by
+// ASID is not timing partitioning.
+
+// runTLBChannel runs one T14 configuration.
+func runTLBChannel(label string, prot core.Config, rounds int, seed uint64) Row {
+	const (
+		slice   = 100_000
+		pad     = 25_000
+		arity   = 4
+		perSym  = 16 // pages touched per symbol step (TLB has 64 entries)
+		spySet  = 12 // spy's resident translations
+	)
+	pcfg := platform.DefaultConfig()
+	pcfg.Cores = 1
+
+	sys, err := kernel.NewSystem(kernel.SystemConfig{
+		Platform:   pcfg,
+		Protection: prot,
+		Domains: []core.DomainSpec{
+			{Name: "Hi", SliceCycles: slice, PadCycles: pad, Colors: mem.ColorRange(1, 32), CodePages: 4, HeapPages: 80},
+			{Name: "Lo", SliceCycles: slice, PadCycles: pad, Colors: mem.ColorRange(32, 64), CodePages: 4, HeapPages: 16},
+		},
+		Schedule:  [][]int{{0, 1}},
+		MaxCycles: uint64(rounds+16) * (slice + pad + 60_000) * 2,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("attacks: T14 %s: %v", label, err))
+	}
+
+	seq := SymbolSeq(rounds+8, arity, seed)
+	var syms SymLog
+	var obs ObsLog
+
+	// Trojan: touch (sym+1)*perSym distinct pages per slice — its TLB
+	// footprint is the symbol.
+	if _, err := sys.Spawn(0, "trojan", 0, func(c *kernel.UserCtx) {
+		e := c.Epoch()
+		for r := 0; r < rounds+4; r++ {
+			n := (seq[r] + 1) * perSym
+			for p := 0; p < n; p++ {
+				c.ReadHeap(uint64(p) * hw.PageSize)
+			}
+			syms.Commit(c.Now(), seq[r])
+			e = spinEpoch(c, e)
+		}
+	}); err != nil {
+		panic(err)
+	}
+
+	// Spy: keep a fixed set of translations resident; at slice start,
+	// re-touch them and total the latency — every evicted entry costs
+	// a page walk.
+	if _, err := sys.Spawn(1, "spy", 0, func(c *kernel.UserCtx) {
+		touch := func() uint64 {
+			var lat uint64
+			for p := 0; p < spySet; p++ {
+				lat += c.ReadHeap(uint64(p) * hw.PageSize)
+			}
+			return lat
+		}
+		touch()
+		e := c.Epoch()
+		e = spinEpoch(c, e)
+		for r := 0; r < rounds+4; r++ {
+			obs.Record(c.Now(), float64(touch()))
+			e = spinEpoch(c, e)
+		}
+	}); err != nil {
+		panic(err)
+	}
+
+	mustRun(sys)
+	labels, vals := Label(&syms, &obs, 3)
+	est, err := EstimateLabelled(labels, vals, 16, seed^0x71B)
+	if err != nil {
+		panic(err)
+	}
+	return Row{Label: label, Est: est, ErrRate: nan()}
+}
+
+// T14TLB reproduces experiment T14: the TLB working-set-size channel,
+// closed by the switch-time flush. Note the contrast with T10: ASID
+// tagging already guarantees functional isolation; only flushing
+// guarantees temporal isolation.
+func T14TLB(rounds int, seed uint64) Experiment {
+	noFlush := core.FullProtection()
+	noFlush.FlushOnSwitch = false
+	return Experiment{
+		ID:    "T14",
+		Title: "TLB capacity channel: footprint vs page walks (§3.1, §5.3)",
+		Rows: []Row{
+			runTLBChannel("no flush (pad+colour only)", noFlush, rounds, seed),
+			runTLBChannel("flush (full)", core.FullProtection(), rounds, seed),
+		},
+	}
+}

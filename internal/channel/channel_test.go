@@ -1,0 +1,226 @@
+package channel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"timeprot/internal/rng"
+)
+
+func TestPerfectBinaryChannelCapacityIsOneBit(t *testing.T) {
+	var syms, outs []int
+	for i := 0; i < 200; i++ {
+		syms = append(syms, i%2)
+		outs = append(outs, i%2)
+	}
+	m, err := FromPairs(syms, outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Capacity(300, 1e-6)
+	if math.Abs(c-1) > 1e-3 {
+		t.Fatalf("capacity = %f, want 1", c)
+	}
+}
+
+func TestUselessChannelCapacityZero(t *testing.T) {
+	var syms, outs []int
+	for i := 0; i < 400; i++ {
+		syms = append(syms, i%2)
+		outs = append(outs, (i/2)%2) // independent of syms
+	}
+	m, err := FromPairs(syms, outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := m.Capacity(300, 1e-6); c > 1e-6 {
+		t.Fatalf("capacity = %g, want ~0", c)
+	}
+}
+
+func TestBSCCapacityMatchesFormula(t *testing.T) {
+	// Binary symmetric channel with crossover eps:
+	// C = 1 - H(eps).
+	eps := 0.11
+	m := &Matrix{
+		P:       [][]float64{{1 - eps, eps}, {eps, 1 - eps}},
+		Inputs:  []int{0, 1},
+		Outputs: 2,
+	}
+	want := 1 + eps*math.Log2(eps) + (1-eps)*math.Log2(1-eps)
+	got := m.Capacity(500, 1e-9)
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("BSC capacity = %.8f, want %.8f", got, want)
+	}
+}
+
+func TestZChannelCapacityExceedsUniformMI(t *testing.T) {
+	// For asymmetric channels the optimal input is non-uniform, so
+	// Blahut-Arimoto must beat uniform-input MI.
+	m := &Matrix{
+		P:       [][]float64{{1, 0}, {0.5, 0.5}},
+		Inputs:  []int{0, 1},
+		Outputs: 2,
+	}
+	mi := m.MutualInformation(nil)
+	c := m.Capacity(500, 1e-9)
+	if c <= mi {
+		t.Fatalf("capacity %f should exceed uniform MI %f", c, mi)
+	}
+	// Known Z-channel capacity: log2(1 + (1-eps) * eps^{eps/(1-eps)})
+	// with eps = 0.5 -> log2(1+0.5*0.5) = log2(1.25).
+	want := math.Log2(1.25)
+	if math.Abs(c-want) > 1e-4 {
+		t.Fatalf("Z-channel capacity = %f, want %f", c, want)
+	}
+}
+
+func TestScalarDistinctValueBinning(t *testing.T) {
+	s := NewSamples()
+	for i := 0; i < 100; i++ {
+		s.Add(0, 4)   // fast hits
+		s.Add(1, 200) // slow misses
+	}
+	m, err := FromScalar(s, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Outputs != 2 {
+		t.Fatalf("bins = %d, want 2 distinct-value bins", m.Outputs)
+	}
+	if c := m.Capacity(300, 1e-6); math.Abs(c-1) > 1e-3 {
+		t.Fatalf("capacity = %f, want 1", c)
+	}
+}
+
+func TestScalarQuantileBinningManyValues(t *testing.T) {
+	s := NewSamples()
+	r := rng.New(5)
+	for i := 0; i < 2000; i++ {
+		sym := i % 2
+		v := float64(r.Intn(100))
+		if sym == 1 {
+			v += 100 // disjoint support: perfectly distinguishable
+		}
+		s.Add(sym, v)
+	}
+	est, err := EstimateScalar(s, 8, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.CapacityBits < 0.9 {
+		t.Fatalf("capacity = %f, want ~1", est.CapacityBits)
+	}
+	if !est.Leaks(0.1) {
+		t.Fatalf("clearly leaking channel not detected: %v", est)
+	}
+}
+
+func TestNoiseFloorCalibratesNoChannel(t *testing.T) {
+	// Observations independent of symbols: capacity estimate must not
+	// exceed the shuffled floor by any real margin.
+	s := NewSamples()
+	r := rng.New(7)
+	for i := 0; i < 1000; i++ {
+		s.Add(i%2, float64(r.Intn(50)))
+	}
+	est, err := EstimateScalar(s, 8, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Leaks(0.05) {
+		t.Fatalf("no-channel data reported as leaking: %v", est)
+	}
+}
+
+func TestEstimatePairsFloor(t *testing.T) {
+	r := rng.New(11)
+	var syms, outs []int
+	for i := 0; i < 1000; i++ {
+		syms = append(syms, i%4)
+		outs = append(outs, r.Intn(4))
+	}
+	est, err := EstimatePairs(syms, outs, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Leaks(0.05) {
+		t.Fatalf("independent pairs reported as leaking: %v", est)
+	}
+}
+
+func TestErrorRate(t *testing.T) {
+	if got := ErrorRate([]int{1, 2, 3, 4}, []int{1, 2, 0, 0}); got != 0.5 {
+		t.Fatalf("error rate %f, want 0.5", got)
+	}
+	if got := ErrorRate(nil, nil); got != 1 {
+		t.Fatalf("empty error rate %f, want 1 (no information)", got)
+	}
+	if got := ErrorRate([]int{1}, []int{1, 2}); got != 1 {
+		t.Fatalf("mismatched lengths must yield 1, got %f", got)
+	}
+}
+
+func TestFromPairsValidation(t *testing.T) {
+	if _, err := FromPairs([]int{1}, []int{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FromPairs(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestMutualInformationNonNegativeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n, k := 2+r.Intn(4), 2+r.Intn(5)
+		m := &Matrix{Outputs: k}
+		for i := 0; i < n; i++ {
+			row := make([]float64, k)
+			total := 0.0
+			for j := range row {
+				row[j] = r.Float64() + 1e-9
+				total += row[j]
+			}
+			for j := range row {
+				row[j] /= total
+			}
+			m.P = append(m.P, row)
+			m.Inputs = append(m.Inputs, i)
+		}
+		mi := m.MutualInformation(nil)
+		cap := m.Capacity(200, 1e-6)
+		// 0 <= MI <= C <= log2(min(n, k)) (+ small numerical slack)
+		limit := math.Log2(math.Min(float64(n), float64(k)))
+		return mi >= 0 && cap >= mi-1e-6 && cap <= limit+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamplesAccessors(t *testing.T) {
+	s := NewSamples()
+	s.Add(3, 1.0)
+	s.Add(1, 2.0)
+	s.Add(3, 3.0)
+	if s.Len() != 3 {
+		t.Fatalf("len %d", s.Len())
+	}
+	syms := s.Symbols()
+	if len(syms) != 2 || syms[0] != 1 || syms[1] != 3 {
+		t.Fatalf("symbols %v", syms)
+	}
+	ps, vs := s.Pairs()
+	if len(ps) != 3 || ps[0] != 1 || vs[0] != 2.0 {
+		t.Fatalf("pairs %v %v", ps, vs)
+	}
+}
+
+func TestEstimateStringer(t *testing.T) {
+	e := Estimate{CapacityBits: 0.5, MIUniform: 0.4, FloorBits: 0.01, N: 100, Bins: 4}
+	if e.String() == "" {
+		t.Fatal("empty string")
+	}
+}

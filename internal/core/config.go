@@ -1,0 +1,223 @@
+// Package core is the time-protection policy layer: the protection
+// configuration (which mechanisms of §4 are armed), per-domain policy
+// attributes (slice length, padding time, colour allocation, interrupt
+// ownership), and the aISA hardware-software contract check of Ge et al.
+// [2018a] that the paper names as the precondition for provable time
+// protection.
+//
+// The kernel (internal/kernel) implements the mechanisms; this package
+// holds the policy the mechanisms enforce. Keeping them apart mirrors the
+// paper's insistence that e.g. the padding time is "not the job of the
+// OS, but an attribute of the switched-from security domain, controlled
+// by the system designer" (§4.2).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"timeprot/internal/hw/mem"
+)
+
+// Config selects which time-protection mechanisms are armed. The zero
+// value is a completely unprotected system; FullProtection arms
+// everything. Each field corresponds to a mechanism in §4 of the paper,
+// and each experiment ablation flips exactly one of them.
+type Config struct {
+	// FlushOnSwitch resets all core-local flushable state (L1 caches,
+	// private L2, TLB, branch predictor, prefetcher) on every domain
+	// switch — but never on intra-domain context switches (§4.2).
+	FlushOnSwitch bool
+	// PadSwitch enforces that the next domain is dispatched no earlier
+	// than the previous domain's slice start + slice length + the
+	// previous domain's PadCycles (§4.2). Without it the switch
+	// latency — dependent on dirty lines and entry jitter — is
+	// observable, as is early yielding.
+	PadSwitch bool
+	// ColorUserMemory allocates user frames from per-domain disjoint
+	// colour sets, partitioning the physically indexed LLC (§4.1).
+	ColorUserMemory bool
+	// CloneKernel gives each domain a private kernel image in memory
+	// of the domain's own colours, closing the kernel-text channel
+	// that exists because even read-only sharing of code is a channel
+	// (§4.2).
+	CloneKernel bool
+	// PartitionIRQs masks all interrupt lines not owned by the
+	// currently executing domain; masked interrupts pend until their
+	// domain next runs. The preemption timer is exempt (§4.2).
+	PartitionIRQs bool
+	// DisallowSMTSharing forbids threads of different domains on SMT
+	// siblings of one core. The paper concludes hyperthreading is
+	// fundamentally insecure across domains (§4.1); this is the
+	// corresponding scheduler policy.
+	DisallowSMTSharing bool
+	// MinDeliveryIPC arms deterministic message delivery on endpoints
+	// that declare a MinDelivery threshold (§3.2, Cock et al. model):
+	// a cross-domain message is never visible to the receiver before
+	// the sender's slice start plus the threshold.
+	MinDeliveryIPC bool
+}
+
+// FullProtection arms every mechanism.
+func FullProtection() Config {
+	return Config{
+		FlushOnSwitch:      true,
+		PadSwitch:          true,
+		ColorUserMemory:    true,
+		CloneKernel:        true,
+		PartitionIRQs:      true,
+		DisallowSMTSharing: true,
+		MinDeliveryIPC:     true,
+	}
+}
+
+// NoProtection disables every mechanism (a conventional OS).
+func NoProtection() Config { return Config{} }
+
+// String lists the armed mechanisms.
+func (c Config) String() string {
+	var on []string
+	add := func(b bool, n string) {
+		if b {
+			on = append(on, n)
+		}
+	}
+	add(c.FlushOnSwitch, "flush")
+	add(c.PadSwitch, "pad")
+	add(c.ColorUserMemory, "colour")
+	add(c.CloneKernel, "clone")
+	add(c.PartitionIRQs, "irq-partition")
+	add(c.DisallowSMTSharing, "no-smt-sharing")
+	add(c.MinDeliveryIPC, "min-delivery")
+	if len(on) == 0 {
+		return "unprotected"
+	}
+	return strings.Join(on, "+")
+}
+
+// DomainSpec is the system designer's policy for one security domain.
+type DomainSpec struct {
+	// Name identifies the domain in traces and reports.
+	Name string
+	// SliceCycles is the domain's time-slice length.
+	SliceCycles uint64
+	// PadCycles is the padding attribute of §4.2: when this domain is
+	// switched FROM, the next domain starts no earlier than slice
+	// start + SliceCycles + PadCycles. It must cover the worst-case
+	// flush latency plus preemption-handling jitter; sufficiency is
+	// checked, not assumed (experiment T11).
+	PadCycles uint64
+	// Colors is the domain's LLC colour allocation, used when
+	// ColorUserMemory (and CloneKernel) are armed.
+	Colors mem.ColorSet
+	// IRQLines lists the interrupt lines this domain owns.
+	IRQLines []int
+	// CodePages and HeapPages size the domain's address space.
+	CodePages, HeapPages int
+}
+
+// Validate reports an error if the spec is unusable under cfg.
+func (d DomainSpec) Validate(cfg Config, totalColors int) error {
+	if d.Name == "" {
+		return fmt.Errorf("core: domain with empty name")
+	}
+	if d.SliceCycles == 0 {
+		return fmt.Errorf("core: domain %s: SliceCycles must be positive", d.Name)
+	}
+	if d.CodePages <= 0 || d.HeapPages <= 0 {
+		return fmt.Errorf("core: domain %s: CodePages and HeapPages must be positive", d.Name)
+	}
+	if cfg.ColorUserMemory {
+		if len(d.Colors) == 0 {
+			return fmt.Errorf("core: domain %s: colouring armed but no colours allocated", d.Name)
+		}
+		for c := range d.Colors {
+			if c < 0 || c >= totalColors {
+				return fmt.Errorf("core: domain %s: colour %d out of range [0,%d)", d.Name, c, totalColors)
+			}
+			if c == KernelReservedColor {
+				return fmt.Errorf("core: domain %s: colour %d is reserved for kernel global data", d.Name, c)
+			}
+		}
+	}
+	return nil
+}
+
+// KernelReservedColor is the LLC colour reserved for the kernel's global
+// data when colouring is armed, so that the small amount of
+// deterministically-accessed shared kernel state (§5.2 Case 2a) never
+// contends with any user domain's partition.
+const KernelReservedColor = 0
+
+// ContractItem is one requirement of the security-oriented
+// hardware-software contract (the "aISA" of Ge et al. [2018a]).
+type ContractItem struct {
+	// Name identifies the requirement.
+	Name string
+	// Satisfied reports whether the platform + configuration meet it.
+	Satisfied bool
+	// Detail explains the verdict.
+	Detail string
+}
+
+// ContractReport is the result of checking the aISA against a platform.
+type ContractReport struct {
+	Items []ContractItem
+}
+
+// Satisfied reports whether every contract item holds.
+func (r ContractReport) Satisfied() bool {
+	for _, it := range r.Items {
+		if !it.Satisfied {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the report.
+func (r ContractReport) String() string {
+	var b strings.Builder
+	for _, it := range r.Items {
+		mark := "PASS"
+		if !it.Satisfied {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "[%s] %-28s %s\n", mark, it.Name, it.Detail)
+	}
+	return b.String()
+}
+
+// CheckContract evaluates the aISA requirements the paper's proof
+// strategy rests on: every timing-relevant shared resource must be
+// partitionable or flushable by the OS, flush/padding primitives must
+// exist, and cross-domain SMT sharing must be excluded. totalColors and
+// smtWays describe the platform; cfg is the intended protection policy.
+func CheckContract(cfg Config, totalColors, smtWays int) ContractReport {
+	var r ContractReport
+	add := func(name string, ok bool, detail string) {
+		r.Items = append(r.Items, ContractItem{Name: name, Satisfied: ok, Detail: detail})
+	}
+	add("LLC partitionable",
+		!cfg.ColorUserMemory || totalColors > 1,
+		fmt.Sprintf("%d page colours available", totalColors))
+	add("core-local state flushable",
+		true, // the simulated platform always provides flush primitives
+		"L1I/L1D/L2/TLB/BP/prefetcher expose reset to defined state")
+	add("flush latency hideable",
+		!cfg.FlushOnSwitch || cfg.PadSwitch,
+		"padding must be armed to hide history-dependent flush latency")
+	add("kernel text partitionable",
+		!cfg.CloneKernel || totalColors > 1,
+		"kernel clone requires coloured memory for per-domain images")
+	add("interrupts maskable per domain",
+		true,
+		"IRQ controller provides per-core per-line masking")
+	add("no cross-domain SMT",
+		smtWays == 1 || cfg.DisallowSMTSharing,
+		fmt.Sprintf("smtWays=%d; hardware threads share unpartitionable state", smtWays))
+	add("stateless interconnect excluded",
+		true,
+		"bus bandwidth channel out of scope (§2); MBA is approximate only")
+	return r
+}

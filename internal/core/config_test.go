@@ -1,0 +1,98 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"timeprot/internal/hw/mem"
+)
+
+func TestConfigString(t *testing.T) {
+	if got := NoProtection().String(); got != "unprotected" {
+		t.Fatalf("NoProtection.String() = %q", got)
+	}
+	full := FullProtection().String()
+	for _, want := range []string{"flush", "pad", "colour", "clone", "irq-partition", "no-smt-sharing", "min-delivery"} {
+		if !strings.Contains(full, want) {
+			t.Errorf("FullProtection.String() = %q missing %q", full, want)
+		}
+	}
+	partial := Config{FlushOnSwitch: true}.String()
+	if partial != "flush" {
+		t.Fatalf("partial = %q", partial)
+	}
+}
+
+func TestFullProtectionArmsEverything(t *testing.T) {
+	c := FullProtection()
+	if !c.FlushOnSwitch || !c.PadSwitch || !c.ColorUserMemory || !c.CloneKernel ||
+		!c.PartitionIRQs || !c.DisallowSMTSharing || !c.MinDeliveryIPC {
+		t.Fatalf("FullProtection missing a mechanism: %+v", c)
+	}
+}
+
+func TestDomainSpecValidate(t *testing.T) {
+	good := DomainSpec{Name: "d", SliceCycles: 100, Colors: mem.ColorRange(1, 3), CodePages: 1, HeapPages: 1}
+	if err := good.Validate(FullProtection(), 64); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		spec DomainSpec
+		cfg  Config
+	}{
+		{"empty name", DomainSpec{SliceCycles: 1, CodePages: 1, HeapPages: 1}, NoProtection()},
+		{"zero slice", DomainSpec{Name: "d", CodePages: 1, HeapPages: 1}, NoProtection()},
+		{"zero pages", DomainSpec{Name: "d", SliceCycles: 1}, NoProtection()},
+		{"no colours under colouring", DomainSpec{Name: "d", SliceCycles: 1, CodePages: 1, HeapPages: 1}, FullProtection()},
+		{"reserved colour", DomainSpec{Name: "d", SliceCycles: 1, Colors: mem.NewColorSet(KernelReservedColor), CodePages: 1, HeapPages: 1}, FullProtection()},
+		{"out of range colour", DomainSpec{Name: "d", SliceCycles: 1, Colors: mem.NewColorSet(99), CodePages: 1, HeapPages: 1}, FullProtection()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.spec.Validate(tc.cfg, 64); err == nil {
+				t.Error("invalid spec accepted")
+			}
+		})
+	}
+}
+
+func TestContractFullProtectionSatisfied(t *testing.T) {
+	r := CheckContract(FullProtection(), 64, 1)
+	if !r.Satisfied() {
+		t.Fatalf("contract not satisfied:\n%s", r)
+	}
+	if !strings.Contains(r.String(), "PASS") {
+		t.Fatal("report should render PASS lines")
+	}
+}
+
+func TestContractFlushWithoutPadFails(t *testing.T) {
+	cfg := FullProtection()
+	cfg.PadSwitch = false
+	r := CheckContract(cfg, 64, 1)
+	if r.Satisfied() {
+		t.Fatal("flush-without-pad must violate the contract")
+	}
+	if !strings.Contains(r.String(), "FAIL") {
+		t.Fatal("report should render FAIL lines")
+	}
+}
+
+func TestContractSMTWithoutPolicyFails(t *testing.T) {
+	cfg := FullProtection()
+	cfg.DisallowSMTSharing = false
+	if CheckContract(cfg, 64, 2).Satisfied() {
+		t.Fatal("SMT without the sharing ban must violate the contract")
+	}
+	// SMT off: fine without the policy.
+	if !CheckContract(cfg, 64, 1).Satisfied() {
+		t.Fatal("no-SMT platform should satisfy the contract")
+	}
+}
+
+func TestContractColouringNeedsColors(t *testing.T) {
+	if CheckContract(FullProtection(), 1, 1).Satisfied() {
+		t.Fatal("colouring on a colourless LLC must fail the contract")
+	}
+}

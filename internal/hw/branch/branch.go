@@ -1,0 +1,113 @@
+// Package branch implements a bimodal (2-bit saturating counter) branch
+// predictor with a direct-mapped pattern history table.
+//
+// Branch predictor state is core-local, time-shared, flushable state in
+// the paper's taxonomy (§4.1): it cannot be partitioned by the OS (its
+// index is derived from virtual program-counter bits), so it must be
+// reset to a defined, history-independent state on domain switches.
+package branch
+
+import (
+	"fmt"
+
+	"timeprot/internal/hw"
+)
+
+// counter states of the 2-bit saturating counter.
+const (
+	stronglyNotTaken = 0
+	weaklyNotTaken   = 1
+	weaklyTaken      = 2
+	stronglyTaken    = 3
+)
+
+// resetState is the defined state after a flush: weakly not-taken, the
+// same for every entry, independent of history.
+const resetState = weaklyNotTaken
+
+// Predictor is a bimodal branch predictor. Not safe for concurrent use.
+type Predictor struct {
+	table []uint8
+	mask  uint64
+	stats Stats
+}
+
+// Stats accumulates prediction statistics.
+type Stats struct {
+	Predictions uint64
+	Mispredicts uint64
+	Flushes     uint64
+}
+
+// New constructs a predictor with a table of size entries (power of two).
+func New(size int) *Predictor {
+	if size <= 0 || size&(size-1) != 0 {
+		panic(fmt.Sprintf("branch: table size must be a positive power of two, got %d", size))
+	}
+	p := &Predictor{table: make([]uint8, size), mask: uint64(size - 1)}
+	p.reset()
+	return p
+}
+
+func (p *Predictor) reset() {
+	for i := range p.table {
+		p.table[i] = resetState
+	}
+}
+
+// Size returns the table size.
+func (p *Predictor) Size() int { return len(p.table) }
+
+// Stats returns a copy of the statistics.
+func (p *Predictor) Stats() Stats { return p.stats }
+
+func (p *Predictor) index(pc hw.Addr) uint64 {
+	// Drop the low 2 bits (instruction alignment) before indexing.
+	return (uint64(pc) >> 2) & p.mask
+}
+
+// Predict returns the current prediction for the branch at pc.
+func (p *Predictor) Predict(pc hw.Addr) bool {
+	return p.table[p.index(pc)] >= weaklyTaken
+}
+
+// Resolve predicts the branch at pc, updates the counter with the actual
+// outcome, and reports whether the prediction was wrong (mispredict).
+func (p *Predictor) Resolve(pc hw.Addr, taken bool) (mispredict bool) {
+	i := p.index(pc)
+	pred := p.table[i] >= weaklyTaken
+	mispredict = pred != taken
+	p.stats.Predictions++
+	if mispredict {
+		p.stats.Mispredicts++
+	}
+	if taken {
+		if p.table[i] < stronglyTaken {
+			p.table[i]++
+		}
+	} else {
+		if p.table[i] > stronglyNotTaken {
+			p.table[i]--
+		}
+	}
+	return mispredict
+}
+
+// Flush resets every counter to the defined reset state. The latency is
+// constant (no write-backs), so the kernel charges only a fixed cost.
+func (p *Predictor) Flush() {
+	p.reset()
+	p.stats.Flushes++
+}
+
+// Fingerprint returns a deterministic digest of the predictor state; the
+// invariant checkers use it to verify the state is history-independent
+// after a flush.
+func (p *Predictor) Fingerprint() uint64 {
+	var h uint64 = 14695981039346656037
+	for _, v := range p.table {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,122 @@
+package branch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"timeprot/internal/hw"
+	"timeprot/internal/rng"
+)
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	for _, n := range []int{0, -4, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}
+
+func TestInitialPredictionIsNotTaken(t *testing.T) {
+	p := New(64)
+	if p.Predict(0x1000) {
+		t.Fatal("reset state must predict not-taken")
+	}
+}
+
+func TestTrainingToTaken(t *testing.T) {
+	p := New(64)
+	pc := hw.Addr(0x400)
+	// First taken branch mispredicts (weakly not-taken).
+	if !p.Resolve(pc, true) {
+		t.Fatal("first taken branch should mispredict")
+	}
+	// Second taken branch: counter moved to weakly-taken, predicts taken.
+	if p.Resolve(pc, true) {
+		t.Fatal("second taken branch should predict correctly")
+	}
+	if !p.Predict(pc) {
+		t.Fatal("trained branch should predict taken")
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	p := New(64)
+	pc := hw.Addr(0x8)
+	for i := 0; i < 10; i++ {
+		p.Resolve(pc, true)
+	}
+	// One not-taken outcome must not flip a saturated counter's
+	// prediction (strongly-taken -> weakly-taken still predicts taken).
+	p.Resolve(pc, false)
+	if !p.Predict(pc) {
+		t.Fatal("one contrary outcome flipped a saturated counter")
+	}
+	p.Resolve(pc, false)
+	if p.Predict(pc) {
+		t.Fatal("two contrary outcomes should flip prediction")
+	}
+}
+
+func TestAliasingIsThePrimeProbeVector(t *testing.T) {
+	// Two PCs that collide in the table share a counter: training one
+	// changes the other's prediction — the BP timing channel.
+	p := New(16)
+	pcA := hw.Addr(0x0)
+	pcB := hw.Addr(0x0 + 16*4) // same index after >>2 and mask
+	for i := 0; i < 4; i++ {
+		p.Resolve(pcA, true)
+	}
+	if !p.Predict(pcB) {
+		t.Fatal("aliased PC should inherit trained prediction")
+	}
+}
+
+func TestFlushRestoresDefinedState(t *testing.T) {
+	p := New(64)
+	fresh := New(64)
+	r := rng.New(3)
+	for i := 0; i < 500; i++ {
+		p.Resolve(hw.Addr(r.Uint64n(1<<16)), r.Bool())
+	}
+	p.Flush()
+	if p.Fingerprint() != fresh.Fingerprint() {
+		t.Fatal("flush must restore the history-independent reset state")
+	}
+}
+
+// Property: after Flush, the fingerprint is a single constant regardless
+// of prior history (the "defined, history-independent state" of §4.1).
+func TestFlushPropertyHistoryIndependent(t *testing.T) {
+	want := New(8).Fingerprint()
+	f := func(seed uint64, n uint16) bool {
+		p := New(8)
+		r := rng.New(seed)
+		for i := 0; i < int(n%1024); i++ {
+			p.Resolve(hw.Addr(r.Uint64n(1<<20)), r.Bool())
+		}
+		p.Flush()
+		return p.Fingerprint() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	p := New(64)
+	p.Resolve(4, true)  // mispredict
+	p.Resolve(4, true)  // correct
+	p.Resolve(4, false) // mispredict (now weakly taken->correcting)
+	st := p.Stats()
+	if st.Predictions != 3 {
+		t.Fatalf("predictions = %d, want 3", st.Predictions)
+	}
+	if st.Mispredicts != 2 {
+		t.Fatalf("mispredicts = %d, want 2", st.Mispredicts)
+	}
+}

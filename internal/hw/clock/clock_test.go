@@ -1,0 +1,83 @@
+package clock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueAndAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatal("zero value must read 0")
+	}
+	if got := c.Advance(5); got != 5 {
+		t.Fatalf("Advance returned %d, want 5", got)
+	}
+	c.Advance(7)
+	if c.Now() != 12 {
+		t.Fatalf("Now = %d, want 12", c.Now())
+	}
+}
+
+func TestPadUntilFromBehind(t *testing.T) {
+	var c Clock
+	c.Advance(100)
+	padded, overrun := c.PadUntil(150)
+	if overrun || padded != 50 || c.Now() != 150 {
+		t.Fatalf("padded=%d overrun=%v now=%d", padded, overrun, c.Now())
+	}
+}
+
+func TestPadUntilExactTargetIsNotOverrun(t *testing.T) {
+	var c Clock
+	c.Advance(150)
+	padded, overrun := c.PadUntil(150)
+	if overrun || padded != 0 {
+		t.Fatalf("padded=%d overrun=%v", padded, overrun)
+	}
+}
+
+func TestPadUntilOverrun(t *testing.T) {
+	var c Clock
+	c.Advance(200)
+	padded, overrun := c.PadUntil(150)
+	if !overrun || padded != 0 {
+		t.Fatalf("padded=%d overrun=%v", padded, overrun)
+	}
+	if c.Now() != 200 {
+		t.Fatal("overrun must not rewind the clock")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var c Clock
+	c.Advance(42)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("reset must zero the clock")
+	}
+}
+
+// Property: the padding primitive is exactly the §5 timestamp-comparison
+// rule — after PadUntil(target) with now<=target the clock reads target,
+// and the padded amount is the timestamp difference.
+func TestPadUntilProperty(t *testing.T) {
+	f := func(start, delta uint32) bool {
+		var c Clock
+		c.Advance(uint64(start))
+		target := uint64(start) + uint64(delta)
+		padded, overrun := c.PadUntil(target)
+		return !overrun && padded == uint64(delta) && c.Now() == target
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	var c Clock
+	c.Advance(9)
+	if c.String() != "cycle 9" {
+		t.Fatalf("String = %q", c.String())
+	}
+}

@@ -1,0 +1,342 @@
+package cpu
+
+import (
+	"errors"
+	"testing"
+
+	"timeprot/internal/hw"
+	"timeprot/internal/hw/cache"
+	"timeprot/internal/hw/interconn"
+	"timeprot/internal/hw/mem"
+)
+
+// testRig builds a single-core machine with a 64-colour LLC.
+func testRig(t *testing.T) (*Core, *mem.PageTable, *mem.Allocator) {
+	t.Helper()
+	un := &Uncore{
+		LLC: cache.New(cache.Config{Name: "LLC", Sets: 4096, Ways: 16, Indexing: cache.PhysIndexed}),
+		Bus: interconn.NewBus(8),
+		Mem: mem.NewPhysMem(8192, 64),
+		Lat: hw.DefaultLatency(),
+	}
+	c := New(DefaultConfig(0), un)
+	alloc := mem.NewAllocator(un.Mem)
+	pt := mem.NewPageTable(1)
+	// Identity-ish mapping: 64 pages for domain 1.
+	pfns, err := alloc.AllocN(1, nil, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pfn := range pfns {
+		pt.Map(uint64(i), mem.PTE{PFN: pfn, Writable: true})
+	}
+	return c, pt, alloc
+}
+
+func TestColdMissCostsThroughMemory(t *testing.T) {
+	c, pt, _ := testRig(t)
+	info, err := c.Access(1, pt, 0x100, DataRead, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Level != 4 {
+		t.Fatalf("cold access level %d, want 4 (memory)", info.Level)
+	}
+	if !info.TLBMiss {
+		t.Fatal("cold access must walk the page table")
+	}
+	lat := hw.DefaultLatency()
+	want := lat.PageWalk + lat.L1Hit + lat.L2Hit + lat.LLCHit + lat.BusBeat + lat.Mem
+	if info.Cycles != want {
+		t.Fatalf("cycles = %d, want %d", info.Cycles, want)
+	}
+}
+
+func TestHotHitCostsL1Only(t *testing.T) {
+	c, pt, _ := testRig(t)
+	if _, err := c.Access(1, pt, 0x100, DataRead, 1); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Access(1, pt, 0x100, DataRead, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Level != 1 || info.TLBMiss {
+		t.Fatalf("hot access: level=%d tlbMiss=%v", info.Level, info.TLBMiss)
+	}
+	if info.Cycles != hw.DefaultLatency().L1Hit {
+		t.Fatalf("cycles = %d, want pure L1 hit", info.Cycles)
+	}
+}
+
+func TestHitLatencyOrderingIsTheProbeSignal(t *testing.T) {
+	// The prime-and-probe decoder relies on L1 < L2 < LLC < memory
+	// latency being distinguishable.
+	c, pt, _ := testRig(t)
+	cold, _ := c.Access(1, pt, 0x2000, DataRead, 1)
+	hot, _ := c.Access(1, pt, 0x2000, DataRead, 1)
+	if hot.Cycles >= cold.Cycles {
+		t.Fatalf("hot (%d) must be faster than cold (%d)", hot.Cycles, cold.Cycles)
+	}
+}
+
+func TestPageFault(t *testing.T) {
+	c, pt, _ := testRig(t)
+	_, err := c.Access(1, pt, hw.Addr(999<<hw.PageBits), DataRead, 1)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want Fault, got %v", err)
+	}
+	if hw.VPN(f.VA) != 999 {
+		t.Fatalf("fault VA wrong: %+v", f)
+	}
+}
+
+func TestWriteMakesDirtyAndFlushCountsIt(t *testing.T) {
+	c, pt, _ := testRig(t)
+	for i := 0; i < 10; i++ {
+		if _, err := c.Access(1, pt, hw.Addr(i*hw.LineSize), DataWrite, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := c.FlushCoreState()
+	if rep.DirtyL1D != 10 {
+		t.Fatalf("flushed %d dirty L1D lines, want 10", rep.DirtyL1D)
+	}
+	lat := hw.DefaultLatency()
+	want := lat.FlushBase + 10*lat.FlushPerDirtyLine
+	if rep.Cycles != want {
+		t.Fatalf("flush cycles %d, want %d", rep.Cycles, want)
+	}
+}
+
+func TestFlushLatencyDependsOnHistory(t *testing.T) {
+	// This is the §4.2 secondary channel: more dirty lines, longer
+	// flush.
+	dirtyFlush := func(writes int) uint64 {
+		c, pt, _ := testRig(t)
+		for i := 0; i < writes; i++ {
+			if _, err := c.Access(1, pt, hw.Addr(i*hw.LineSize), DataWrite, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.FlushCoreState().Cycles
+	}
+	if dirtyFlush(40) <= dirtyFlush(2) {
+		t.Fatal("flush latency must grow with dirty lines")
+	}
+}
+
+func TestFlushRestoresDefinedState(t *testing.T) {
+	c, pt, _ := testRig(t)
+	fresh := c.FlushableFingerprint()
+	for i := 0; i < 200; i++ {
+		if _, err := c.Access(1, pt, hw.Addr((i%60)*hw.LineSize), DataWrite, 1); err != nil {
+			t.Fatal(err)
+		}
+		c.Branch(hw.Addr(i*4), i%3 == 0)
+	}
+	if c.FlushableFingerprint() == fresh {
+		t.Fatal("state fingerprint should differ after activity")
+	}
+	c.FlushCoreState()
+	if c.FlushableFingerprint() != fresh {
+		t.Fatal("flush must restore the defined reset fingerprint")
+	}
+}
+
+func TestWritebackLandsInLLCWithFrameOwner(t *testing.T) {
+	c, pt, _ := testRig(t)
+	if _, err := c.Access(1, pt, 0x40, DataWrite, 1); err != nil {
+		t.Fatal(err)
+	}
+	c.FlushCoreState()
+	occ := c.Uncore().LLC.OccupancyByOwner()
+	if occ[1] == 0 {
+		t.Fatalf("written-back line not attributed to frame owner: %v", occ)
+	}
+}
+
+func TestBranchMispredictPenalty(t *testing.T) {
+	c, _, _ := testRig(t)
+	cyc, mis := c.Branch(0x40, true) // predictor resets to not-taken
+	if !mis || cyc != hw.DefaultLatency().Mispredict {
+		t.Fatalf("first taken branch: cyc=%d mis=%v", cyc, mis)
+	}
+	c.Branch(0x40, true)
+	cyc, mis = c.Branch(0x40, true)
+	if mis || cyc != 1 {
+		t.Fatalf("trained branch: cyc=%d mis=%v", cyc, mis)
+	}
+}
+
+func TestPrefetcherWarmsNextLine(t *testing.T) {
+	c, pt, _ := testRig(t)
+	// Walk a stride-1 line pattern to arm the prefetcher.
+	for i := 0; i < 4; i++ {
+		if _, err := c.Access(1, pt, hw.Addr(i*hw.LineSize), DataRead, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Line 4 should have been prefetched by the access to line 3.
+	info, err := c.Access(1, pt, hw.Addr(4*hw.LineSize), DataRead, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Level != 1 {
+		t.Fatalf("prefetched line hit at level %d, want 1", info.Level)
+	}
+}
+
+func TestVIPTIndexingUsesVirtualBits(t *testing.T) {
+	// Two virtual pages mapping to the same physical frame land in L1
+	// sets chosen by their *virtual* addresses: VIPT.
+	c, _, alloc := testRig(t)
+	pt := mem.NewPageTable(2)
+	pfn, err := alloc.Alloc(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt.Map(100, mem.PTE{PFN: pfn})
+	pt.Map(200, mem.PTE{PFN: pfn})
+	if _, err := c.Access(2, pt, hw.Addr(100<<hw.PageBits), DataRead, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Same PA via a different VA in the same page-offset: the L1 set
+	// is the same here because set bits come from the page offset for
+	// a 64-set L1 (fits in a page). The aliasing consequence we care
+	// about for colouring is at the LLC, tested in the cache package;
+	// here we just pin the L1 hit via the second VA (same line tag).
+	info, err := c.Access(2, pt, hw.Addr(200<<hw.PageBits), DataRead, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Level != 1 {
+		t.Fatalf("aliased access level %d, want 1 (same physical tag, same virtual set)", info.Level)
+	}
+}
+
+func TestCrossCoreLLCConflictVisibility(t *testing.T) {
+	// Two cores share the LLC: one core's fills evict the other's
+	// lines in the same set — the substrate of the T3 experiment.
+	un := &Uncore{
+		LLC: cache.New(cache.Config{Name: "LLC", Sets: 256, Ways: 2, Indexing: cache.PhysIndexed}),
+		Bus: interconn.NewBus(8),
+		Mem: mem.NewPhysMem(65536, 4),
+		Lat: hw.DefaultLatency(),
+	}
+	c0, c1 := New(DefaultConfig(0), un), New(DefaultConfig(1), un)
+	alloc := mem.NewAllocator(un.Mem)
+	ptA, ptB := mem.NewPageTable(1), mem.NewPageTable(2)
+	// Same colour frames for both domains => conflict.
+	pfnsA, _ := alloc.AllocN(1, mem.NewColorSet(1), 3)
+	pfnsB, _ := alloc.AllocN(2, mem.NewColorSet(1), 3)
+	for i, p := range pfnsA {
+		ptA.Map(uint64(i), mem.PTE{PFN: p})
+	}
+	for i, p := range pfnsB {
+		ptB.Map(uint64(i), mem.PTE{PFN: p})
+	}
+	// Core 0 loads its line; core 1 thrashes the same LLC set from
+	// the same-coloured frames.
+	if _, err := c0.Access(1, ptA, 0, DataRead, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c1.Access(2, ptB, hw.Addr(i<<hw.PageBits), DataRead, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Core 0's copy was evicted from the (2-way) LLC set; after its
+	// private L1/L2 are flushed the reload must come from memory.
+	c0.FlushCoreState()
+	info, err := c0.Access(1, ptA, 0, DataRead, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Level != 4 {
+		t.Fatalf("victim reload level %d, want 4 (evicted by sibling core)", info.Level)
+	}
+}
+
+// TestInclusiveBackInvalidation: evicting a line from the LLC must drop
+// every core's private copies (the inclusion property cross-core attacks
+// rely on).
+func TestInclusiveBackInvalidation(t *testing.T) {
+	un := &Uncore{
+		LLC: cache.New(cache.Config{Name: "LLC", Sets: 64, Ways: 1, Indexing: cache.PhysIndexed}),
+		Bus: interconn.NewBus(8),
+		Mem: mem.NewPhysMem(65536, 1),
+		Lat: hw.DefaultLatency(),
+	}
+	c0, c1 := New(DefaultConfig(0), un), New(DefaultConfig(1), un)
+	alloc := mem.NewAllocator(un.Mem)
+	ptA, ptB := mem.NewPageTable(1), mem.NewPageTable(2)
+	pA, _ := alloc.Alloc(1, nil)
+	pB, _ := alloc.Alloc(2, nil)
+	ptA.Map(0, mem.PTE{PFN: pA, Writable: true})
+	ptB.Map(0, mem.PTE{PFN: pB, Writable: true})
+
+	// Core 0 loads (and dirties) a line; it now lives in its L1 and in
+	// the 1-way LLC set.
+	if _, err := c0.Access(1, ptA, 0, DataWrite, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c0.L1D.DirtyCount() != 1 {
+		t.Fatal("core 0 should hold a dirty private copy")
+	}
+	// Core 1 maps a DIFFERENT frame whose line lands in the same LLC
+	// set (same set index if pfn congruent mod 64); force congruence.
+	for un.Mem.Color(pB) != un.Mem.Color(pA) || (pB%64) != (pA%64) {
+		pB, _ = alloc.Alloc(2, nil)
+	}
+	ptB.Map(0, mem.PTE{PFN: pB})
+	if _, err := c1.Access(2, ptB, 0, DataRead, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Core 0's private copy must be gone (back-invalidated), dirty or
+	// not.
+	if c0.L1D.DirtyCount() != 0 && c0.L1D.ValidCount() != 0 {
+		// The line may survive only if the LLC sets differ; verify.
+		t.Fatalf("back-invalidation failed: valid=%d dirty=%d", c0.L1D.ValidCount(), c0.L1D.DirtyCount())
+	}
+	// Core 0's reload misses all the way to memory.
+	c0.FlushCoreState()
+	info, err := c0.Access(1, ptA, 0, DataRead, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Level != 4 {
+		t.Fatalf("reload level %d, want 4", info.Level)
+	}
+}
+
+// TestPrefetcherDisabledConfig: threshold 0 removes the prefetcher and
+// sequential reads gain no L1 warmth.
+func TestPrefetcherDisabledConfig(t *testing.T) {
+	un := &Uncore{
+		LLC: cache.New(cache.Config{Name: "LLC", Sets: 4096, Ways: 16, Indexing: cache.PhysIndexed}),
+		Bus: interconn.NewBus(8),
+		Mem: mem.NewPhysMem(8192, 64),
+		Lat: hw.DefaultLatency(),
+	}
+	cfg := DefaultConfig(0)
+	cfg.PrefetchThreshold = 0
+	c := New(cfg, un)
+	alloc := mem.NewAllocator(un.Mem)
+	pt := mem.NewPageTable(1)
+	pfn, _ := alloc.Alloc(1, nil)
+	pt.Map(0, mem.PTE{PFN: pfn})
+	for i := 0; i < 4; i++ {
+		if _, err := c.Access(1, pt, hw.Addr(i*hw.LineSize), DataRead, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := c.Access(1, pt, hw.Addr(4*hw.LineSize), DataRead, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Level == 1 {
+		t.Fatal("line was prefetched despite the prefetcher being disabled")
+	}
+}

@@ -1,0 +1,143 @@
+// Package hw defines the shared vocabulary of the simulated hardware
+// platform: address types, page and cache-line geometry, and the latency
+// parameters that constitute the concrete "time model" of the machine.
+//
+// The paper (§5.1) models time as a deterministic yet unspecified function
+// of the microarchitectural state. The simulator instantiates one concrete
+// such function — the parameters in Latency — while the prover
+// (internal/prove) quantifies over families of such functions. Nothing in
+// the defence mechanisms depends on the concrete values chosen here; they
+// only shape the measured magnitudes.
+package hw
+
+import "fmt"
+
+// Addr is a virtual address within a security domain's address space.
+type Addr uint64
+
+// PAddr is a physical address.
+type PAddr uint64
+
+// Architectural geometry. These are compile-time constants: the page and
+// line sizes determine how many LLC page colours exist and are baked into
+// the colouring arithmetic throughout.
+const (
+	// PageBits is log2 of the page size.
+	PageBits = 12
+	// PageSize is the size of a physical frame and of a virtual page.
+	PageSize = 1 << PageBits
+	// LineBits is log2 of the cache-line size.
+	LineBits = 6
+	// LineSize is the cache-line size in bytes.
+	LineSize = 1 << LineBits
+	// LinesPerPage is the number of cache lines covering one page.
+	LinesPerPage = PageSize / LineSize
+)
+
+// VPN returns the virtual page number of a.
+func VPN(a Addr) uint64 { return uint64(a) >> PageBits }
+
+// PageOffset returns the offset of a within its page.
+func PageOffset(a Addr) uint64 { return uint64(a) & (PageSize - 1) }
+
+// PFN returns the physical frame number of p.
+func PFN(p PAddr) uint64 { return uint64(p) >> PageBits }
+
+// FrameBase returns the physical address of the first byte of frame pfn.
+func FrameBase(pfn uint64) PAddr { return PAddr(pfn << PageBits) }
+
+// LineIndex returns the global line number of a physical address.
+func LineIndex(p PAddr) uint64 { return uint64(p) >> LineBits }
+
+// VLineIndex returns the global line number of a virtual address.
+func VLineIndex(a Addr) uint64 { return uint64(a) >> LineBits }
+
+// Latency holds the cycle costs that make up the machine's concrete time
+// model. All values are in cycles.
+type Latency struct {
+	// L1Hit is the load-to-use latency of a first-level cache hit.
+	L1Hit uint64
+	// L2Hit is the latency of an L2 hit (after an L1 miss).
+	L2Hit uint64
+	// LLCHit is the latency of a last-level cache hit.
+	LLCHit uint64
+	// Mem is the DRAM access latency (excluding bus queueing).
+	Mem uint64
+	// BusBeat is the bus occupancy per LLC-miss transfer; queueing on
+	// top of this is computed by the interconnect model.
+	BusBeat uint64
+	// PageWalk is the fixed cost of a hardware page-table walk on a
+	// TLB miss (on top of the memory accesses the walk performs).
+	PageWalk uint64
+	// Mispredict is the branch misprediction penalty.
+	Mispredict uint64
+	// KernelEntry is the base trap cost (mode switch, register save)
+	// excluding the cache effects of the kernel's own memory accesses.
+	KernelEntry uint64
+	// KernelExit is the base return-from-kernel cost.
+	KernelExit uint64
+	// IRQAck is the fixed interrupt-controller acknowledge cost.
+	IRQAck uint64
+	// FlushBase is the fixed cost of initiating a full flush of the
+	// core-local microarchitectural state.
+	FlushBase uint64
+	// FlushPerDirtyLine is the additional write-back cost per dirty
+	// line flushed. This history dependence is the secondary channel
+	// that padding must close (§4.2).
+	FlushPerDirtyLine uint64
+	// ContextSwitch is the base cost of an intra-domain thread switch
+	// (no flushing, no padding).
+	ContextSwitch uint64
+	// DispatchCost is the fixed cost of dispatching a thread after a
+	// domain switch, incurred after any padding.
+	DispatchCost uint64
+}
+
+// DefaultLatency returns latency parameters loosely modelled on a
+// contemporary out-of-order core (in cycles). The defence mechanisms are
+// insensitive to the concrete values.
+func DefaultLatency() Latency {
+	return Latency{
+		L1Hit:             4,
+		L2Hit:             12,
+		LLCHit:            40,
+		Mem:               200,
+		BusBeat:           8,
+		PageWalk:          30,
+		Mispredict:        15,
+		KernelEntry:       60,
+		KernelExit:        40,
+		IRQAck:            25,
+		FlushBase:         100,
+		FlushPerDirtyLine: 6,
+		ContextSwitch:     80,
+		DispatchCost:      50,
+	}
+}
+
+// Validate reports an error if any latency parameter is zero in a way that
+// would make the time model degenerate.
+func (l Latency) Validate() error {
+	if l.L1Hit == 0 || l.L2Hit == 0 || l.LLCHit == 0 || l.Mem == 0 {
+		return fmt.Errorf("hw: cache latencies must be nonzero: %+v", l)
+	}
+	if l.L1Hit >= l.L2Hit || l.L2Hit >= l.LLCHit || l.LLCHit >= l.Mem {
+		return fmt.Errorf("hw: cache latencies must be strictly increasing by level")
+	}
+	return nil
+}
+
+// DomainID identifies a security domain (§2: a subset of the system
+// treated as an opaque unit by the security policy). The kernel's own
+// shared state is attributed to KernelOwner, and lines whose owner is
+// unknown or architectural background state use NoOwner.
+type DomainID int
+
+const (
+	// NoOwner marks microarchitectural state not attributed to any
+	// security domain (e.g. after reset).
+	NoOwner DomainID = -1
+	// KernelOwner marks state belonging to the shared (non-cloned)
+	// kernel image and global kernel data.
+	KernelOwner DomainID = -2
+)

@@ -1,0 +1,68 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryConstants(t *testing.T) {
+	if PageSize != 4096 || LineSize != 64 || LinesPerPage != 64 {
+		t.Fatalf("geometry drifted: page=%d line=%d lpp=%d", PageSize, LineSize, LinesPerPage)
+	}
+}
+
+func TestAddressArithmeticRoundTrip(t *testing.T) {
+	f := func(pfn uint64, off uint16) bool {
+		pfn %= 1 << 40
+		o := uint64(off) % PageSize
+		pa := FrameBase(pfn) + PAddr(o)
+		return PFN(pa) == pfn && PageOffset(Addr(pa)) == o
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineIndexConsistency(t *testing.T) {
+	f := func(a uint64) bool {
+		return LineIndex(PAddr(a)) == a>>LineBits && VLineIndex(Addr(a)) == a>>LineBits
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVPNConsistentWithPageOffset(t *testing.T) {
+	a := Addr(0x12345678)
+	if VPN(a)<<PageBits|uint64(PageOffset(a)) != uint64(a) {
+		t.Fatal("VPN/PageOffset must decompose the address")
+	}
+}
+
+func TestDefaultLatencyValid(t *testing.T) {
+	if err := DefaultLatency().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyValidation(t *testing.T) {
+	bad := []func(*Latency){
+		func(l *Latency) { l.L1Hit = 0 },
+		func(l *Latency) { l.Mem = 0 },
+		func(l *Latency) { l.L1Hit, l.L2Hit = 12, 4 }, // not increasing
+		func(l *Latency) { l.LLCHit = l.Mem + 1 },
+	}
+	for i, mut := range bad {
+		l := DefaultLatency()
+		mut(&l)
+		if err := l.Validate(); err == nil {
+			t.Errorf("case %d: invalid latency accepted", i)
+		}
+	}
+}
+
+func TestOwnerSentinels(t *testing.T) {
+	if NoOwner >= 0 || KernelOwner >= 0 || NoOwner == KernelOwner {
+		t.Fatal("owner sentinels must be distinct negatives")
+	}
+}

@@ -1,0 +1,220 @@
+// Package interconn models the shared, stateless memory interconnect:
+// a single bus serialising LLC-miss traffic from all cores.
+//
+// The paper deliberately EXCLUDES covert channels through stateless
+// interconnects from time protection's scope (§2): they exploit finite
+// *bandwidth* through concurrent competition, carry no address
+// information, and can only be prevented with hardware support absent
+// from mainstream processors. The model exists to demonstrate that
+// exclusion empirically (experiment T8): partitioning and flushing do
+// nothing against it, and an Intel-MBA-style *approximate* bandwidth
+// limiter reduces but does not eliminate the channel (footnote 1).
+package interconn
+
+import "fmt"
+
+// Bus is a single split-transaction bus with fixed beat occupancy. Cores
+// contend for beats; a request issued while the bus is busy queues. Not
+// safe for concurrent use; the simulator serialises access.
+type Bus struct {
+	// BeatCycles is the bus occupancy per transfer.
+	BeatCycles uint64
+
+	nextFree uint64
+	limiter  *MBALimiter
+	tdm      *TDMSchedule
+	stats    map[int]*CoreStats
+}
+
+// CoreStats accumulates per-core bus statistics.
+type CoreStats struct {
+	Transfers   uint64
+	QueueCycles uint64
+	ThrottleCycles uint64
+}
+
+// NewBus constructs a bus with the given beat occupancy.
+func NewBus(beatCycles uint64) *Bus {
+	if beatCycles == 0 {
+		panic("interconn: BeatCycles must be nonzero")
+	}
+	return &Bus{BeatCycles: beatCycles, stats: make(map[int]*CoreStats)}
+}
+
+// SetLimiter installs (or removes, if nil) an MBA-style per-core
+// bandwidth limiter.
+func (b *Bus) SetLimiter(l *MBALimiter) { b.limiter = l }
+
+// SetTDM installs (or removes, if nil) a time-division-multiplexed
+// arbitration schedule. TDM is the hardware support the paper names as
+// missing from mainstream processors (§2): each core owns fixed bus
+// slots, so one core's traffic can never delay another's — the bandwidth
+// covert channel is closed BY CONSTRUCTION, at the price of wasting
+// unused slots. Time protection "extends in a fairly straightforward
+// way" once such hardware exists; experiment T8's TDM row demonstrates
+// it.
+func (b *Bus) SetTDM(t *TDMSchedule) { b.tdm = t }
+
+// Stats returns the statistics for a core (allocating them if needed).
+func (b *Bus) Stats(core int) *CoreStats {
+	s, ok := b.stats[core]
+	if !ok {
+		s = &CoreStats{}
+		b.stats[core] = s
+	}
+	return s
+}
+
+// Access performs one transfer for core at local time now and returns the
+// total added latency (throttling + queueing + the beat itself). The
+// throttle delay is charged to the issuing core only: it slows that
+// core's issue rate without reserving the bus in the future, so other
+// cores' transfers slot in freely during the throttled interval.
+func (b *Bus) Access(core int, now uint64) (latency uint64) {
+	if b.tdm != nil {
+		// TDM arbitration: wait for the core's own next slot. The
+		// wait depends only on the requester's clock phase, never on
+		// other cores' traffic.
+		start := b.tdm.NextSlot(core, now)
+		st := b.Stats(core)
+		st.Transfers++
+		st.QueueCycles += start - now
+		return (start - now) + b.BeatCycles
+	}
+	var throttle uint64
+	if b.limiter != nil {
+		if release := b.limiter.Admit(core, now); release > now {
+			throttle = release - now
+			b.Stats(core).ThrottleCycles += throttle
+		}
+	}
+	start := now
+	if b.nextFree > start {
+		b.Stats(core).QueueCycles += b.nextFree - start
+		start = b.nextFree
+	}
+	b.nextFree = start + b.BeatCycles
+	st := b.Stats(core)
+	st.Transfers++
+	return throttle + (start - now) + b.BeatCycles
+}
+
+// Reset clears queueing state and statistics (used between experiment
+// trials; a real bus has no history worth modelling beyond the in-flight
+// transfer).
+func (b *Bus) Reset() {
+	b.nextFree = 0
+	b.stats = make(map[int]*CoreStats)
+	if b.limiter != nil {
+		b.limiter.Reset()
+	}
+}
+
+// MBALimiter approximates Intel's Memory Bandwidth Allocation: per-core
+// transfer quotas enforced over coarse windows. Enforcement is
+// deliberately approximate — a core may burst up to its full window quota
+// instantly and is only delayed once the quota is exhausted, so
+// modulation within a window remains observable. This reproduces the
+// paper's footnote: "the approximate enforcement is not sufficient for
+// preventing covert channels".
+type MBALimiter struct {
+	// WindowCycles is the enforcement window length.
+	WindowCycles uint64
+	// QuotaPerWindow maps core ID to the number of transfers allowed
+	// per window. Cores without an entry are unthrottled.
+	QuotaPerWindow map[int]uint64
+
+	used        map[int]uint64
+	windowStart map[int]uint64
+}
+
+// NewMBALimiter constructs a limiter with the given window.
+func NewMBALimiter(windowCycles uint64) *MBALimiter {
+	if windowCycles == 0 {
+		panic("interconn: WindowCycles must be nonzero")
+	}
+	return &MBALimiter{
+		WindowCycles:   windowCycles,
+		QuotaPerWindow: make(map[int]uint64),
+		used:           make(map[int]uint64),
+		windowStart:    make(map[int]uint64),
+	}
+}
+
+// SetQuota limits core to quota transfers per window.
+func (m *MBALimiter) SetQuota(core int, quota uint64) {
+	m.QuotaPerWindow[core] = quota
+}
+
+// Admit returns the earliest time at or after now when core may issue a
+// transfer, updating the window accounting as if it did.
+func (m *MBALimiter) Admit(core int, now uint64) uint64 {
+	quota, limited := m.QuotaPerWindow[core]
+	if !limited {
+		return now
+	}
+	ws := m.windowStart[core]
+	// Advance to the window containing now.
+	if now >= ws+m.WindowCycles {
+		ws += ((now - ws) / m.WindowCycles) * m.WindowCycles
+		m.windowStart[core] = ws
+		m.used[core] = 0
+	}
+	if m.used[core] < quota {
+		m.used[core]++
+		return now
+	}
+	// Quota exhausted: delay to the next window and consume from it.
+	ws += m.WindowCycles
+	m.windowStart[core] = ws
+	m.used[core] = 1
+	return ws
+}
+
+// Reset clears the accounting.
+func (m *MBALimiter) Reset() {
+	m.used = make(map[int]uint64)
+	m.windowStart = make(map[int]uint64)
+}
+
+// String implements fmt.Stringer.
+func (m *MBALimiter) String() string {
+	return fmt.Sprintf("MBA(window=%d, quotas=%v)", m.WindowCycles, m.QuotaPerWindow)
+}
+
+// TDMSchedule is a strict time-division bus arbitration: the bus
+// timeline is divided into frames of Cores slots of SlotCycles each;
+// core i may begin a transfer only at the start of slot i of a frame.
+// Unused slots are wasted, never reassigned — exactness is the point.
+type TDMSchedule struct {
+	// Cores is the number of slots per frame.
+	Cores int
+	// SlotCycles is the length of one slot; it must be at least the
+	// bus beat, or transfers would overhang into foreign slots.
+	SlotCycles uint64
+}
+
+// NewTDMSchedule builds a schedule. It panics if the slot could not
+// contain a transfer of beatCycles.
+func NewTDMSchedule(cores int, slotCycles, beatCycles uint64) *TDMSchedule {
+	if cores <= 0 {
+		panic("interconn: TDM needs at least one core")
+	}
+	if slotCycles < beatCycles {
+		panic("interconn: TDM slot shorter than the bus beat")
+	}
+	return &TDMSchedule{Cores: cores, SlotCycles: slotCycles}
+}
+
+// NextSlot returns the earliest time at or after now at which core may
+// begin a transfer: the start of its next owned slot. The result is a
+// pure function of (core, now) — no shared state, hence no channel.
+func (t *TDMSchedule) NextSlot(core int, now uint64) uint64 {
+	frame := uint64(t.Cores) * t.SlotCycles
+	slotStart := uint64(core) * t.SlotCycles
+	base := now - now%frame + slotStart
+	if base >= now {
+		return base
+	}
+	return base + frame
+}

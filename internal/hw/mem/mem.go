@@ -1,0 +1,274 @@
+// Package mem models physical memory: frames, page colours, per-domain
+// page tables, and a colour-aware frame allocator.
+//
+// Page colouring (§4.1, citing Kessler & Hill, Liedtke et al., Lynch et
+// al.) exploits the fact that in a large physically indexed cache a page
+// maps to a fixed subset of the sets — its colour, PFN mod NumColors. By
+// giving different security domains frames of disjoint colours, the OS
+// partitions the cache without hardware support.
+package mem
+
+import (
+	"fmt"
+
+	"timeprot/internal/hw"
+)
+
+// PhysMem describes physical memory and tracks frame ownership.
+type PhysMem struct {
+	numFrames int
+	numColors int
+	owner     []hw.DomainID
+}
+
+// NewPhysMem constructs physical memory of numFrames frames, coloured for
+// a cache inducing numColors colours.
+func NewPhysMem(numFrames, numColors int) *PhysMem {
+	if numFrames <= 0 {
+		panic(fmt.Sprintf("mem: numFrames must be positive, got %d", numFrames))
+	}
+	if numColors <= 0 {
+		panic(fmt.Sprintf("mem: numColors must be positive, got %d", numColors))
+	}
+	m := &PhysMem{
+		numFrames: numFrames,
+		numColors: numColors,
+		owner:     make([]hw.DomainID, numFrames),
+	}
+	for i := range m.owner {
+		m.owner[i] = hw.NoOwner
+	}
+	return m
+}
+
+// NumFrames returns the number of physical frames.
+func (m *PhysMem) NumFrames() int { return m.numFrames }
+
+// NumColors returns the number of page colours.
+func (m *PhysMem) NumColors() int { return m.numColors }
+
+// Color returns the page colour of a frame.
+func (m *PhysMem) Color(pfn uint64) int { return int(pfn % uint64(m.numColors)) }
+
+// Owner returns the domain owning a frame.
+func (m *PhysMem) Owner(pfn uint64) hw.DomainID {
+	if pfn >= uint64(m.numFrames) {
+		return hw.NoOwner
+	}
+	return m.owner[pfn]
+}
+
+// setOwner records frame ownership (allocator use only).
+func (m *PhysMem) setOwner(pfn uint64, d hw.DomainID) { m.owner[pfn] = d }
+
+// ColorSet is a set of page colours, used to express a domain's colour
+// allocation.
+type ColorSet map[int]bool
+
+// NewColorSet builds a set from a list of colours.
+func NewColorSet(colors ...int) ColorSet {
+	s := make(ColorSet, len(colors))
+	for _, c := range colors {
+		s[c] = true
+	}
+	return s
+}
+
+// ColorRange builds the set {lo, ..., hi-1}.
+func ColorRange(lo, hi int) ColorSet {
+	s := make(ColorSet, hi-lo)
+	for c := lo; c < hi; c++ {
+		s[c] = true
+	}
+	return s
+}
+
+// Contains reports membership.
+func (s ColorSet) Contains(c int) bool { return s[c] }
+
+// Intersects reports whether two sets share a colour.
+func (s ColorSet) Intersects(o ColorSet) bool {
+	for c := range s {
+		if o[c] {
+			return true
+		}
+	}
+	return false
+}
+
+// Sorted returns the colours in ascending order.
+func (s ColorSet) Sorted() []int {
+	out := make([]int, 0, len(s))
+	for c := range s {
+		out = append(out, c)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Allocator hands out physical frames, optionally restricted to a colour
+// set. Allocation is deterministic; within a colour set it rotates
+// round-robin across the colours (lowest free PFN within each colour), so
+// a domain's pages spread evenly over its partition — the behaviour a
+// colouring kernel needs for its partition to be usable.
+type Allocator struct {
+	mem  *PhysMem
+	next []uint64 // per-color next candidate pfn, for O(1) amortised scans
+	free []bool
+	rr   int // round-robin rotation over the requested colour set
+}
+
+// NewAllocator constructs an allocator over all frames of m.
+func NewAllocator(m *PhysMem) *Allocator {
+	a := &Allocator{
+		mem:  m,
+		next: make([]uint64, m.numColors),
+		free: make([]bool, m.numFrames),
+	}
+	for c := range a.next {
+		a.next[c] = uint64(c)
+	}
+	for i := range a.free {
+		a.free[i] = true
+	}
+	return a
+}
+
+// Alloc allocates one frame for domain d. If colors is non-nil the frame's
+// colour must be in the set (the colouring policy); if nil any frame is
+// acceptable (colouring disabled).
+func (a *Allocator) Alloc(d hw.DomainID, colors ColorSet) (pfn uint64, err error) {
+	if colors == nil {
+		for p := uint64(0); p < uint64(a.mem.numFrames); p++ {
+			if a.free[p] {
+				a.take(p, d)
+				return p, nil
+			}
+		}
+		return 0, fmt.Errorf("mem: out of frames for domain %d", d)
+	}
+	sorted := colors.Sorted()
+	for _, c := range sorted {
+		if c < 0 || c >= a.mem.numColors {
+			return 0, fmt.Errorf("mem: colour %d out of range [0,%d)", c, a.mem.numColors)
+		}
+	}
+	for k := 0; k < len(sorted); k++ {
+		c := sorted[(a.rr+k)%len(sorted)]
+		for p := a.next[c]; p < uint64(a.mem.numFrames); p += uint64(a.mem.numColors) {
+			if a.free[p] {
+				a.next[c] = p
+				a.take(p, d)
+				a.rr = (a.rr + k + 1) % len(sorted)
+				return p, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("mem: out of frames in colours %v for domain %d", sorted, d)
+}
+
+// AllocN allocates n frames and returns their PFNs.
+func (a *Allocator) AllocN(d hw.DomainID, colors ColorSet, n int) ([]uint64, error) {
+	out := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := a.Alloc(d, colors)
+		if err != nil {
+			return nil, fmt.Errorf("mem: AllocN(%d) failed at frame %d: %w", n, i, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func (a *Allocator) take(pfn uint64, d hw.DomainID) {
+	a.free[pfn] = false
+	a.mem.setOwner(pfn, d)
+}
+
+// Free returns a frame to the allocator.
+func (a *Allocator) Free(pfn uint64) {
+	if pfn >= uint64(a.mem.numFrames) || a.free[pfn] {
+		return
+	}
+	a.free[pfn] = true
+	a.mem.setOwner(pfn, hw.NoOwner)
+	c := a.mem.Color(pfn)
+	if pfn < a.next[c] {
+		a.next[c] = pfn
+	}
+}
+
+// FreeCount returns the number of free frames.
+func (a *Allocator) FreeCount() int {
+	n := 0
+	for _, f := range a.free {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// PageTable maps a domain's virtual pages to physical frames. Page tables
+// are kernel data; the TLB caches their translations.
+type PageTable struct {
+	asidOwner hw.DomainID
+	entries   map[uint64]PTE
+	version   uint64
+}
+
+// PTE is a page-table entry.
+type PTE struct {
+	PFN      uint64
+	Writable bool
+	Global   bool
+}
+
+// NewPageTable constructs an empty page table for domain d.
+func NewPageTable(d hw.DomainID) *PageTable {
+	return &PageTable{asidOwner: d, entries: make(map[uint64]PTE)}
+}
+
+// Owner returns the owning domain.
+func (pt *PageTable) Owner() hw.DomainID { return pt.asidOwner }
+
+// Version counts mutations; the TLB-consistency checkers use it.
+func (pt *PageTable) Version() uint64 { return pt.version }
+
+// Map installs a translation.
+func (pt *PageTable) Map(vpn uint64, e PTE) {
+	pt.entries[vpn] = e
+	pt.version++
+}
+
+// Unmap removes a translation, reporting whether it existed.
+func (pt *PageTable) Unmap(vpn uint64) bool {
+	if _, ok := pt.entries[vpn]; !ok {
+		return false
+	}
+	delete(pt.entries, vpn)
+	pt.version++
+	return true
+}
+
+// Lookup resolves a VPN.
+func (pt *PageTable) Lookup(vpn uint64) (PTE, bool) {
+	e, ok := pt.entries[vpn]
+	return e, ok
+}
+
+// Translate resolves a full virtual address to a physical address.
+func (pt *PageTable) Translate(va hw.Addr) (hw.PAddr, bool) {
+	e, ok := pt.entries[hw.VPN(va)]
+	if !ok {
+		return 0, false
+	}
+	return hw.FrameBase(e.PFN) + hw.PAddr(hw.PageOffset(va)), true
+}
+
+// Size returns the number of mappings.
+func (pt *PageTable) Size() int { return len(pt.entries) }

@@ -1,0 +1,215 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"timeprot/internal/hw"
+)
+
+func TestColorArithmetic(t *testing.T) {
+	m := NewPhysMem(256, 64)
+	if m.Color(0) != 0 || m.Color(63) != 63 || m.Color(64) != 0 || m.Color(130) != 2 {
+		t.Fatal("colour must be PFN mod NumColors")
+	}
+}
+
+func TestAllocRespectsColorSet(t *testing.T) {
+	m := NewPhysMem(256, 64)
+	a := NewAllocator(m)
+	colors := NewColorSet(3, 5)
+	for i := 0; i < 6; i++ {
+		pfn, err := a.Alloc(1, colors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c := m.Color(pfn); !colors.Contains(c) {
+			t.Fatalf("allocated colour %d outside %v", c, colors.Sorted())
+		}
+		if m.Owner(pfn) != 1 {
+			t.Fatalf("owner not recorded")
+		}
+	}
+}
+
+func TestAllocDisjointColorSetsGiveDisjointFrames(t *testing.T) {
+	m := NewPhysMem(512, 64)
+	a := NewAllocator(m)
+	hi, err := a.AllocN(1, ColorRange(0, 32), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := a.AllocN(2, ColorRange(32, 64), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range hi {
+		if m.Color(p) >= 32 {
+			t.Fatalf("hi frame %d has colour %d", p, m.Color(p))
+		}
+	}
+	for _, p := range lo {
+		if m.Color(p) < 32 {
+			t.Fatalf("lo frame %d has colour %d", p, m.Color(p))
+		}
+	}
+}
+
+func TestAllocNilColorsTakesAnything(t *testing.T) {
+	m := NewPhysMem(8, 4)
+	a := NewAllocator(m)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 8; i++ {
+		pfn, err := a.Alloc(1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[pfn] {
+			t.Fatalf("frame %d allocated twice", pfn)
+		}
+		seen[pfn] = true
+	}
+	if _, err := a.Alloc(1, nil); err == nil {
+		t.Fatal("exhausted allocator must error")
+	}
+}
+
+func TestAllocExhaustionWithinColor(t *testing.T) {
+	m := NewPhysMem(8, 4) // colours 0..3, 2 frames each
+	a := NewAllocator(m)
+	cs := NewColorSet(2)
+	if _, err := a.AllocN(1, cs, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(1, cs); err == nil {
+		t.Fatal("colour 2 exhausted, Alloc must error")
+	}
+	// Other colours must still work.
+	if _, err := a.Alloc(1, NewColorSet(0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	m := NewPhysMem(8, 4)
+	a := NewAllocator(m)
+	pfn, err := a.Alloc(1, NewColorSet(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Free(pfn)
+	if m.Owner(pfn) != hw.NoOwner {
+		t.Fatal("freed frame keeps owner")
+	}
+	got, err := a.Alloc(2, NewColorSet(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != pfn {
+		t.Fatalf("expected reuse of lowest frame %d, got %d", pfn, got)
+	}
+	if a.FreeCount() != 7 {
+		t.Fatalf("free count %d, want 7", a.FreeCount())
+	}
+}
+
+func TestAllocDeterministic(t *testing.T) {
+	run := func() []uint64 {
+		m := NewPhysMem(128, 16)
+		a := NewAllocator(m)
+		out, err := a.AllocN(1, ColorRange(0, 8), 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a1, a2 := run(), run()
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("allocation order nondeterministic at %d: %d vs %d", i, a1[i], a2[i])
+		}
+	}
+}
+
+func TestColorSetOps(t *testing.T) {
+	a := ColorRange(0, 4)
+	b := ColorRange(4, 8)
+	if a.Intersects(b) {
+		t.Fatal("disjoint ranges must not intersect")
+	}
+	if !a.Intersects(NewColorSet(3, 9)) {
+		t.Fatal("sharing colour 3 must intersect")
+	}
+	got := NewColorSet(5, 1, 3).Sorted()
+	want := []int{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted = %v", got)
+		}
+	}
+}
+
+func TestAllocBadColor(t *testing.T) {
+	m := NewPhysMem(8, 4)
+	a := NewAllocator(m)
+	if _, err := a.Alloc(1, NewColorSet(7)); err == nil {
+		t.Fatal("out-of-range colour must error")
+	}
+}
+
+func TestPageTableMapUnmapTranslate(t *testing.T) {
+	pt := NewPageTable(1)
+	pt.Map(0x10, PTE{PFN: 0x99, Writable: true})
+	pa, ok := pt.Translate(hw.Addr(0x10<<hw.PageBits | 0x123))
+	if !ok || pa != hw.PAddr(0x99<<hw.PageBits|0x123) {
+		t.Fatalf("Translate = (%#x,%v)", pa, ok)
+	}
+	if v := pt.Version(); v != 1 {
+		t.Fatalf("version %d, want 1", v)
+	}
+	if !pt.Unmap(0x10) {
+		t.Fatal("Unmap existing must return true")
+	}
+	if pt.Unmap(0x10) {
+		t.Fatal("Unmap missing must return false")
+	}
+	if _, ok := pt.Translate(hw.Addr(0x10 << hw.PageBits)); ok {
+		t.Fatal("translation survived unmap")
+	}
+	if pt.Version() != 2 {
+		t.Fatalf("version %d, want 2 (unmap of missing VPN must not bump)", pt.Version())
+	}
+}
+
+// Property: an address translated through a PTE keeps its page offset and
+// lands in the mapped frame.
+func TestTranslatePreservesOffset(t *testing.T) {
+	f := func(vpn, pfn uint64, off uint16) bool {
+		vpn %= 1 << 20
+		pfn %= 1 << 20
+		pt := NewPageTable(1)
+		pt.Map(vpn, PTE{PFN: pfn})
+		va := hw.Addr(vpn<<hw.PageBits | uint64(off)%hw.PageSize)
+		pa, ok := pt.Translate(va)
+		return ok && hw.PFN(pa) == pfn && hw.PageOffset(hw.Addr(pa)) == hw.PageOffset(va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPanicsOnBadGeometry(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewPhysMem(0, 4) },
+		func() { NewPhysMem(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,99 @@
+// Package prefetch implements a reference-prediction (stride) prefetcher
+// state machine.
+//
+// Prefetcher state is core-local flushable state in the paper's taxonomy
+// (§4.1): it observes a domain's access pattern (secret-dependent
+// strides!) and changes later access latencies, so it must be reset on
+// domain switches.
+package prefetch
+
+import "timeprot/internal/hw"
+
+// Stride is a single-stream stride detector: after Threshold consecutive
+// accesses with the same line-granular stride it predicts the next line.
+type Stride struct {
+	// Threshold is the number of consecutive equal strides required
+	// before prefetching begins.
+	Threshold int
+
+	lastLine   uint64
+	stride     int64
+	confidence int
+	primed     bool
+	stats      Stats
+}
+
+// Stats accumulates prefetcher statistics.
+type Stats struct {
+	Observations uint64
+	Prefetches   uint64
+	Flushes      uint64
+}
+
+// New constructs a stride prefetcher that fires after threshold
+// consecutive same-stride accesses.
+func New(threshold int) *Stride {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Stride{Threshold: threshold}
+}
+
+// Stats returns a copy of the statistics.
+func (s *Stride) Stats() Stats { return s.stats }
+
+// Observe feeds one demand access (by virtual address) into the detector.
+// If the stride pattern is established it returns the virtual address of
+// the line to prefetch and ok=true; the caller (the core) performs the
+// actual fill through the cache hierarchy.
+func (s *Stride) Observe(va hw.Addr) (prefetchVA hw.Addr, ok bool) {
+	s.stats.Observations++
+	lineNum := hw.VLineIndex(va)
+	if !s.primed {
+		s.primed = true
+		s.lastLine = lineNum
+		return 0, false
+	}
+	d := int64(lineNum) - int64(s.lastLine)
+	s.lastLine = lineNum
+	if d == 0 {
+		return 0, false // same line: no new information
+	}
+	if d == s.stride {
+		if s.confidence < s.Threshold {
+			s.confidence++
+		}
+	} else {
+		s.stride = d
+		s.confidence = 1
+	}
+	if s.confidence >= s.Threshold {
+		next := int64(lineNum) + s.stride
+		if next < 0 {
+			return 0, false
+		}
+		s.stats.Prefetches++
+		return hw.Addr(uint64(next) << hw.LineBits), true
+	}
+	return 0, false
+}
+
+// Flush resets the detector to its defined initial state.
+func (s *Stride) Flush() {
+	s.lastLine = 0
+	s.stride = 0
+	s.confidence = 0
+	s.primed = false
+	s.stats.Flushes++
+}
+
+// Fingerprint digests the state for the flush invariant checker.
+func (s *Stride) Fingerprint() uint64 {
+	h := s.lastLine
+	h = h*31 + uint64(s.stride)
+	h = h*31 + uint64(s.confidence)
+	if s.primed {
+		h = h*31 + 1
+	}
+	return h
+}

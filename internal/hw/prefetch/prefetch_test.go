@@ -1,0 +1,114 @@
+package prefetch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"timeprot/internal/hw"
+	"timeprot/internal/rng"
+)
+
+func access(s *Stride, lineNum uint64) (hw.Addr, bool) {
+	return s.Observe(hw.Addr(lineNum << hw.LineBits))
+}
+
+func TestStrideDetection(t *testing.T) {
+	s := New(2)
+	if _, ok := access(s, 10); ok {
+		t.Fatal("first access must not prefetch")
+	}
+	if _, ok := access(s, 11); ok {
+		t.Fatal("one stride sample is below threshold")
+	}
+	va, ok := access(s, 12)
+	if !ok {
+		t.Fatal("established stride must prefetch")
+	}
+	if got := hw.VLineIndex(va); got != 13 {
+		t.Fatalf("prefetch line %d, want 13", got)
+	}
+}
+
+func TestNegativeStride(t *testing.T) {
+	s := New(2)
+	access(s, 100)
+	access(s, 98)
+	va, ok := access(s, 96)
+	if !ok {
+		t.Fatal("negative stride must be detected")
+	}
+	if got := hw.VLineIndex(va); got != 94 {
+		t.Fatalf("prefetch line %d, want 94", got)
+	}
+}
+
+func TestStrideChangeResetsConfidence(t *testing.T) {
+	s := New(2)
+	access(s, 10)
+	access(s, 11)
+	access(s, 12) // established, stride 1
+	if _, ok := access(s, 20); ok {
+		t.Fatal("stride break must reset confidence")
+	}
+	// Two consecutive samples of the new stride re-establish it, the
+	// same warm-up as initial detection.
+	va, ok := access(s, 28)
+	if !ok || hw.VLineIndex(va) != 36 {
+		t.Fatalf("new stride must re-establish: got ok=%v va-line=%d", ok, hw.VLineIndex(va))
+	}
+}
+
+func TestSameLineAccessesIgnored(t *testing.T) {
+	s := New(2)
+	access(s, 10)
+	access(s, 11)
+	if _, ok := access(s, 11); ok {
+		t.Fatal("same-line access should not prefetch")
+	}
+	// Pattern must still be established by the next stride-1 access.
+	va, ok := access(s, 12)
+	if !ok || hw.VLineIndex(va) != 13 {
+		t.Fatalf("got ok=%v line=%d", ok, hw.VLineIndex(va))
+	}
+}
+
+func TestFlushResetsState(t *testing.T) {
+	s := New(2)
+	fresh := New(2)
+	access(s, 10)
+	access(s, 11)
+	access(s, 12)
+	s.Flush()
+	if s.Fingerprint() != fresh.Fingerprint() {
+		t.Fatal("flush must restore initial state")
+	}
+	if _, ok := access(s, 13); ok {
+		t.Fatal("first post-flush access must not prefetch")
+	}
+}
+
+// Property: after Flush the fingerprint equals the fresh fingerprint for
+// any history — the defined-reset-state requirement of §4.1.
+func TestFlushPropertyHistoryIndependent(t *testing.T) {
+	want := New(3).Fingerprint()
+	f := func(seed uint64, n uint16) bool {
+		s := New(3)
+		r := rng.New(seed)
+		for i := 0; i < int(n%256); i++ {
+			s.Observe(hw.Addr(r.Uint64n(1 << 30)))
+		}
+		s.Flush()
+		return s.Fingerprint() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThresholdFloor(t *testing.T) {
+	s := New(0) // clamped to 1
+	access(s, 5)
+	if _, ok := access(s, 6); !ok {
+		t.Fatal("threshold 1 must prefetch on first stride")
+	}
+}

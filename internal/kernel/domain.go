@@ -1,0 +1,139 @@
+package kernel
+
+import (
+	"fmt"
+
+	"timeprot/internal/core"
+	"timeprot/internal/hw"
+	"timeprot/internal/hw/mem"
+	"timeprot/internal/hw/tlb"
+)
+
+// Domain is a security domain at run time: an address space, a kernel
+// image (shared or clone), an IRQ allocation, and threads.
+type Domain struct {
+	// ID is the domain's identifier (index into System.domains).
+	ID hw.DomainID
+	// Spec is the designer-provided policy.
+	Spec core.DomainSpec
+	// ASID tags this domain's TLB entries.
+	ASID tlb.ASID
+	// PT is the domain's page table.
+	PT *mem.PageTable
+	// Image is the kernel image this domain traps into.
+	Image *KernelImage
+	// Threads are the domain's threads, in spawn order.
+	Threads []*Thread
+
+	codePages, heapPages int
+}
+
+// CodeBase returns the first virtual address of the domain's code.
+func (d *Domain) CodeBase() hw.Addr { return hw.Addr(UserCodeVPN << hw.PageBits) }
+
+// HeapBase returns the first virtual address of the domain's heap.
+func (d *Domain) HeapBase() hw.Addr { return hw.Addr(UserHeapVPN << hw.PageBits) }
+
+// HeapBytes returns the size of the heap in bytes.
+func (d *Domain) HeapBytes() uint64 { return uint64(d.heapPages) * hw.PageSize }
+
+// HeapAddr returns the virtual address of byte offset off within the
+// heap. It panics if off is out of range — attack programs index their
+// probe buffers with it and an out-of-range index is a harness bug, not
+// a runtime condition.
+func (d *Domain) HeapAddr(off uint64) hw.Addr {
+	if off >= d.HeapBytes() {
+		panic(fmt.Sprintf("kernel: heap offset %#x out of range (%d pages)", off, d.heapPages))
+	}
+	return d.HeapBase() + hw.Addr(off)
+}
+
+// CodeAddr returns the virtual address of byte offset off within the
+// domain's code region, wrapped to its size.
+func (d *Domain) CodeAddr(off uint64) hw.Addr {
+	return d.CodeBase() + hw.Addr(off%uint64(d.codePages*hw.PageSize))
+}
+
+// buildDomain allocates a domain's memory and page table under the
+// protection configuration: coloured frames when colouring is armed, a
+// kernel clone when cloning is armed, the shared image otherwise.
+func buildDomain(
+	id hw.DomainID,
+	spec core.DomainSpec,
+	cfg core.Config,
+	alloc *mem.Allocator,
+	shared *KernelImage,
+	globalPFN uint64,
+) (*Domain, error) {
+	var colors mem.ColorSet
+	if cfg.ColorUserMemory {
+		colors = spec.Colors
+	}
+	d := &Domain{
+		ID:        id,
+		Spec:      spec,
+		ASID:      tlb.ASIDForDomain(id),
+		PT:        mem.NewPageTable(id),
+		codePages: spec.CodePages,
+		heapPages: spec.HeapPages,
+	}
+
+	// User code and heap.
+	codePFNs, err := alloc.AllocN(id, colors, spec.CodePages)
+	if err != nil {
+		return nil, fmt.Errorf("kernel: domain %s code: %w", spec.Name, err)
+	}
+	for i, pfn := range codePFNs {
+		d.PT.Map(UserCodeVPN+uint64(i), mem.PTE{PFN: pfn})
+	}
+	heapPFNs, err := alloc.AllocN(id, colors, spec.HeapPages)
+	if err != nil {
+		return nil, fmt.Errorf("kernel: domain %s heap: %w", spec.Name, err)
+	}
+	for i, pfn := range heapPFNs {
+		d.PT.Map(UserHeapVPN+uint64(i), mem.PTE{PFN: pfn, Writable: true})
+	}
+
+	// Kernel image: clone into the domain's colours, or map the shared
+	// image. Clone mappings are per-ASID; shared-image mappings are
+	// global TLB entries, exactly the read-only sharing that creates
+	// the kernel-text channel (§4.2).
+	if cfg.CloneKernel {
+		img, err := buildKernelImage(alloc, id, colors)
+		if err != nil {
+			return nil, err
+		}
+		d.Image = img
+		for i, pfn := range img.TextPFNs {
+			d.PT.Map(KernelTextVPN+uint64(i), mem.PTE{PFN: pfn})
+		}
+	} else {
+		d.Image = shared
+		for i, pfn := range shared.TextPFNs {
+			d.PT.Map(KernelTextVPN+uint64(i), mem.PTE{PFN: pfn, Global: true})
+		}
+	}
+
+	// Kernel global data: one shared page, mapped global, accessed
+	// deterministically on every entry (§5.2 Case 2a).
+	d.PT.Map(KernelGlobalVPN, mem.PTE{PFN: globalPFN, Writable: true, Global: true})
+
+	// Per-domain kernel data.
+	kdPFN, err := alloc.Alloc(id, colors)
+	if err != nil {
+		return nil, fmt.Errorf("kernel: domain %s kernel data: %w", spec.Name, err)
+	}
+	d.PT.Map(KernelDomainDataVPN, mem.PTE{PFN: kdPFN, Writable: true})
+
+	return d, nil
+}
+
+// ownsIRQ reports whether the domain owns interrupt line.
+func (d *Domain) ownsIRQ(line int) bool {
+	for _, l := range d.Spec.IRQLines {
+		if l == line {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,127 @@
+package kernel
+
+import (
+	"timeprot/internal/hw"
+	"timeprot/internal/hw/clock"
+	"timeprot/internal/hw/platform"
+)
+
+// cpuState is the kernel's per-logical-CPU scheduling state. It
+// implements an seL4-style domain scheduler: a fixed round-robin sequence
+// of domain slices; threads within the current domain run round-robin
+// and switching between them is an ordinary (unflushed, unpadded)
+// context switch (§4.2).
+type cpuState struct {
+	lcpu *platform.LogicalCPU
+
+	// schedule is the repeating domain sequence for this CPU.
+	schedule []hw.DomainID
+	schedIdx int
+
+	// curDomain is the domain whose slice is active.
+	curDomain hw.DomainID
+	// cur is the running thread, nil when the domain idles.
+	cur *Thread
+	// sliceStart/sliceEnd delimit the current slice.
+	sliceStart, sliceEnd uint64
+
+	// runQ holds Ready threads per domain, in round-robin order.
+	runQ map[hw.DomainID][]*Thread
+
+	// epochs counts begun slices per domain on this CPU, read by the
+	// Epoch user operation.
+	epochs map[hw.DomainID]uint64
+
+	// started is set once the first slice has begun.
+	started bool
+	// lastSeq orders CPUs with equal clocks (SMT siblings share a
+	// clock) for deterministic round-robin interleaving.
+	lastSeq uint64
+	// done is set when this CPU will never run anything again.
+	done bool
+}
+
+// clk returns the CPU's cycle clock. SMT siblings share it.
+func (st *cpuState) clk() *clock.Clock { return &st.lcpu.Core.Clock }
+
+// bumpEpoch records the start of a new slice for domain d.
+func (st *cpuState) bumpEpoch(d hw.DomainID) {
+	if st.epochs == nil {
+		st.epochs = make(map[hw.DomainID]uint64)
+	}
+	st.epochs[d]++
+}
+
+// enqueue appends a thread to its domain's ready queue on this CPU.
+func (st *cpuState) enqueue(t *Thread) {
+	st.runQ[t.Domain.ID] = append(st.runQ[t.Domain.ID], t)
+}
+
+// nextReady removes and returns the first thread of domain d that is
+// Ready and whose wakeAt gate has passed, rotating over the queue. It
+// returns nil if none is eligible at now.
+func (st *cpuState) nextReady(d hw.DomainID, now uint64) *Thread {
+	q := st.runQ[d]
+	for i := 0; i < len(q); i++ {
+		t := q[i]
+		if t.state == threadReady && t.wakeAt <= now {
+			rest := make([]*Thread, 0, len(q)-1)
+			rest = append(rest, q[:i]...)
+			rest = append(rest, q[i+1:]...)
+			st.runQ[d] = rest
+			return t
+		}
+	}
+	return nil
+}
+
+// earliestWake returns the soonest wakeAt among Ready-but-gated threads
+// of domain d, and whether one exists.
+func (st *cpuState) earliestWake(d hw.DomainID) (uint64, bool) {
+	var best uint64
+	found := false
+	for _, t := range st.runQ[d] {
+		if t.state == threadReady {
+			if !found || t.wakeAt < best {
+				best = t.wakeAt
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// hasLiveThreads reports whether any thread of domain d on this CPU can
+// ever run again (Ready, Running, or Blocked-awaiting-rendezvous).
+func (st *cpuState) hasLiveThreads(d hw.DomainID) bool {
+	if st.cur != nil && st.cur.Domain.ID == d && st.cur.state == threadRunning {
+		return true
+	}
+	for _, t := range st.runQ[d] {
+		if t.state != threadExited {
+			return true
+		}
+	}
+	return false
+}
+
+// anyLive reports whether any thread on this CPU can ever run again.
+func (st *cpuState) anyLive() bool {
+	if st.cur != nil && st.cur.state == threadRunning {
+		return true
+	}
+	for _, q := range st.runQ {
+		for _, t := range q {
+			if t.state != threadExited {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// nextDomainIdx returns the schedule index of the next domain after the
+// current one.
+func (st *cpuState) nextDomainIdx() int {
+	return (st.schedIdx + 1) % len(st.schedule)
+}

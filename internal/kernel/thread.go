@@ -1,0 +1,275 @@
+package kernel
+
+import (
+	"fmt"
+
+	"timeprot/internal/hw"
+)
+
+// ThreadID identifies a thread within a System.
+type ThreadID int
+
+// threadState is a thread's scheduling state.
+type threadState int
+
+const (
+	threadReady threadState = iota
+	threadRunning
+	threadBlocked // waiting in an endpoint queue or gated by wakeAt
+	threadExited
+)
+
+func (s threadState) String() string {
+	switch s {
+	case threadReady:
+		return "ready"
+	case threadRunning:
+		return "running"
+	case threadBlocked:
+		return "blocked"
+	case threadExited:
+		return "exited"
+	default:
+		return fmt.Sprintf("threadState(%d)", int(s))
+	}
+}
+
+// opKind enumerates the operations a thread can request of the machine.
+type opKind int
+
+const (
+	opRead opKind = iota
+	opWrite
+	opCompute
+	opNow
+	opBranch
+	opSend
+	opRecv
+	opStartIO
+	opYield
+	opEpoch
+	opNull
+	opExit
+)
+
+// request is one operation posted by a thread goroutine to the event
+// loop.
+type request struct {
+	kind  opKind
+	addr  hw.Addr // read/write target, branch pc
+	n     uint64  // compute cycles / send payload / IO delay
+	arg   int     // endpoint ID, IRQ line
+	taken bool    // branch outcome
+}
+
+// response is the event loop's reply: what the thread observes.
+type response struct {
+	// latency is the operation's cost in cycles as seen by the thread
+	// (for blocking operations: from request to resumption).
+	latency uint64
+	// now is the core clock when the operation completed. This is the
+	// thread's only view of time — the simulated cycle counter.
+	now uint64
+	// val is the received payload (Recv) or other result value.
+	val uint64
+	// err is a fault (e.g. unmapped address).
+	err error
+}
+
+// Thread is a schedulable execution context bound to a domain and a
+// logical CPU.
+type Thread struct {
+	ID     ThreadID
+	Name   string
+	Domain *Domain
+	// CPU is the logical CPU index the thread is pinned to.
+	CPU int
+
+	fn func(*UserCtx)
+
+	req  chan request
+	resp chan response
+
+	state threadState
+	// wakeAt gates a Ready thread: it may not be dispatched before the
+	// core clock reaches wakeAt (deterministic IPC delivery, §3.2).
+	wakeAt uint64
+	// pendingResp, if non-nil, is delivered when the thread is next
+	// dispatched (completion of a blocking operation).
+	pendingResp *response
+	// pendingReq is the thread's next operation, pre-fetched by the
+	// event loop right after responding so that user code executes in
+	// strict lockstep with the simulation (no two thread goroutines
+	// ever run concurrently).
+	pendingReq *request
+	// begun is set when the thread has been dispatched for the first
+	// time; before that its goroutine waits and runs no user code.
+	begun bool
+	// sendTime and sendSliceStart record a blocked sender's context
+	// for the delivery-time rule.
+	sendTime       uint64
+	sendSliceStart uint64
+	sendPayload    uint64
+
+	// pc is the synthetic program counter: each operation fetches one
+	// code line and advances it (wrapping over the code region).
+	pc hw.Addr
+
+	// Cycles accumulates the cycles this thread consumed, for the
+	// utilisation accounting of §4.3 (busy-loop versus interim-process
+	// padding).
+	Cycles uint64
+
+	// Err records a panic raised by the thread's function.
+	Err error
+}
+
+// State returns the thread's scheduling state (for tests and reports).
+func (t *Thread) State() string { return t.state.String() }
+
+// killSentinel unwinds a thread goroutine when the system shuts down.
+type killSentinel struct{}
+
+// UserCtx is the interface a thread's program uses to interact with the
+// simulated machine. Every method is an "instruction" whose latency is
+// determined by the microarchitectural state; the returned latencies and
+// Now() values are the only clocks available to the program — precisely
+// the attacker's observational power in the paper's threat model (§3).
+//
+// UserCtx methods must only be called from the thread's own goroutine.
+type UserCtx struct {
+	t    *Thread
+	sys  *System
+	kill <-chan struct{}
+}
+
+// call posts a request and waits for the event loop's response.
+func (c *UserCtx) call(r request) response {
+	c.t.req <- r
+	select {
+	case resp := <-c.t.resp:
+		if resp.err != nil {
+			panic(resp.err)
+		}
+		return resp
+	case <-c.kill:
+		panic(killSentinel{})
+	}
+}
+
+// Read loads the byte at virtual address va and returns the access
+// latency in cycles — the prime-and-probe measurement primitive.
+func (c *UserCtx) Read(va hw.Addr) uint64 {
+	return c.call(request{kind: opRead, addr: va}).latency
+}
+
+// Write stores to virtual address va and returns the access latency.
+// Writes dirty cache lines, lengthening a later flush (§4.2).
+func (c *UserCtx) Write(va hw.Addr) uint64 {
+	return c.call(request{kind: opWrite, addr: va}).latency
+}
+
+// ReadHeap is Read at byte offset off within the domain's heap.
+func (c *UserCtx) ReadHeap(off uint64) uint64 {
+	return c.Read(c.t.Domain.HeapAddr(off))
+}
+
+// WriteHeap is Write at byte offset off within the domain's heap.
+func (c *UserCtx) WriteHeap(off uint64) uint64 {
+	return c.Write(c.t.Domain.HeapAddr(off))
+}
+
+// Compute spends n cycles of pure computation (no memory access beyond
+// the instruction fetch).
+func (c *UserCtx) Compute(n uint64) {
+	c.call(request{kind: opCompute, n: n})
+}
+
+// Now returns the core's cycle counter — the rdtsc analogue.
+func (c *UserCtx) Now() uint64 {
+	return c.call(request{kind: opNow}).now
+}
+
+// Branch executes a conditional branch at code offset pcOff with the
+// given outcome and returns its latency (1 cycle predicted, the
+// misprediction penalty otherwise).
+func (c *UserCtx) Branch(pcOff uint64, taken bool) uint64 {
+	return c.call(request{kind: opBranch, addr: c.t.Domain.CodeAddr(pcOff), taken: taken}).latency
+}
+
+// Send performs a synchronous IPC send of payload val on endpoint ep,
+// blocking until a receiver rendezvouses.
+func (c *UserCtx) Send(ep int, val uint64) {
+	c.call(request{kind: opSend, arg: ep, n: val})
+}
+
+// Recv performs a synchronous IPC receive on endpoint ep, blocking until
+// a message is delivered. It returns the payload and the cycle count at
+// delivery — the receiver's timing observation of the sender.
+func (c *UserCtx) Recv(ep int) (val uint64, at uint64) {
+	r := c.call(request{kind: opRecv, arg: ep})
+	return r.val, r.now
+}
+
+// StartIO programs the device on IRQ line to raise its completion
+// interrupt delay cycles from now — the Trojan's tool for the interrupt
+// channel (§4.2).
+func (c *UserCtx) StartIO(line int, delay uint64) {
+	c.call(request{kind: opStartIO, arg: line, n: delay})
+}
+
+// Yield gives up the CPU to the next ready thread of the same domain (an
+// intra-domain context switch: no flush, no padding — §4.2), or lets the
+// domain idle if none is ready.
+func (c *UserCtx) Yield() {
+	c.call(request{kind: opYield})
+}
+
+// Epoch returns the number of time slices this thread's domain has begun
+// on its CPU — the analogue of a cheap virtual counter an attacker would
+// calibrate from observed scheduling patterns. Attack harnesses use it to
+// align transmission rounds with slices; it carries no information beyond
+// what Now() already reveals.
+func (c *UserCtx) Epoch() uint64 {
+	return c.call(request{kind: opEpoch}).val
+}
+
+// NullSyscall performs a syscall that does nothing but enter and exit the
+// kernel — the probe for timing the kernel's own text (the kernel-image
+// channel, §4.2).
+func (c *UserCtx) NullSyscall() uint64 {
+	return c.call(request{kind: opNull}).latency
+}
+
+// HeapBytes returns the size of the domain's heap.
+func (c *UserCtx) HeapBytes() uint64 { return c.t.Domain.HeapBytes() }
+
+// HeapAddr resolves a heap offset to a virtual address.
+func (c *UserCtx) HeapAddr(off uint64) hw.Addr { return c.t.Domain.HeapAddr(off) }
+
+// DomainName returns the owning domain's name.
+func (c *UserCtx) DomainName() string { return c.t.Domain.Spec.Name }
+
+// run is the thread goroutine body: it executes the user function and
+// converts its termination (return or panic) into an exit request.
+func (t *Thread) run(sys *System) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isKill := r.(killSentinel); isKill {
+				return // system shut down; do not touch channels
+			}
+			t.Err = fmt.Errorf("kernel: thread %s panicked: %v", t.Name, r)
+		}
+		t.req <- request{kind: opExit}
+	}()
+	// Run no user code until first dispatched: this keeps all user
+	// code serialised by the event loop, so programs (and tests) may
+	// safely share state across threads — ordering is deterministic.
+	select {
+	case <-t.resp:
+	case <-sys.killAll:
+		panic(killSentinel{})
+	}
+	ctx := &UserCtx{t: t, sys: sys, kill: sys.killAll}
+	t.fn(ctx)
+}

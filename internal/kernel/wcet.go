@@ -1,0 +1,80 @@
+package kernel
+
+import (
+	"timeprot/internal/hw"
+	"timeprot/internal/hw/cpu"
+	"timeprot/internal/hw/platform"
+)
+
+// This file is the "separate analysis" the paper's proof assumes for the
+// padding value (§5.2: "under the assumption that the padding value,
+// obtained by a separate analysis, is sufficient"): a static worst-case
+// bound on everything that can delay the next domain's dispatch past the
+// slice end.
+//
+// The bound covers, in protocol order:
+//
+//   - preemption-handling jitter: the timer is recognised only at an
+//     operation boundary, so the longest single user operation (a
+//     TLB-missing, memory-missing instruction fetch plus an equally cold
+//     data access) can push the switch entry past the slice end (§4.2:
+//     padding "needs to account for any delay of the handling of the
+//     preemption-timer interrupt");
+//   - a device interrupt delivered at the boundary (entry + ack + exit);
+//   - the switch's own kernel entry through the outgoing image;
+//   - the full flush: every L1-D and L2 line dirty;
+//   - the pre-warming of the incoming image's exit path.
+//
+// Every memory access is costed at its worst: TLB walk plus misses at
+// every level plus worst-case bus queueing behind every other core.
+
+// wcetAccess is the worst cost of a single memory access.
+func wcetAccess(lat hw.Latency, cores int) uint64 {
+	// A cold access misses L1, L2 and LLC, walks the page table, and
+	// queues behind one in-flight transfer per other core.
+	return lat.PageWalk + lat.L1Hit + lat.L2Hit + lat.LLCHit +
+		lat.Mem + lat.BusBeat*uint64(cores)
+}
+
+// wcetKernelEntry bounds a kernel entry (any trap).
+func wcetKernelEntry(lat hw.Latency, cores int) uint64 {
+	accesses := uint64(kernelEntryLines + kernelTrapLines + kernelGlobalDataLines + kernelDomainDataLines)
+	return lat.KernelEntry + accesses*wcetAccess(lat, cores)
+}
+
+// wcetKernelExit bounds the return-to-user path.
+func wcetKernelExit(lat hw.Latency, cores int) uint64 {
+	return lat.KernelExit + uint64(kernelExitLines)*wcetAccess(lat, cores)
+}
+
+// RecommendPad returns a static upper bound on the domain-switch work
+// for the given platform, suitable as DomainSpec.PadCycles. It is
+// deliberately conservative: every access cold, every cache line dirty,
+// an interrupt arriving at the worst moment. T11 compares it against
+// measured worst cases; the padding checker verifies no overrun ever
+// occurs under it.
+func RecommendPad(pcfg platform.Config) uint64 {
+	lat := pcfg.Lat
+	cores := pcfg.Cores
+
+	// Longest single user operation: instruction fetch plus data
+	// access, both fully cold, plus a mispredicted branch.
+	opJitter := 2*wcetAccess(lat, cores) + lat.Mispredict
+
+	// A device interrupt recognised just before the switch.
+	irq := wcetKernelEntry(lat, cores) + lat.IRQAck + wcetKernelExit(lat, cores)
+
+	// The switch protocol itself.
+	entry := wcetKernelEntry(lat, cores)
+	maxDirty := uint64(coreLines(pcfg.Core))
+	flush := lat.FlushBase + maxDirty*lat.FlushPerDirtyLine
+	exit := wcetKernelExit(lat, cores)
+
+	return opJitter + irq + entry + flush + exit
+}
+
+// coreLines counts the lines of the flushable write-back caches — the
+// maximum possible dirty count.
+func coreLines(c cpu.Config) int {
+	return c.L1DSets*c.L1DWays + c.L2Sets*c.L2Ways
+}

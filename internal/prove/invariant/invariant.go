@@ -1,0 +1,330 @@
+// Package invariant checks, on the CONCRETE simulator, the functional
+// properties that the paper reduces time protection to (§5): correct
+// partitioning (an invariant about cache-set ownership), correct flushing
+// (the defined reset state actually reached on every switch), correct
+// padding (verified "by simply comparing time stamps"), interrupt
+// partitioning, kernel-clone colour disjointness, and the §5.3 TLB
+// theorem. These are the refinement obligations that justify the
+// abstract model internal/prove/absmodel: each abstract resource's
+// claimed behaviour is validated against the real (simulated) hardware.
+package invariant
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+
+	"timeprot/internal/core"
+	"timeprot/internal/hw"
+	"timeprot/internal/hw/cpu"
+	"timeprot/internal/hw/tlb"
+	"timeprot/internal/kernel"
+	"timeprot/internal/rng"
+	"timeprot/internal/trace"
+)
+
+// maxViolations caps recorded violation details per finding.
+const maxViolations = 8
+
+// Finding is one checked property.
+type Finding struct {
+	// Name identifies the property.
+	Name string
+	// Pass is the verdict.
+	Pass bool
+	// Detail summarises what was checked.
+	Detail string
+	// Violations lists up to maxViolations concrete violations.
+	Violations []string
+}
+
+func (f *Finding) violate(format string, args ...interface{}) {
+	f.Pass = false
+	if len(f.Violations) < maxViolations {
+		f.Violations = append(f.Violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// Report aggregates findings.
+type Report struct {
+	Findings []Finding
+}
+
+// Pass reports whether every finding passed.
+func (r Report) Pass() bool {
+	for _, f := range r.Findings {
+		if !f.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the report.
+func (r Report) String() string {
+	var b strings.Builder
+	for _, f := range r.Findings {
+		mark := "PASS"
+		if !f.Pass {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "[%s] %-24s %s\n", mark, f.Name, f.Detail)
+		for _, v := range f.Violations {
+			fmt.Fprintf(&b, "       - %s\n", v)
+		}
+	}
+	return b.String()
+}
+
+// FlushMonitor verifies, at every domain switch, that all core-local
+// flushable state is in its defined, history-independent reset state —
+// the §4.1 requirement made checkable. Install before Run.
+type FlushMonitor struct {
+	fresh   map[int]uint64 // core ID -> reset fingerprint
+	checks  int
+	finding Finding
+}
+
+// NewFlushMonitor installs a flush monitor on sys. It must be called
+// before Run, while the cores are still in their reset state.
+func NewFlushMonitor(sys *kernel.System) *FlushMonitor {
+	m := &FlushMonitor{
+		fresh:   make(map[int]uint64),
+		finding: Finding{Name: "flush-on-switch", Pass: true},
+	}
+	for _, c := range sys.Machine().Cores {
+		m.fresh[c.ID()] = c.FlushableFingerprint()
+	}
+	sys.SetSwitchInspector(func(cpuIndex int, c *cpu.Core) {
+		m.checks++
+		if got := c.FlushableFingerprint(); got != m.fresh[c.ID()] {
+			m.finding.violate("cpu %d switch %d: flushable fingerprint %#x != reset %#x",
+				cpuIndex, m.checks, got, m.fresh[c.ID()])
+		}
+	})
+	return m
+}
+
+// Finding returns the verdict after the run.
+func (m *FlushMonitor) Finding() Finding {
+	f := m.finding
+	f.Detail = fmt.Sprintf("%d switches inspected", m.checks)
+	if m.checks == 0 {
+		f.Pass = false
+		f.Violations = append(f.Violations, "no switches observed")
+	}
+	return f
+}
+
+// CheckPartitioning verifies the colouring invariant on the LLC: every
+// valid line in a set of colour c is owned by the unique domain holding
+// colour c (or by the kernel, in its reserved colour). This is the
+// "functional property (namely an invariant about correct partitioning)"
+// of §5 — checkable with no reference to time.
+func CheckPartitioning(sys *kernel.System) Finding {
+	f := Finding{Name: "llc-partitioning", Pass: true}
+	llc := sys.Machine().LLC
+	colors := llc.Config().Colors()
+
+	owner := make(map[int]hw.DomainID, colors) // colour -> allowed domain
+	for c := 0; c < colors; c++ {
+		owner[c] = hw.NoOwner
+	}
+	for _, d := range sys.Domains() {
+		for c := range d.Spec.Colors {
+			owner[c] = d.ID
+		}
+	}
+	owner[core.KernelReservedColor] = hw.KernelOwner
+
+	sets := llc.Config().Sets
+	occupied := 0
+	for set := 0; set < sets; set++ {
+		owners := llc.OwnersInSet(set)
+		if len(owners) > 0 {
+			occupied++
+		}
+		allowed := owner[llc.SetColor(set)]
+		for _, o := range owners {
+			if o != allowed {
+				f.violate("set %d (colour %d): line owned by %d, colour belongs to %d",
+					set, llc.SetColor(set), o, allowed)
+			}
+		}
+	}
+	f.Detail = fmt.Sprintf("%d/%d sets occupied, %d colours", occupied, sets, colors)
+	return f
+}
+
+// CheckPadding verifies padding correctness by timestamp comparison (§5):
+// for every switched-from domain, the steady-state interval from slice
+// start to next-domain dispatch is a single constant, and no overrun was
+// recorded.
+func CheckPadding(sys *kernel.System) Finding {
+	f := Finding{Name: "padding-constant", Pass: true}
+	tr := sys.Trace()
+	if tr == nil {
+		f.Pass = false
+		f.Detail = "tracing disabled"
+		return f
+	}
+	type key struct {
+		cpu  int
+		from hw.DomainID
+	}
+	deltas := make(map[key]map[uint64]int)
+	seen := make(map[key]int)
+	for _, e := range tr.Filter(trace.SwitchEnd) {
+		k := key{cpu: e.CPU, from: e.From}
+		seen[k]++
+		if seen[k] <= 2 {
+			continue // cold-start dispatches may differ (incoming image cold)
+		}
+		if deltas[k] == nil {
+			deltas[k] = make(map[uint64]int)
+		}
+		deltas[k][e.Cycle-e.AuxCycle]++
+	}
+	n := 0
+	for k, ds := range deltas {
+		n += len(ds)
+		if len(ds) > 1 {
+			f.violate("cpu %d from domain %d: %d distinct dispatch deltas %v", k.cpu, k.from, len(ds), keysOf(ds))
+		}
+	}
+	if over := len(tr.Filter(trace.PadOverrun)); over > 0 {
+		f.violate("%d padding/delivery overruns recorded", over)
+	}
+	f.Detail = fmt.Sprintf("%d steady-state delta classes", n)
+	return f
+}
+
+func keysOf(m map[uint64]int) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// CheckIRQPartition verifies that every delivered interrupt was delivered
+// while its owning domain was current (§4.2).
+func CheckIRQPartition(sys *kernel.System) Finding {
+	f := Finding{Name: "irq-partitioning", Pass: true}
+	tr := sys.Trace()
+	if tr == nil {
+		f.Pass = false
+		f.Detail = "tracing disabled"
+		return f
+	}
+	owners := make(map[int]hw.DomainID)
+	for _, d := range sys.Domains() {
+		for _, line := range d.Spec.IRQLines {
+			owners[line] = d.ID
+		}
+	}
+	n := 0
+	for _, e := range tr.Filter(trace.IRQDeliver) {
+		n++
+		if own, ok := owners[e.Aux]; ok && own != e.To {
+			f.violate("line %d (owner %d) delivered during domain %d at cycle %d", e.Aux, own, e.To, e.Cycle)
+		}
+	}
+	f.Detail = fmt.Sprintf("%d deliveries checked", n)
+	return f
+}
+
+// CheckCloneDisjoint verifies the kernel-clone colour property: each
+// domain's kernel image lives entirely within that domain's colours, so
+// no two domains' kernel text can ever share an LLC set (§4.2).
+func CheckCloneDisjoint(sys *kernel.System) Finding {
+	f := Finding{Name: "clone-colour-disjoint", Pass: true}
+	m := sys.Machine()
+	images := 0
+	for _, d := range sys.Domains() {
+		if d.Image.Owner == hw.KernelOwner {
+			f.violate("domain %s uses the shared kernel image", d.Spec.Name)
+			continue
+		}
+		images++
+		for _, pfn := range d.Image.TextPFNs {
+			if c := m.Mem.Color(pfn); !d.Spec.Colors.Contains(c) {
+				f.violate("domain %s image frame %d has colour %d outside its allocation", d.Spec.Name, pfn, c)
+			}
+		}
+	}
+	f.Detail = fmt.Sprintf("%d cloned images checked", images)
+	return f
+}
+
+// CheckTLBTheorem is the §5.3 Syeda-Klein partitioning theorem as an
+// executable check: arbitrary page-table operations (refills,
+// invalidations, per-ASID flushes) under one ASID never change another
+// ASID's translations or TLB view, provided capacity does not force
+// evictions (the capacity effect is exactly why the TLB is flushable
+// state for timing purposes).
+func CheckTLBTheorem(trials int, seed uint64) Finding {
+	f := Finding{Name: "tlb-asid-theorem", Pass: true}
+	r := rng.New(seed)
+	const a, b = tlb.ASID(1), tlb.ASID(2)
+	for trial := 0; trial < trials; trial++ {
+		tl := tlb.New(64)
+		for i := 0; i < 8; i++ {
+			tl.Refill(b, uint64(0x100+i), uint64(0x900+i), false)
+		}
+		before := tl.Snapshot(b)
+		for i := 0; i < 200; i++ {
+			switch r.Intn(4) {
+			case 0:
+				tl.Refill(a, r.Uint64n(32), r.Uint64n(1024), false)
+			case 1:
+				tl.InvalidateVPN(a, r.Uint64n(32))
+			case 2:
+				tl.FlushASID(a)
+			case 3:
+				tl.Lookup(a, r.Uint64n(32))
+			}
+		}
+		if !reflect.DeepEqual(before, tl.Snapshot(b)) {
+			f.violate("trial %d: ASID %d activity changed ASID %d's view", trial, a, b)
+		}
+		for i := 0; i < 8; i++ {
+			pfn, hit := tl.Lookup(b, uint64(0x100+i))
+			if !hit || pfn != uint64(0x900+i) {
+				f.violate("trial %d: translation %d corrupted", trial, i)
+			}
+		}
+	}
+	f.Detail = fmt.Sprintf("%d trials, 200 ops each", trials)
+	return f
+}
+
+// CheckSystem runs all post-run checks appropriate to the system's
+// protection configuration, plus the flush monitor's verdict if one was
+// installed.
+func CheckSystem(sys *kernel.System, fm *FlushMonitor) Report {
+	var r Report
+	prot := sys.Protection()
+	if fm != nil && prot.FlushOnSwitch {
+		r.Findings = append(r.Findings, fm.Finding())
+	}
+	if prot.ColorUserMemory && prot.CloneKernel {
+		r.Findings = append(r.Findings, CheckPartitioning(sys))
+	}
+	if prot.PadSwitch {
+		r.Findings = append(r.Findings, CheckPadding(sys))
+	}
+	if prot.PartitionIRQs {
+		r.Findings = append(r.Findings, CheckIRQPartition(sys))
+	}
+	if prot.CloneKernel && prot.ColorUserMemory {
+		r.Findings = append(r.Findings, CheckCloneDisjoint(sys))
+	}
+	r.Findings = append(r.Findings, CheckTLBTheorem(50, 97))
+	return r
+}

@@ -1,0 +1,165 @@
+package invariant
+
+import (
+	"fmt"
+
+	"timeprot/internal/core"
+	"timeprot/internal/hw/mem"
+	"timeprot/internal/hw/platform"
+	"timeprot/internal/kernel"
+)
+
+// This file lifts the noninterference statement from the abstract model
+// to the CONCRETE simulator: run the same Lo program twice against two
+// different Hi programs on two identically-built systems, and compare
+// every timing observation Lo makes — each operation's completion-time
+// reading. The simulator is deterministic, so under full protection the
+// two observation sequences must be bit-identical; any divergence is a
+// concrete timing channel, found without statistics.
+
+// NIResult is the outcome of a two-run comparison.
+type NIResult struct {
+	// Equal is true when Lo's observation sequences are identical.
+	Equal bool
+	// DivergeIndex is the first differing observation when !Equal.
+	DivergeIndex int
+	// A and B are the diverging observations.
+	A, B uint64
+	// Observations is the sequence length compared.
+	Observations int
+}
+
+// String renders the result.
+func (r NIResult) String() string {
+	if r.Equal {
+		return fmt.Sprintf("NONINTERFERENT (%d observations identical)", r.Observations)
+	}
+	return fmt.Sprintf("INTERFERENCE at observation %d: %d vs %d", r.DivergeIndex, r.A, r.B)
+}
+
+// TwoRunNI builds two identical uniprocessor systems under prot, runs
+// hiA in one and hiB in the other alongside the same Lo observer
+// program, and compares Lo's complete timing view. The Lo observer mixes
+// user reads, branches, syscalls and clock reads, so every §5.2 case is
+// exercised.
+func TwoRunNI(prot core.Config, hiA, hiB func(*kernel.UserCtx), loOps int) (NIResult, error) {
+	run := func(hi func(*kernel.UserCtx)) ([]uint64, error) {
+		pcfg := platform.DefaultConfig()
+		pcfg.Cores = 1
+		// A tiny LLC (64 KiB, 4 colours, 4 ways) so that a domain's
+		// working set genuinely thrashes it within a few slices:
+		// without colouring, Hi's sweeps then evict Lo's lines and
+		// the shared kernel image — the channels the ablation tests
+		// must be able to exhibit.
+		pcfg.LLCSets = 256
+		pcfg.LLCWays = 4
+		pcfg.Frames = 8192
+		sys, err := kernel.NewSystem(kernel.SystemConfig{
+			Platform:   pcfg,
+			Protection: prot,
+			Domains: []core.DomainSpec{
+				{Name: "Hi", SliceCycles: 50_000, PadCycles: 20_000, Colors: mem.NewColorSet(1, 2), IRQLines: []int{0}, CodePages: 4, HeapPages: 80},
+				{Name: "Lo", SliceCycles: 50_000, PadCycles: 20_000, Colors: mem.NewColorSet(3), IRQLines: []int{1}, CodePages: 4, HeapPages: 80},
+			},
+			Schedule:  [][]int{{0, 1}},
+			MaxCycles: uint64(loOps)*800_000 + 80_000_000,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var obs []uint64
+		if _, err := sys.Spawn(0, "hi", 0, hi); err != nil {
+			return nil, err
+		}
+		if _, err := sys.Spawn(1, "lo", 0, func(c *kernel.UserCtx) {
+			for i := 0; i < loOps; i++ {
+				// Case 1: user memory access, timed.
+				lat := c.ReadHeap(uint64(i*192) % (16 * 4096))
+				obs = append(obs, lat, c.Now())
+				// Branch predictor path.
+				obs = append(obs, c.Branch(uint64(i%64), i%3 == 0))
+				// Case 2a: kernel entry, timed.
+				obs = append(obs, c.NullSyscall(), c.Now())
+				// Spread the observations over many slices so that
+				// Hi's pressure has time to build between them.
+				for k := 0; k < 8; k++ {
+					c.Compute(2_000)
+				}
+			}
+		}); err != nil {
+			return nil, err
+		}
+		rep, err := sys.Run()
+		if err != nil {
+			return nil, err
+		}
+		if len(rep.Errors) > 0 {
+			return nil, fmt.Errorf("invariant: thread errors: %v", rep.Errors)
+		}
+		return obs, nil
+	}
+
+	a, err := run(hiA)
+	if err != nil {
+		return NIResult{}, err
+	}
+	b, err := run(hiB)
+	if err != nil {
+		return NIResult{}, err
+	}
+	res := NIResult{Equal: true, Observations: len(a)}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return NIResult{DivergeIndex: i, A: a[i], B: b[i], Observations: len(a)}, nil
+		}
+	}
+	if len(a) != len(b) {
+		return NIResult{DivergeIndex: n, Observations: len(a)}, nil
+	}
+	return res, nil
+}
+
+// HiVariantPair returns two Hi programs whose hardware footprints differ
+// in every §4 dimension: cache-set usage, dirty-line counts, syscall
+// pattern, early-versus-late slice completion, and interrupt
+// programming. Under full protection TwoRunNI must not tell them apart.
+func HiVariantPair() (hiA, hiB func(*kernel.UserCtx)) {
+	hiA = func(c *kernel.UserCtx) {
+		for r := 0; r < 8; r++ {
+			// Staggered completion interrupts, programmed FIRST so
+			// they fire while the observer still runs: whatever the
+			// slice phase, several land inside Lo slices when
+			// partitioning is off.
+			for d := uint64(40_000); d <= 400_000; d += 40_000 {
+				c.StartIO(0, d)
+			}
+			// Full-heap write sweep: dirties thousands of lines and,
+			// absent colouring, overfills every LLC set its pages
+			// reach (20 same-colour pages vs 4 ways).
+			lines := c.HeapBytes() / 64
+			for i := uint64(0); i < lines; i++ {
+				c.WriteHeap(i * 64)
+			}
+			c.NullSyscall()
+			for i := 0; i < 60; i++ {
+				c.Compute(300)
+			}
+		}
+	}
+	hiB = func(c *kernel.UserCtx) {
+		for r := 0; r < 5; r++ {
+			for i := uint64(0); i < 7; i++ {
+				c.ReadHeap((i * 8192) % c.HeapBytes())
+			}
+			for i := 0; i < 900; i++ {
+				c.Branch(uint64(i%32), i%2 == 0)
+			}
+		}
+		// Exits early: the rest of Hi's slices are empty.
+	}
+	return hiA, hiB
+}

@@ -1,0 +1,136 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+func TestSeedsDecorrelate(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between different seeds", same)
+	}
+}
+
+func TestIntnRangeAndPanic(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(13); v < 0 || v >= 13 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestUint64nPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %f", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		size := int(n%64) + 1
+		p := New(seed).Perm(size)
+		if len(p) != size {
+			return false
+		}
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermShuffles(t *testing.T) {
+	p := New(5).Perm(64)
+	inPlace := 0
+	for i, v := range p {
+		if i == v {
+			inPlace++
+		}
+	}
+	if inPlace > 16 {
+		t.Fatalf("%d/64 fixed points: barely shuffled", inPlace)
+	}
+}
+
+func TestSplitDecorrelates(t *testing.T) {
+	r := New(9)
+	s := r.Split()
+	if r.Uint64() == s.Uint64() {
+		t.Fatal("split stream correlates with parent")
+	}
+}
+
+func TestHash64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	base := Hash64(0x1234)
+	flipped := Hash64(0x1235)
+	diff := base ^ flipped
+	bits := 0
+	for ; diff != 0; diff &= diff - 1 {
+		bits++
+	}
+	if bits < 16 || bits > 48 {
+		t.Fatalf("avalanche too weak: %d differing bits", bits)
+	}
+}
+
+func TestHashCombineOrderSensitive(t *testing.T) {
+	if HashCombine(1, 2) == HashCombine(2, 1) {
+		t.Fatal("combine must be order-sensitive")
+	}
+}
+
+func TestBoolRoughlyBalanced(t *testing.T) {
+	r := New(11)
+	trues := 0
+	for i := 0; i < 10_000; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	if trues < 4500 || trues > 5500 {
+		t.Fatalf("Bool imbalanced: %d/10000", trues)
+	}
+}

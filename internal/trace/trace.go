@@ -1,0 +1,147 @@
+// Package trace records the kernel-level events that the invariant
+// checkers (internal/prove/invariant) consume: domain switches with their
+// timestamps, flushes with their dirty counts, interrupt deliveries, and
+// IPC deliveries.
+//
+// The paper reduces padding correctness to "simply comparing time stamps"
+// (§5); the trace is where those timestamps live.
+package trace
+
+import (
+	"fmt"
+
+	"timeprot/internal/hw"
+)
+
+// Kind enumerates event types.
+type Kind int
+
+const (
+	// SwitchStart marks kernel entry for a domain switch.
+	SwitchStart Kind = iota
+	// Flush marks the core-local flush during a switch.
+	Flush
+	// SwitchEnd marks dispatch of the next domain.
+	SwitchEnd
+	// SliceStart marks the beginning of a domain's time slice.
+	SliceStart
+	// KernelEntry marks a trap (syscall) entry.
+	KernelEntry
+	// IRQDeliver marks delivery of a device interrupt to a core.
+	IRQDeliver
+	// IPCDeliver marks a cross-domain message becoming visible.
+	IPCDeliver
+	// PadOverrun marks a padding target that had already passed —
+	// evidence the configured pad (or MinDelivery) was insufficient.
+	PadOverrun
+	// ThreadExit marks a thread finishing.
+	ThreadExit
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case SwitchStart:
+		return "switch-start"
+	case Flush:
+		return "flush"
+	case SwitchEnd:
+		return "switch-end"
+	case SliceStart:
+		return "slice-start"
+	case KernelEntry:
+		return "kernel-entry"
+	case IRQDeliver:
+		return "irq-deliver"
+	case IPCDeliver:
+		return "ipc-deliver"
+	case PadOverrun:
+		return "pad-overrun"
+	case ThreadExit:
+		return "thread-exit"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one trace record. Field use depends on Kind; unused fields
+// are zero.
+type Event struct {
+	Kind Kind
+	// CPU is the logical CPU the event occurred on.
+	CPU int
+	// Cycle is the core-clock timestamp.
+	Cycle uint64
+	// From and To are the domains involved (switches, IPC).
+	From, To hw.DomainID
+	// Dirty is the dirty-line count of a flush.
+	Dirty int
+	// Latency is the event's cost in cycles (flush latency, padding
+	// amount for SwitchEnd, delivery delay for IPCDeliver).
+	Latency uint64
+	// Aux carries kind-specific data: IRQ line for IRQDeliver, raise
+	// timestamp for IRQDeliver (see AuxCycle), endpoint ID for
+	// IPCDeliver, trap number for KernelEntry, slice-start timestamp
+	// for SwitchStart/SwitchEnd.
+	Aux int
+	// AuxCycle carries a secondary timestamp: for SwitchStart and
+	// SwitchEnd the slice start; for IRQDeliver the raise time; for
+	// IPCDeliver the send time.
+	AuxCycle uint64
+}
+
+// Log is an append-only event log. A nil *Log is a valid, disabled log,
+// so recording sites need no conditionals.
+type Log struct {
+	events []Event
+}
+
+// NewLog returns an empty enabled log.
+func NewLog() *Log { return &Log{} }
+
+// Append records an event. Appending to a nil log is a no-op.
+func (l *Log) Append(e Event) {
+	if l == nil {
+		return
+	}
+	l.events = append(l.events, e)
+}
+
+// Events returns the recorded events in order. The caller must not
+// mutate the returned slice.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	return l.events
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.events)
+}
+
+// Filter returns the events of one kind, in order.
+func (l *Log) Filter(k Kind) []Event {
+	if l == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range l.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Reset discards all events.
+func (l *Log) Reset() {
+	if l == nil {
+		return
+	}
+	l.events = l.events[:0]
+}

@@ -1,0 +1,54 @@
+package trace
+
+import "testing"
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Append(Event{Kind: Flush})
+	if l.Len() != 0 || l.Events() != nil || l.Filter(Flush) != nil {
+		t.Fatal("nil log must behave as empty")
+	}
+	l.Reset() // must not panic
+}
+
+func TestAppendAndFilter(t *testing.T) {
+	l := NewLog()
+	l.Append(Event{Kind: SwitchStart, Cycle: 1})
+	l.Append(Event{Kind: Flush, Cycle: 2, Dirty: 5})
+	l.Append(Event{Kind: SwitchEnd, Cycle: 3})
+	l.Append(Event{Kind: Flush, Cycle: 4, Dirty: 7})
+	if l.Len() != 4 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	fl := l.Filter(Flush)
+	if len(fl) != 2 || fl[0].Dirty != 5 || fl[1].Dirty != 7 {
+		t.Fatalf("filter = %+v", fl)
+	}
+	if got := l.Events()[0].Kind; got != SwitchStart {
+		t.Fatalf("first event %v", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	l := NewLog()
+	l.Append(Event{Kind: IRQDeliver})
+	l.Reset()
+	if l.Len() != 0 {
+		t.Fatal("reset must clear")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{SwitchStart, Flush, SwitchEnd, SliceStart, KernelEntry, IRQDeliver, IPCDeliver, PadOverrun, ThreadExit}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d has empty/duplicate string %q", int(k), s)
+		}
+		seen[s] = true
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatal("unknown kind formatting")
+	}
+}

@@ -1,0 +1,248 @@
+// Package timeprot is a full reproduction, as a Go library, of
+// "Can We Prove Time Protection?" (Heiser, Klein, Murray — HotOS 2019):
+// an executable study of OS-level time protection and of the paper's
+// central claim that it can be formally verified by reasoning about an
+// abstract partitionable/flushable model of the microarchitecture.
+//
+// The library stacks four layers:
+//
+//   - a deterministic cycle-accounted hardware simulator (caches with
+//     page colours, TLB, branch predictor, prefetcher, shared bus,
+//     optional SMT),
+//   - an seL4-like kernel model implementing the §4.2 mechanisms:
+//     flushing of core-local state on domain switches, padded
+//     constant-time switches, cache colouring, per-domain kernel clones,
+//     interrupt partitioning, and deterministic minimum-time IPC,
+//   - attack harnesses and channel-capacity estimation reproducing the
+//     timing channels the paper discusses (prime-and-probe, flush
+//     latency, kernel image, interrupts, SMT, interconnect, and the
+//     Fig. 1 downgrader),
+//   - a prover over the paper's abstract model: unwinding lemmas for the
+//     §5.2 case analysis plus exhaustive bounded noninterference
+//     checking, quantified over sampled "deterministic yet unspecified"
+//     time functions.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduced results.
+package timeprot
+
+import (
+	"fmt"
+
+	"timeprot/internal/attacks"
+	"timeprot/internal/core"
+	"timeprot/internal/hw/mem"
+	"timeprot/internal/hw/platform"
+	"timeprot/internal/kernel"
+	"timeprot/internal/prove/absmodel"
+	"timeprot/internal/prove/invariant"
+	"timeprot/internal/prove/nonintf"
+)
+
+// Re-exported configuration and system types: the public API for
+// building and running protected systems.
+type (
+	// Config selects the armed time-protection mechanisms (§4).
+	Config = core.Config
+	// DomainSpec is a security domain's policy: slice, pad, colours,
+	// IRQ ownership.
+	DomainSpec = core.DomainSpec
+	// PlatformConfig sizes the simulated machine.
+	PlatformConfig = platform.Config
+	// SystemConfig assembles a complete system.
+	SystemConfig = kernel.SystemConfig
+	// System is an assembled machine + kernel + workload.
+	System = kernel.System
+	// UserCtx is the interface thread programs run against.
+	UserCtx = kernel.UserCtx
+	// Thread is a spawned thread handle.
+	Thread = kernel.Thread
+	// EndpointSpec declares a synchronous IPC endpoint, optionally
+	// with a minimum-delivery-time attribute (§3.2).
+	EndpointSpec = kernel.EndpointSpec
+	// RunReport summarises a completed run.
+	RunReport = kernel.Report
+	// ColorSet is a set of LLC page colours.
+	ColorSet = mem.ColorSet
+
+	// Experiment is a reproduced experiment table.
+	Experiment = attacks.Experiment
+	// ExperimentRow is one configuration's measured row.
+	ExperimentRow = attacks.Row
+
+	// ModelConfig instantiates the abstract §5.1 model for proving.
+	ModelConfig = absmodel.Config
+	// ProofReport carries the §5.2 case-analysis verdicts plus the
+	// bounded noninterference result for one configuration.
+	ProofReport = nonintf.ProofReport
+	// InvariantReport carries the concrete-simulator functional
+	// property verdicts.
+	InvariantReport = invariant.Report
+	// FlushMonitor checks the flush invariant during a run.
+	FlushMonitor = invariant.FlushMonitor
+	// ContractReport is the aISA hardware-software contract check.
+	ContractReport = core.ContractReport
+)
+
+// FullProtection arms every mechanism of §4.
+func FullProtection() Config { return core.FullProtection() }
+
+// NoProtection disables every mechanism (a conventional OS).
+func NoProtection() Config { return core.NoProtection() }
+
+// DefaultPlatform returns the default simulated machine: 2 cores, 4 MiB
+// 16-way LLC (64 page colours), 64 MiB memory, 8 IRQ lines.
+func DefaultPlatform() PlatformConfig { return platform.DefaultConfig() }
+
+// NewSystem builds a system from its configuration.
+func NewSystem(cfg SystemConfig) (*System, error) { return kernel.NewSystem(cfg) }
+
+// ColorRange returns the colour set {lo, ..., hi-1}.
+func ColorRange(lo, hi int) ColorSet { return mem.ColorRange(lo, hi) }
+
+// NewColorSet builds a colour set from a list.
+func NewColorSet(colors ...int) ColorSet { return mem.NewColorSet(colors...) }
+
+// CheckContract evaluates the security-oriented hardware-software
+// contract (the aISA of Ge et al. [2018a]) for a protection configuration
+// on a platform.
+func CheckContract(cfg Config, p PlatformConfig) ContractReport {
+	colors := p.LLCSets * 64 / 4096 // sets * line / page
+	if colors < 1 {
+		colors = 1
+	}
+	return core.CheckContract(cfg, colors, p.SMTWays)
+}
+
+// Experiment identifiers, in presentation order.
+var ExperimentIDs = []string{"T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T11", "T12", "T13", "T14"}
+
+// RunExperiment reproduces one experiment table by ID with the given
+// round count and seed. Rounds below the per-experiment minimum are
+// raised to it, so small values are safe everywhere.
+func RunExperiment(id string, rounds int, seed uint64) (Experiment, error) {
+	atLeast := func(n int) int {
+		if rounds < n {
+			return n
+		}
+		return rounds
+	}
+	switch id {
+	case "T2":
+		return attacks.T2L1PrimeProbe(atLeast(30), seed), nil
+	case "T3":
+		return attacks.T3LLCPrimeProbe(atLeast(30), seed), nil
+	case "T4":
+		return attacks.T4FlushLatency(atLeast(30), seed), nil
+	case "T5":
+		return attacks.T5KernelImage(atLeast(30), seed), nil
+	case "T6":
+		return attacks.T6IRQ(atLeast(30), seed), nil
+	case "T7":
+		return attacks.T7SMT(atLeast(30), seed), nil
+	case "T8":
+		return attacks.T8Bus(atLeast(30), seed), nil
+	case "T9":
+		return attacks.T9Downgrader(atLeast(120), seed), nil
+	case "T11":
+		return attacks.T11PaddingSufficiency(atLeast(20), seed), nil
+	case "T12":
+		return attacks.T12Overheads(rounds/8+4, seed), nil
+	case "T13":
+		return attacks.T13BranchPredictor(atLeast(30), seed), nil
+	case "T14":
+		return attacks.T14TLB(atLeast(30), seed), nil
+	default:
+		return Experiment{}, fmt.Errorf("timeprot: unknown experiment %q (have %v)", id, ExperimentIDs)
+	}
+}
+
+// AllExperiments reproduces every experiment table.
+func AllExperiments(rounds int, seed uint64) []Experiment {
+	out := make([]Experiment, 0, len(ExperimentIDs))
+	for _, id := range ExperimentIDs {
+		e, err := RunExperiment(id, rounds, seed)
+		if err != nil {
+			panic(err) // unreachable: IDs come from the table above
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// DefaultModel returns the default abstract-model instance used for
+// proving.
+func DefaultModel() ModelConfig { return absmodel.DefaultConfig() }
+
+// Prove runs the §5.2 proof obligations (unwinding lemmas plus bounded
+// noninterference over sampled time-function families) for an abstract
+// configuration.
+func Prove(cfg ModelConfig, families, extraRandom int, seed uint64) ProofReport {
+	return nonintf.Prove(cfg, families, extraRandom, seed)
+}
+
+// NamedProof pairs a configuration label with its proof report.
+type NamedProof struct {
+	// Name labels the configuration (e.g. "full", "no-flush").
+	Name string
+	// Report is the proof outcome.
+	Report ProofReport
+}
+
+// ProofMatrix reproduces experiment T1: the full-protection proof plus
+// one ablation per mechanism, each expected to fail in exactly its case.
+func ProofMatrix(families, extraRandom int, seed uint64) []NamedProof {
+	type row struct {
+		name string
+		mut  func(*ModelConfig)
+	}
+	rows := []row{
+		{"full protection", func(*ModelConfig) {}},
+		{"no flush", func(c *ModelConfig) { c.Flush = false }},
+		{"no pad", func(c *ModelConfig) { c.Pad = false }},
+		{"no colour", func(c *ModelConfig) { c.Color = false }},
+		{"shared kernel", func(c *ModelConfig) { c.Clone = false }},
+		{"no IRQ partition", func(c *ModelConfig) { c.PartitionIRQ = false }},
+		{"SMT co-residency", func(c *ModelConfig) { c.SMT = true }},
+	}
+	out := make([]NamedProof, 0, len(rows))
+	for _, r := range rows {
+		cfg := absmodel.DefaultConfig()
+		r.mut(&cfg)
+		out = append(out, NamedProof{Name: r.name, Report: nonintf.Prove(cfg, families, extraRandom, seed)})
+	}
+	return out
+}
+
+// NewFlushMonitor installs the flush-invariant monitor on a system; call
+// before Run and pass the monitor to CheckInvariants afterwards.
+func NewFlushMonitor(sys *System) *FlushMonitor { return invariant.NewFlushMonitor(sys) }
+
+// CheckInvariants runs the concrete functional-property checkers (§5's
+// partitioning/flushing/padding-as-functional-properties) against a
+// completed run.
+func CheckInvariants(sys *System, fm *FlushMonitor) InvariantReport {
+	return invariant.CheckSystem(sys, fm)
+}
+
+// CheckInvariantsTLB runs the §5.3 TLB partitioning theorem check (T10)
+// and reports whether it holds.
+func CheckInvariantsTLB() bool {
+	return invariant.CheckTLBTheorem(50, 97).Pass
+}
+
+// RecommendPad returns a static worst-case bound on the domain-switch
+// work for a platform — the "separate analysis" the paper's padding
+// assumption calls for (§5.2). Use it as DomainSpec.PadCycles.
+func RecommendPad(p PlatformConfig) uint64 { return kernel.RecommendPad(p) }
+
+// NIResult is a concrete two-run noninterference comparison outcome.
+type NIResult = invariant.NIResult
+
+// TwoRunNI runs the same Lo observer against two different Hi programs
+// under prot and compares every timing observation Lo makes. Under full
+// protection the sequences are bit-identical; any divergence is a
+// concrete timing channel.
+func TwoRunNI(prot Config, hiA, hiB func(*UserCtx), loOps int) (NIResult, error) {
+	return invariant.TwoRunNI(prot, hiA, hiB, loOps)
+}
