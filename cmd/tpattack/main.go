@@ -1,13 +1,15 @@
-// Command tpattack runs a single covert-channel attack scenario under a
-// chosen protection configuration and prints the measured channel
-// capacity — a workbench for exploring which mechanism closes which
-// channel.
+// Command tpattack is a workbench for a single covert-channel attack
+// scenario: it runs the scenario's canonical mitigation sweep through
+// the experiment engine, or — for scenarios whose runner takes an
+// arbitrary protection configuration — a bespoke configuration chosen
+// with -protect, to explore which mechanism closes which channel.
 //
 // Usage:
 //
-//	tpattack -scenario l1pp|llcpp|flush|kimage|irq|smt|bus|downgrader \
+//	tpattack -scenario l1pp|llcpp|flush|kimage|irq|smt|bus|downgrader|padding|overheads|branch|tlb \
 //	         [-protect all|none|flush,pad,colour,clone,irq,smt,mindeliv] \
-//	         [-rounds N] [-seed S]
+//	         [-rounds N] [-seed S] [-parallel P]
+//	tpattack -list
 package main
 
 import (
@@ -17,16 +19,23 @@ import (
 	"strings"
 
 	"timeprot"
+	"timeprot/internal/attacks"
+	"timeprot/internal/core"
 )
 
-func parseProtection(s string) (timeprot.Config, error) {
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tpattack: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func parseProtection(s string) (core.Config, error) {
 	switch s {
 	case "all":
-		return timeprot.FullProtection(), nil
+		return core.FullProtection(), nil
 	case "none", "":
-		return timeprot.NoProtection(), nil
+		return core.NoProtection(), nil
 	}
-	cfg := timeprot.NoProtection()
+	cfg := core.NoProtection()
 	for _, tok := range strings.Split(s, ",") {
 		switch strings.TrimSpace(tok) {
 		case "flush":
@@ -50,51 +59,72 @@ func parseProtection(s string) (timeprot.Config, error) {
 	return cfg, nil
 }
 
-// scenarioID maps a scenario name to the experiment that contains it.
-var scenarioID = map[string]string{
-	"l1pp":       "T2",
-	"llcpp":      "T3",
-	"flush":      "T4",
-	"kimage":     "T5",
-	"irq":        "T6",
-	"smt":        "T7",
-	"bus":        "T8",
-	"downgrader": "T9",
-	"branch":     "T13",
-	"tlb":        "T14",
+func listScenarios() {
+	fmt.Println("scenario    id   custom-config  title")
+	for _, s := range attacks.Scenarios() {
+		custom := "yes"
+		if s.Custom == nil {
+			custom = "no"
+		}
+		fmt.Printf("%-11s %-4s %-14s %s\n", s.Name, s.ID, custom, s.Title)
+		for _, v := range s.Variants {
+			fmt.Printf("              - %s\n", v.Label)
+		}
+	}
 }
 
 func main() {
-	scenario := flag.String("scenario", "l1pp", "attack scenario: l1pp, llcpp, flush, kimage, irq, smt, bus, downgrader, branch, tlb")
-	protect := flag.String("protect", "", "protection: all, none, or comma list (flush,pad,colour,clone,irq,smt,mindeliv); empty = run the experiment's standard configuration sweep")
+	scenario := flag.String("scenario", "l1pp", "attack scenario by short name or experiment ID (see -list)")
+	protect := flag.String("protect", "", "protection: all, none, or comma list (flush,pad,colour,clone,irq,smt,mindeliv); empty = the scenario's canonical mitigation sweep")
 	rounds := flag.Int("rounds", 60, "transmission rounds")
 	seed := flag.Uint64("seed", 42, "deterministic seed")
+	parallel := flag.Int("parallel", 0, "worker count for the canonical sweep (0 = GOMAXPROCS)")
+	list := flag.Bool("list", false, "list scenarios and their canonical variants, then exit")
 	flag.Parse()
 
-	id, ok := scenarioID[*scenario]
+	if *list {
+		listScenarios()
+		return
+	}
+
+	s, ok := attacks.ScenarioByID(*scenario)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "tpattack: unknown scenario %q\n", *scenario)
-		os.Exit(1)
+		fail("unknown scenario %q; run with -list", *scenario)
 	}
 
-	// The standard sweep covers each scenario's canonical
-	// configurations; a -protect filter narrows the output to rows
-	// whose label matches armed mechanisms loosely. Running bespoke
-	// configurations beyond the sweep would require bespoke pad/colour
-	// policies per scenario; the sweep rows are the meaningful ones.
+	// A bespoke protection configuration runs as a single cell, for
+	// scenarios whose runner is configuration-shaped.
 	if *protect != "" {
-		if _, err := parseProtection(*protect); err != nil {
-			fmt.Fprintf(os.Stderr, "tpattack: %v\n", err)
-			os.Exit(1)
+		cfg, err := parseProtection(*protect)
+		if err != nil {
+			fail("%v", err)
 		}
-		fmt.Printf("note: showing the standard configuration sweep for %s; the requested\n", id)
-		fmt.Printf("      protection set is validated but the sweep rows are canonical.\n\n")
+		if s.Custom == nil {
+			fail("scenario %s needs bespoke per-variant setup and does not take a custom configuration;\nrun its canonical sweep instead (omit -protect)", s.Name)
+		}
+		label := cfg.String()
+		row := s.Custom(label, cfg, s.Rounds(*rounds), *seed)
+		e := attacks.Experiment{ID: s.ID, Title: s.Title + " [custom configuration]", Rows: []attacks.Row{row}}
+		fmt.Print(e)
+		return
 	}
 
-	e, err := timeprot.RunExperiment(id, *rounds, *seed)
+	// Canonical sweep: every variant of the scenario, concurrently.
+	rep, err := timeprot.RunSweep(timeprot.SweepSpec{
+		Scenarios: []string{s.ID},
+		Rounds:    *rounds,
+		Seeds:     []uint64{*seed},
+		Proofs:    false,
+	}, timeprot.SweepOptions{Parallelism: *parallel})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tpattack: %v\n", err)
-		os.Exit(1)
+		fail("%v", err)
+	}
+	e := attacks.Experiment{ID: s.ID, Title: s.Title}
+	for _, c := range rep.Cells {
+		if c.Err != "" {
+			fail("cell %s failed: %s", c.Variant, c.Err)
+		}
+		e.Rows = append(e.Rows, c.Row())
 	}
 	fmt.Print(e)
 }

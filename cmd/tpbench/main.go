@@ -1,49 +1,147 @@
-// Command tpbench regenerates every experiment table of EXPERIMENTS.md:
-// the attack/defence capacity measurements T2-T9 and the padding
-// sufficiency check T11, plus the aISA contract report.
+// Command tpbench runs the experiment sweep engine: the full attack ×
+// mitigation × seed matrix of the paper's evaluation (T2-T14), the T1
+// proof-ablation matrix, and the aISA contract report, executed
+// concurrently on a worker pool with bit-identical results at any
+// parallelism.
+//
+// It regenerates EXPERIMENTS.md (-md) and emits machine-readable
+// results (-out).
 //
 // Usage:
 //
-//	tpbench [-rounds N] [-seed S] [-run T2,T5]
+//	tpbench [-sweep all|T2,l1pp,...] [-variants "label,..."]
+//	        [-rounds N] [-seed S | -seeds S1,S2,...] [-trials K]
+//	        [-parallel P] [-proofs=false]
+//	        [-out results.json] [-md EXPERIMENTS.md] [-quiet]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"timeprot"
 )
 
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tpbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
 func main() {
-	rounds := flag.Int("rounds", 60, "transmission rounds per configuration (more = tighter estimates, slower)")
-	seed := flag.Uint64("seed", 42, "deterministic seed for workloads and estimators")
-	run := flag.String("run", "", "comma-separated experiment IDs to run (default: all)")
+	sweep := flag.String("sweep", "all", "comma-separated scenarios by ID (T2) or name (l1pp); all = every scenario")
+	variants := flag.String("variants", "", "comma-separated exact variant labels to include (default: all)")
+	rounds := flag.Int("rounds", 60, "transmission rounds per cell (more = tighter estimates, slower)")
+	seed := flag.Uint64("seed", 42, "deterministic base seed")
+	seeds := flag.String("seeds", "", "comma-separated base seeds (overrides -seed)")
+	trials := flag.Int("trials", 1, "derived-seed repeats per base seed")
+	parallel := flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS); never affects results")
+	proofs := flag.Bool("proofs", true, "include the T1 proof-ablation matrix")
+	families := flag.Int("families", 5, "sampled time-function families per proof configuration")
+	random := flag.Int("random", 200, "extra random Hi programs in the bounded proof check")
+	out := flag.String("out", "", "write JSON results to this path")
+	md := flag.String("md", "", "write the Markdown report (EXPERIMENTS.md format) to this path")
+	quiet := flag.Bool("quiet", false, "suppress progress and text tables on stdout")
 	flag.Parse()
 
-	ids := timeprot.ExperimentIDs
-	if *run != "" {
-		ids = strings.Split(*run, ",")
+	spec := timeprot.SweepSpec{
+		Scenarios:     splitList(*sweep),
+		Variants:      splitList(*variants),
+		Rounds:        *rounds,
+		Seeds:         []uint64{*seed},
+		Trials:        *trials,
+		Proofs:        *proofs,
+		ProofFamilies: *families,
+		ProofRandom:   *random,
+	}
+	if *seeds != "" {
+		spec.Seeds = nil
+		for _, tok := range splitList(*seeds) {
+			v, err := strconv.ParseUint(tok, 10, 64)
+			if err != nil {
+				fail("bad -seeds entry %q: %v", tok, err)
+			}
+			spec.Seeds = append(spec.Seeds, v)
+		}
 	}
 
-	fmt.Println("timeprot experiment harness — reproducing the evaluation of")
-	fmt.Println("\"Can We Prove Time Protection?\" (HotOS 2019) on the simulated platform")
-	fmt.Println()
-	fmt.Println("aISA contract (full protection on the default platform):")
-	fmt.Print(timeprot.CheckContract(timeprot.FullProtection(), timeprot.DefaultPlatform()))
-	fmt.Println()
-
-	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		start := time.Now()
-		e, err := timeprot.RunExperiment(id, *rounds, *seed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tpbench: %v\n", err)
-			os.Exit(1)
+	opt := timeprot.SweepOptions{Parallelism: *parallel}
+	if !*quiet {
+		fmt.Println("timeprot experiment sweep — reproducing the evaluation of")
+		fmt.Println("\"Can We Prove Time Protection?\" (HotOS 2019) on the simulated platform")
+		fmt.Println()
+		opt.Progress = func(done, total int, c timeprot.SweepCell) {
+			fmt.Fprintf(os.Stderr, "\r[%3d/%3d] %s / %s (seed %d)\x1b[K", done, total, c.ScenarioID, c.Variant, c.Seed)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
 		}
-		fmt.Print(e)
-		fmt.Printf("  (%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+
+	start := time.Now()
+	rep, err := timeprot.RunSweep(spec, opt)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	if !*quiet {
+		if err := timeprot.WriteSweepText(os.Stdout, rep); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("sweep: %d cells in %.1fs\n", len(rep.Cells), time.Since(start).Seconds())
+	}
+	failures := 0
+	for _, c := range rep.Cells {
+		if c.Err != "" {
+			failures++
+			fmt.Fprintf(os.Stderr, "tpbench: cell %s/%s (seed %d) failed: %s\n", c.ScenarioID, c.Variant, c.Seed, c.Err)
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := timeprot.WriteSweepJSON(f, rep); err != nil {
+			fail("writing %s: %v", *out, err)
+		}
+		if err := f.Close(); err != nil {
+			fail("closing %s: %v", *out, err)
+		}
+		if !*quiet {
+			fmt.Printf("wrote %s\n", *out)
+		}
+	}
+	if *md != "" {
+		f, err := os.Create(*md)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := timeprot.WriteSweepMarkdown(f, rep); err != nil {
+			fail("writing %s: %v", *md, err)
+		}
+		if err := f.Close(); err != nil {
+			fail("closing %s: %v", *md, err)
+		}
+		if !*quiet {
+			fmt.Printf("wrote %s\n", *md)
+		}
+	}
+	if failures > 0 {
+		os.Exit(1)
 	}
 }

@@ -34,8 +34,8 @@ func runScenario(prot timeprot.Config, minDelivery uint64, secrets []int) []pair
 		},
 		Schedule: [][]int{{0, 1, 2}},
 		Endpoints: []timeprot.EndpointSpec{
-			{ID: 0},                            // Web -> Crypto (intra-Hi flow, unrestricted)
-			{ID: 1, MinDelivery: minDelivery},  // Crypto -> Net: the downgrader edge
+			{ID: 0},                           // Web -> Crypto (intra-Hi flow, unrestricted)
+			{ID: 1, MinDelivery: minDelivery}, // Crypto -> Net: the downgrader edge
 		},
 	})
 	if err != nil {

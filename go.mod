@@ -1,0 +1,3 @@
+module timeprot
+
+go 1.24

@@ -22,9 +22,9 @@ import (
 // runBPChannel runs one T13 configuration.
 func runBPChannel(label string, prot core.Config, rounds int, seed uint64) Row {
 	const (
-		slice    = 60_000
-		pad      = 20_000
-		trainPC  = 2048 // code offset of the aliased branch
+		slice     = 60_000
+		pad       = 20_000
+		trainPC   = 2048 // code offset of the aliased branch
 		trainings = 40
 	)
 	pcfg := platform.DefaultConfig()
@@ -92,14 +92,5 @@ func runBPChannel(label string, prot core.Config, rounds int, seed uint64) Row {
 // T13BranchPredictor reproduces experiment T13: the PC-aliased branch
 // predictor channel, closed by the switch-time reset.
 func T13BranchPredictor(rounds int, seed uint64) Experiment {
-	noFlush := core.FullProtection()
-	noFlush.FlushOnSwitch = false
-	return Experiment{
-		ID:    "T13",
-		Title: "branch-predictor channel via PC aliasing (§3.1)",
-		Rows: []Row{
-			runBPChannel("no flush (pad+colour only)", noFlush, rounds, seed),
-			runBPChannel("flush (full)", core.FullProtection(), rounds, seed),
-		},
-	}
+	return mustScenario("T13").Experiment(rounds, seed)
 }

@@ -165,22 +165,5 @@ func runBus(label string, prot core.Config, limiter *interconn.MBALimiter, tdm b
 // out of time protection's reach; MBA-style limiting only attenuates it;
 // and no address information crosses the bus.
 func T8Bus(windows int, seed uint64) Experiment {
-	// An unthrottled streaming core issues roughly one transfer per
-	// ~300 cycles (~40 per 12k-cycle window); a quota of 15 cuts the
-	// sustained rate to ~37%% while still letting window-start bursts
-	// through — the approximate enforcement of footnote 1, which
-	// attenuates the channel without closing it.
-	mba := interconn.NewMBALimiter(12_000)
-	mba.SetQuota(1, 15) // throttle the Trojan's core
-
-	return Experiment{
-		ID:    "T8",
-		Title: "stateless interconnect: bandwidth covert channel (§2)",
-		Rows: []Row{
-			runBus("full protection, volume", core.FullProtection(), nil, false, busVolume, windows, seed),
-			runBus("with MBA limiter, volume", core.FullProtection(), mba, false, busVolume, windows, seed),
-			runBus("TDM bus (hypothetical hw)", core.FullProtection(), nil, true, busVolume, windows, seed),
-			runBus("address encoding (side ch.)", core.FullProtection(), nil, false, busAddress, windows, seed),
-		},
-	}
+	return mustScenario("T8").Experiment(windows, seed)
 }

@@ -41,8 +41,8 @@ func runDowngrader(label string, prot core.Config, mode padMode, rounds int, see
 		slice   = 30_000
 		pad     = 10_000
 		arity   = 4
-		base    = 8_000  // cycles of crypto work for symbol 0
-		step    = 12_000 // extra cycles per symbol value
+		base    = 8_000   // cycles of crypto work for symbol 0
+		step    = 12_000  // extra cycles per symbol value
 		wcet    = 120_000 // wall-clock bound for one round, busy-loop target
 		cadence = 200_000 // MinDelivery cadence
 	)
@@ -158,8 +158,8 @@ func runDowngrader(label string, prot core.Config, mode padMode, rounds int, see
 		util = float64(useful) / float64(hiTotal)
 	}
 	return Row{
-		Label: label,
-		Est:   est,
+		Label:   label,
+		Est:     est,
 		ErrRate: nan(),
 		Extra: []KV{
 			{K: "hi_utilisation", V: util},
@@ -172,16 +172,5 @@ func runDowngrader(label string, prot core.Config, mode padMode, rounds int, see
 // response-time channel, closed by deterministic delivery plus padding,
 // with the busy-loop versus interim-process utilisation comparison.
 func T9Downgrader(rounds int, seed uint64) Experiment {
-	padOnly := core.FullProtection()
-	padOnly.MinDeliveryIPC = false
-	return Experiment{
-		ID:    "T9",
-		Title: "Fig. 1 downgrader: secret-dependent message timing (§3.2, §4.3)",
-		Rows: []Row{
-			runDowngrader("unprotected", core.NoProtection(), padNone, rounds, seed),
-			runDowngrader("pad-only (no min-delivery)", padOnly, padNone, rounds, seed),
-			runDowngrader("full, busy-loop pad", core.FullProtection(), padBusyLoop, rounds, seed),
-			runDowngrader("full, interim process", core.FullProtection(), padInterim, rounds, seed),
-		},
-	}
+	return mustScenario("T9").Experiment(rounds, seed)
 }

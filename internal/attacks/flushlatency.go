@@ -25,11 +25,11 @@ import (
 // runFlushLatency runs one T4 configuration.
 func runFlushLatency(label string, prot core.Config, rounds int, seed uint64) Row {
 	const (
-		slice   = 60_000
-		pad     = 20_000
-		arity   = 4
-		perSym  = 150 // dirty lines per symbol step
-		bigGap  = 10_000
+		slice  = 60_000
+		pad    = 20_000
+		arity  = 4
+		perSym = 150 // dirty lines per symbol step
+		bigGap = 10_000
 	)
 	pcfg := platform.DefaultConfig()
 	pcfg.Cores = 1
@@ -99,16 +99,7 @@ func runFlushLatency(label string, prot core.Config, rounds int, seed uint64) Ro
 // T4FlushLatency reproduces experiment T4: the switch-latency channel
 // created by the history-dependent flush, closed by padding.
 func T4FlushLatency(rounds int, seed uint64) Experiment {
-	flushOnly := core.FullProtection()
-	flushOnly.PadSwitch = false
-	return Experiment{
-		ID:    "T4",
-		Title: "flush-latency channel: switch gap vs dirty lines (§4.2)",
-		Rows: []Row{
-			runFlushLatency("flush, no pad", flushOnly, rounds, seed),
-			runFlushLatency("flush+pad (full)", core.FullProtection(), rounds, seed),
-		},
-	}
+	return mustScenario("T4").Experiment(rounds, seed)
 }
 
 // T11PaddingSufficiency reproduces experiment T11: padding verified by
@@ -118,89 +109,86 @@ func T4FlushLatency(rounds int, seed uint64) Experiment {
 // insufficient pad is detected as an overrun rather than silently
 // accepted.
 func T11PaddingSufficiency(rounds int, seed uint64) Experiment {
-	measure := func(label string, pad uint64) Row {
-		prot := core.FullProtection()
-		pcfg := platform.DefaultConfig()
-		pcfg.Cores = 1
-		sys, err := kernel.NewSystem(kernel.SystemConfig{
-			Platform:   pcfg,
-			Protection: prot,
-			Domains: []core.DomainSpec{
-				{Name: "Hi", SliceCycles: 60_000, PadCycles: pad, Colors: mem.ColorRange(1, 32), CodePages: 4, HeapPages: 16},
-				{Name: "Lo", SliceCycles: 60_000, PadCycles: pad, Colors: mem.ColorRange(32, 64), CodePages: 4, HeapPages: 16},
-			},
-			Schedule:    [][]int{{0, 1}},
-			EnableTrace: true,
-			MaxCycles:   uint64(rounds+16) * 400_000,
-		})
-		if err != nil {
-			panic(err)
-		}
-		// Adversarial workload: dirty as many lines as the slice
-		// allows.
-		if _, err := sys.Spawn(0, "dirtier", 0, func(c *kernel.UserCtx) {
-			e := c.Epoch()
-			for r := 0; r < rounds; r++ {
-				for i := uint64(0); ; i++ {
-					if c.Epoch() != e {
-						e = c.Epoch()
-						break
-					}
-					c.WriteHeap((i * 64) % c.HeapBytes())
-				}
-			}
-		}); err != nil {
-			panic(err)
-		}
-		if _, err := sys.Spawn(1, "other", 0, func(c *kernel.UserCtx) {
-			for i := 0; i < rounds*400; i++ {
-				c.Compute(150)
-			}
-		}); err != nil {
-			panic(err)
-		}
-		mustRun(sys)
+	return mustScenario("T11").Experiment(rounds, seed)
+}
 
-		// Worst-case switch work observed: SwitchStart -> pre-pad
-		// time is entry+flush; compare against the pad budget.
-		var maxWork uint64
-		starts := sys.Trace().Filter(trace.SwitchStart)
-		ends := sys.Trace().Filter(trace.SwitchEnd)
-		flushes := sys.Trace().Filter(trace.Flush)
-		for i := 0; i < len(flushes) && i < len(starts); i++ {
-			work := flushes[i].Cycle - starts[i].Cycle
-			if work > maxWork {
-				maxWork = work
+// runPaddingSufficiency runs one T11 configuration: full protection with
+// the given pad budget, measured against an adversarial dirtying
+// workload for `rounds` slices.
+func runPaddingSufficiency(label string, pad uint64, rounds int) Row {
+	prot := core.FullProtection()
+	pcfg := platform.DefaultConfig()
+	pcfg.Cores = 1
+	sys, err := kernel.NewSystem(kernel.SystemConfig{
+		Platform:   pcfg,
+		Protection: prot,
+		Domains: []core.DomainSpec{
+			{Name: "Hi", SliceCycles: 60_000, PadCycles: pad, Colors: mem.ColorRange(1, 32), CodePages: 4, HeapPages: 16},
+			{Name: "Lo", SliceCycles: 60_000, PadCycles: pad, Colors: mem.ColorRange(32, 64), CodePages: 4, HeapPages: 16},
+		},
+		Schedule:    [][]int{{0, 1}},
+		EnableTrace: true,
+		MaxCycles:   uint64(rounds+16) * 400_000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Adversarial workload: dirty as many lines as the slice
+	// allows.
+	if _, err := sys.Spawn(0, "dirtier", 0, func(c *kernel.UserCtx) {
+		e := c.Epoch()
+		for r := 0; r < rounds; r++ {
+			for i := uint64(0); ; i++ {
+				if c.Epoch() != e {
+					e = c.Epoch()
+					break
+				}
+				c.WriteHeap((i * 64) % c.HeapBytes())
 			}
 		}
-		overruns := len(sys.Trace().Filter(trace.PadOverrun))
-		// Dispatch delta variability: a sufficient pad gives a
-		// single steady-state value.
-		deltas := make(map[uint64]int)
-		for i, e := range ends {
-			if i == 0 {
-				continue // cold start
-			}
-			deltas[e.Cycle-e.AuxCycle]++
+	}); err != nil {
+		panic(err)
+	}
+	if _, err := sys.Spawn(1, "other", 0, func(c *kernel.UserCtx) {
+		for i := 0; i < rounds*400; i++ {
+			c.Compute(150)
 		}
-		return Row{
-			Label: label,
-			Est:   channel.Estimate{}, // no capacity measured here
-			ErrRate: nan(),
-			Extra: []KV{
-				{K: "max_switch_work", V: float64(maxWork)},
-				{K: "pad", V: float64(pad)},
-				{K: "overruns", V: float64(overruns)},
-				{K: "distinct_deltas", V: float64(len(deltas))},
-			},
+	}); err != nil {
+		panic(err)
+	}
+	mustRun(sys)
+
+	// Worst-case switch work observed: SwitchStart -> pre-pad
+	// time is entry+flush; compare against the pad budget.
+	var maxWork uint64
+	starts := sys.Trace().Filter(trace.SwitchStart)
+	ends := sys.Trace().Filter(trace.SwitchEnd)
+	flushes := sys.Trace().Filter(trace.Flush)
+	for i := 0; i < len(flushes) && i < len(starts); i++ {
+		work := flushes[i].Cycle - starts[i].Cycle
+		if work > maxWork {
+			maxWork = work
 		}
 	}
-	return Experiment{
-		ID:    "T11",
-		Title: "padding sufficiency by timestamp comparison (§5)",
-		Rows: []Row{
-			measure("pad=25k (sufficient)", 25_000),
-			measure("pad=600 (insufficient)", 600),
+	overruns := len(sys.Trace().Filter(trace.PadOverrun))
+	// Dispatch delta variability: a sufficient pad gives a
+	// single steady-state value.
+	deltas := make(map[uint64]int)
+	for i, e := range ends {
+		if i == 0 {
+			continue // cold start
+		}
+		deltas[e.Cycle-e.AuxCycle]++
+	}
+	return Row{
+		Label:   label,
+		Est:     channel.Estimate{}, // no capacity measured here
+		ErrRate: nan(),
+		Extra: []KV{
+			{K: "max_switch_work", V: float64(maxWork)},
+			{K: "pad", V: float64(pad)},
+			{K: "overruns", V: float64(overruns)},
+			{K: "distinct_deltas", V: float64(len(deltas))},
 		},
 	}
 }

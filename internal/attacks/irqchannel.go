@@ -26,11 +26,11 @@ import (
 // runIRQChannel runs one T6 configuration.
 func runIRQChannel(label string, prot core.Config, rounds int, seed uint64) Row {
 	const (
-		slice    = 60_000
-		pad      = 20_000
-		fireIn   = 100_000 // from Trojan slice start: mid spy slice
-		gapLo    = 350     // below: ordinary op jitter
-		gapHi    = 9_000   // above: a domain switch, not an IRQ
+		slice  = 60_000
+		pad    = 20_000
+		fireIn = 100_000 // from Trojan slice start: mid spy slice
+		gapLo  = 350     // below: ordinary op jitter
+		gapHi  = 9_000   // above: a domain switch, not an IRQ
 	)
 	pcfg := platform.DefaultConfig()
 	pcfg.Cores = 1
@@ -103,14 +103,5 @@ func runIRQChannel(label string, prot core.Config, rounds int, seed uint64) Row 
 // T6IRQ reproduces experiment T6: the Trojan-programmed completion
 // interrupt channel, closed by per-domain interrupt partitioning.
 func T6IRQ(rounds int, seed uint64) Experiment {
-	unpartitioned := core.FullProtection()
-	unpartitioned.PartitionIRQs = false
-	return Experiment{
-		ID:    "T6",
-		Title: "interrupt channel: Trojan-timed completion IRQ (§4.2)",
-		Rows: []Row{
-			runIRQChannel("unpartitioned IRQs", unpartitioned, rounds, seed),
-			runIRQChannel("partitioned (full)", core.FullProtection(), rounds, seed),
-		},
-	}
+	return mustScenario("T6").Experiment(rounds, seed)
 }

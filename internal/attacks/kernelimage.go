@@ -118,14 +118,5 @@ func runKernelImage(label string, prot core.Config, rounds int, seed uint64) Row
 // T5KernelImage reproduces experiment T5: the kernel-text channel that
 // survives user-memory colouring and is closed only by kernel cloning.
 func T5KernelImage(rounds int, seed uint64) Experiment {
-	sharedKernel := core.FullProtection()
-	sharedKernel.CloneKernel = false
-	return Experiment{
-		ID:    "T5",
-		Title: "kernel-image channel via shared kernel text (§4.2)",
-		Rows: []Row{
-			runKernelImage("shared kernel (no clone)", sharedKernel, rounds, seed),
-			runKernelImage("cloned kernel (full)", core.FullProtection(), rounds, seed),
-		},
-	}
+	return mustScenario("T5").Experiment(rounds, seed)
 }

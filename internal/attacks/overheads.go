@@ -88,41 +88,7 @@ func runOverhead(label string, prot core.Config, workRounds int) (Row, float64) 
 // costs on a cache-sensitive workload.
 func T12Overheads(workRounds int, seed uint64) Experiment {
 	_ = seed // the workload is deterministic; kept for signature symmetry
-	if workRounds < 4 {
-		workRounds = 4
-	}
-	flushOnly := core.NoProtection()
-	flushOnly.FlushOnSwitch = true
-	flushPad := flushOnly
-	flushPad.PadSwitch = true
-
-	configs := []struct {
-		label string
-		prot  core.Config
-	}{
-		{"unprotected", core.NoProtection()},
-		{"flush", flushOnly},
-		{"flush+pad", flushPad},
-		{"full (colour+clone+irq)", core.FullProtection()},
-	}
-	e := Experiment{
-		ID:    "T12",
-		Title: "protection overheads on a cache-sensitive workload",
-	}
-	var base float64
-	for i, cfg := range configs {
-		row, cpo := runOverhead(cfg.label, cfg.prot, workRounds)
-		if i == 0 {
-			base = cpo
-		}
-		slow := 0.0
-		if base > 0 {
-			slow = cpo / base
-		}
-		row.Extra = append(row.Extra, KV{K: "slowdown", V: slow})
-		e.Rows = append(e.Rows, row)
-	}
-	return e
+	return mustScenario("T12").Experiment(workRounds, seed)
 }
 
 // overheadSlowdown extracts a row's slowdown metric (for tests).

@@ -176,18 +176,7 @@ func runL1PrimeProbe(label string, prot core.Config, p l1Params, seed uint64) Ro
 // covert channel on a time-shared core, under no protection, flush-only,
 // and flush+pad.
 func T2L1PrimeProbe(rounds int, seed uint64) Experiment {
-	p := defaultL1Params(rounds)
-	flushOnly := core.NoProtection()
-	flushOnly.FlushOnSwitch = true
-	return Experiment{
-		ID:    "T2",
-		Title: "L1-D prime-and-probe, time-shared core (§3.1)",
-		Rows: []Row{
-			runL1PrimeProbe("unprotected", core.NoProtection(), p, seed),
-			runL1PrimeProbe("flush-only", flushOnly, p, seed),
-			runL1PrimeProbe("flush+pad (full)", core.FullProtection(), p, seed),
-		},
-	}
+	return mustScenario("T2").Experiment(rounds, seed)
 }
 
 // llcParams sizes the T3 scenario.
@@ -342,17 +331,5 @@ func sortedKeys(m map[int][]int) []int {
 // T3LLCPrimeProbe reproduces experiment T3: the cross-core LLC
 // prime-and-probe channel, closed by cache colouring and by nothing else.
 func T3LLCPrimeProbe(windows int, seed uint64) Experiment {
-	p := defaultLLCParams(windows)
-	flushPad := core.NoProtection()
-	flushPad.FlushOnSwitch = true
-	flushPad.PadSwitch = true
-	return Experiment{
-		ID:    "T3",
-		Title: "LLC prime-and-probe, concurrent cross-core (§4.1)",
-		Rows: []Row{
-			runLLCPrimeProbe("unprotected", core.NoProtection(), p, seed),
-			runLLCPrimeProbe("flush+pad (no colour)", flushPad, p, seed),
-			runLLCPrimeProbe("coloured (full)", core.FullProtection(), p, seed),
-		},
-	}
+	return mustScenario("T3").Experiment(windows, seed)
 }

@@ -1,0 +1,412 @@
+package attacks
+
+import (
+	"strings"
+
+	"timeprot/internal/core"
+	"timeprot/internal/hw/interconn"
+)
+
+// This file is the scenario registry: the single declarative table of
+// every attack scenario, its canonical mitigation variants, and its
+// rounds policy. The T2..T14 experiment constructors are thin views over
+// it, and internal/experiment's sweep engine addresses individual
+// (scenario, variant, seed) cells through it. Every variant runner
+// builds a private kernel.System, so distinct cells may execute
+// concurrently with bit-identical results.
+
+// Variant is one named protection configuration within a scenario's
+// canonical sweep — one row of the experiment's table.
+type Variant struct {
+	// Label names the configuration exactly as it appears in the
+	// experiment row (e.g. "flush+pad (full)").
+	Label string
+	// Prot is the protection configuration the variant arms. For
+	// variants whose distinguishing knob is not a core.Config field
+	// (e.g. T11's pad budget) it records the base configuration.
+	Prot core.Config
+	// run executes the variant at the given rounds and seed.
+	run func(rounds int, seed uint64) Row
+}
+
+// Run executes the variant and returns its measured row. Each call
+// constructs a fresh simulated system, so concurrent calls are safe and
+// results depend only on (rounds, seed).
+func (v Variant) Run(rounds int, seed uint64) Row { return v.run(rounds, seed) }
+
+// Scenario is one attack scenario: identity, canonical variants, rounds
+// policy, and (when the underlying runner is configuration-shaped) a
+// custom-configuration entry point.
+type Scenario struct {
+	// ID is the experiment identifier ("T2".."T14").
+	ID string
+	// Name is the short CLI name ("l1pp", "bus", ...).
+	Name string
+	// Title describes the scenario.
+	Title string
+	// Rounds maps requested rounds to the effective per-variant rounds
+	// (raising to the scenario's statistical minimum, or rescaling for
+	// scenarios whose unit of work differs).
+	Rounds func(requested int) int
+	// Variants are the canonical configuration rows, in table order.
+	Variants []Variant
+	// Custom runs the scenario under an arbitrary protection
+	// configuration; nil when the scenario needs bespoke per-variant
+	// setup that a bare core.Config cannot express.
+	Custom func(label string, prot core.Config, rounds int, seed uint64) Row
+	// finalize post-processes a complete ordered row set (e.g. T12's
+	// slowdown-vs-baseline column); nil when rows are independent.
+	finalize func(rows []Row) []Row
+}
+
+// VariantByLabel returns the variant with the exact label.
+func (s Scenario) VariantByLabel(label string) (Variant, bool) {
+	for _, v := range s.Variants {
+		if v.Label == label {
+			return v, true
+		}
+	}
+	return Variant{}, false
+}
+
+// Finalize applies the scenario's cross-row post-processing to rows in
+// canonical variant order. Scenarios without relative metrics return the
+// rows unchanged. Callers running a subset of variants should note that
+// relative metrics are computed against the first row present.
+func (s Scenario) Finalize(rows []Row) []Row {
+	if s.finalize == nil {
+		return rows
+	}
+	return s.finalize(rows)
+}
+
+// Experiment runs every canonical variant at the given rounds and seed
+// and assembles the experiment table.
+func (s Scenario) Experiment(rounds int, seed uint64) Experiment {
+	rows := make([]Row, 0, len(s.Variants))
+	for _, v := range s.Variants {
+		rows = append(rows, v.run(rounds, seed))
+	}
+	return Experiment{ID: s.ID, Title: s.Title, Rows: s.Finalize(rows)}
+}
+
+// minRounds returns the standard rounds policy: raise to min.
+func minRounds(min int) func(int) int {
+	return func(r int) int {
+		if r < min {
+			return min
+		}
+		return r
+	}
+}
+
+// Scenarios returns the registry in presentation order. The returned
+// slice and its contents are shared; treat them as read-only.
+func Scenarios() []Scenario { return scenarios }
+
+// ScenarioByID finds a scenario by experiment ID or short name,
+// case-insensitively.
+func ScenarioByID(key string) (Scenario, bool) {
+	for _, s := range scenarios {
+		if strings.EqualFold(s.ID, key) || strings.EqualFold(s.Name, key) {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// ScenarioIDs returns the experiment IDs in presentation order.
+func ScenarioIDs() []string {
+	out := make([]string, len(scenarios))
+	for i, s := range scenarios {
+		out[i] = s.ID
+	}
+	return out
+}
+
+// mustScenario is the registry lookup for the T2..T14 constructors.
+func mustScenario(id string) Scenario {
+	s, ok := ScenarioByID(id)
+	if !ok {
+		panic("attacks: scenario " + id + " missing from registry")
+	}
+	return s
+}
+
+// variant builds a Variant for a runner with the standard
+// (label, prot, rounds, seed) shape.
+func variant(label string, prot core.Config, run func(string, core.Config, int, uint64) Row) Variant {
+	return Variant{Label: label, Prot: prot, run: func(rounds int, seed uint64) Row {
+		return run(label, prot, rounds, seed)
+	}}
+}
+
+// Derived configurations used by the canonical sweeps.
+func flushOnlyConfig() core.Config {
+	c := core.NoProtection()
+	c.FlushOnSwitch = true
+	return c
+}
+
+func flushPadConfig() core.Config {
+	c := flushOnlyConfig()
+	c.PadSwitch = true
+	return c
+}
+
+func fullWithout(mut func(*core.Config)) core.Config {
+	c := core.FullProtection()
+	mut(&c)
+	return c
+}
+
+// Custom-configuration adapters for runners whose parameters derive from
+// rounds.
+func customL1(label string, prot core.Config, rounds int, seed uint64) Row {
+	return runL1PrimeProbe(label, prot, defaultL1Params(rounds), seed)
+}
+
+func customLLC(label string, prot core.Config, rounds int, seed uint64) Row {
+	return runLLCPrimeProbe(label, prot, defaultLLCParams(rounds), seed)
+}
+
+func customOverhead(label string, prot core.Config, rounds int, _ uint64) Row {
+	if rounds < 4 {
+		rounds = 4
+	}
+	row, _ := runOverhead(label, prot, rounds)
+	return row
+}
+
+// finalizeOverheads appends the slowdown-vs-first-row column T12
+// reports: each row's cycles_per_op relative to the first row's.
+func finalizeOverheads(rows []Row) []Row {
+	base := 0.0
+	for i := range rows {
+		cpo := extraValue(rows[i], "cycles_per_op")
+		if i == 0 {
+			base = cpo
+		}
+		slow := 0.0
+		if base > 0 {
+			slow = cpo / base
+		}
+		rows[i].Extra = append(rows[i].Extra, KV{K: "slowdown", V: slow})
+	}
+	return rows
+}
+
+// extraValue returns the named Extra metric, or 0 when absent.
+func extraValue(r Row, key string) float64 {
+	for _, kv := range r.Extra {
+		if kv.K == key {
+			return kv.V
+		}
+	}
+	return 0
+}
+
+// scenarios is the registry table. Variant labels, orders, and seed
+// derivations reproduce the historical T2..T14 tables exactly.
+var scenarios = []Scenario{
+	{
+		ID: "T2", Name: "l1pp",
+		Title:  "L1-D prime-and-probe, time-shared core (§3.1)",
+		Rounds: minRounds(30),
+		Variants: []Variant{
+			variant("unprotected", core.NoProtection(), customL1),
+			variant("flush-only", flushOnlyConfig(), customL1),
+			variant("flush+pad (full)", core.FullProtection(), customL1),
+		},
+		Custom: customL1,
+	},
+	{
+		ID: "T3", Name: "llcpp",
+		Title:  "LLC prime-and-probe, concurrent cross-core (§4.1)",
+		Rounds: minRounds(30),
+		Variants: []Variant{
+			variant("unprotected", core.NoProtection(), customLLC),
+			variant("flush+pad (no colour)", flushPadConfig(), customLLC),
+			variant("coloured (full)", core.FullProtection(), customLLC),
+		},
+		Custom: customLLC,
+	},
+	{
+		ID: "T4", Name: "flush",
+		Title:  "flush-latency channel: switch gap vs dirty lines (§4.2)",
+		Rounds: minRounds(30),
+		Variants: []Variant{
+			variant("flush, no pad", fullWithout(func(c *core.Config) { c.PadSwitch = false }), runFlushLatency),
+			variant("flush+pad (full)", core.FullProtection(), runFlushLatency),
+		},
+		Custom: runFlushLatency,
+	},
+	{
+		ID: "T5", Name: "kimage",
+		Title:  "kernel-image channel via shared kernel text (§4.2)",
+		Rounds: minRounds(30),
+		Variants: []Variant{
+			variant("shared kernel (no clone)", fullWithout(func(c *core.Config) { c.CloneKernel = false }), runKernelImage),
+			variant("cloned kernel (full)", core.FullProtection(), runKernelImage),
+		},
+		Custom: runKernelImage,
+	},
+	{
+		ID: "T6", Name: "irq",
+		Title:  "interrupt channel: Trojan-timed completion IRQ (§4.2)",
+		Rounds: minRounds(30),
+		Variants: []Variant{
+			variant("unpartitioned IRQs", fullWithout(func(c *core.Config) { c.PartitionIRQs = false }), runIRQChannel),
+			variant("partitioned (full)", core.FullProtection(), runIRQChannel),
+		},
+		Custom: runIRQChannel,
+	},
+	{
+		ID: "T7", Name: "smt",
+		Title:  "SMT sibling channel through the live-shared L1 (§4.1)",
+		Rounds: minRounds(30),
+		Variants: []Variant{
+			{
+				Label: "SMT co-resident (flush+colour)",
+				Prot:  fullWithout(func(c *core.Config) { c.DisallowSMTSharing = false }),
+				run: func(rounds int, seed uint64) Row {
+					return runSMT("SMT co-resident (flush+colour)",
+						fullWithout(func(c *core.Config) { c.DisallowSMTSharing = false }), true, rounds, seed)
+				},
+			},
+			{
+				Label: "policy: co-scheduled domains",
+				Prot:  core.FullProtection(),
+				run: func(rounds int, seed uint64) Row {
+					return runSMT("policy: co-scheduled domains", core.FullProtection(), false, rounds, seed)
+				},
+			},
+		},
+	},
+	{
+		ID: "T8", Name: "bus",
+		Title:  "stateless interconnect: bandwidth covert channel (§2)",
+		Rounds: minRounds(30),
+		Variants: []Variant{
+			{
+				Label: "full protection, volume", Prot: core.FullProtection(),
+				run: func(rounds int, seed uint64) Row {
+					return runBus("full protection, volume", core.FullProtection(), nil, false, busVolume, rounds, seed)
+				},
+			},
+			{
+				// An unthrottled streaming core issues roughly one
+				// transfer per ~300 cycles (~40 per 12k-cycle window);
+				// a quota of 15 cuts the sustained rate to ~37% while
+				// still letting window-start bursts through — the
+				// approximate enforcement of footnote 1, which
+				// attenuates the channel without closing it.
+				Label: "with MBA limiter, volume", Prot: core.FullProtection(),
+				run: func(rounds int, seed uint64) Row {
+					mba := interconn.NewMBALimiter(12_000)
+					mba.SetQuota(1, 15) // throttle the Trojan's core
+					return runBus("with MBA limiter, volume", core.FullProtection(), mba, false, busVolume, rounds, seed)
+				},
+			},
+			{
+				Label: "TDM bus (hypothetical hw)", Prot: core.FullProtection(),
+				run: func(rounds int, seed uint64) Row {
+					return runBus("TDM bus (hypothetical hw)", core.FullProtection(), nil, true, busVolume, rounds, seed)
+				},
+			},
+			{
+				Label: "address encoding (side ch.)", Prot: core.FullProtection(),
+				run: func(rounds int, seed uint64) Row {
+					return runBus("address encoding (side ch.)", core.FullProtection(), nil, false, busAddress, rounds, seed)
+				},
+			},
+		},
+	},
+	{
+		ID: "T9", Name: "downgrader",
+		Title:  "Fig. 1 downgrader: secret-dependent message timing (§3.2, §4.3)",
+		Rounds: minRounds(120),
+		Variants: []Variant{
+			{
+				Label: "unprotected", Prot: core.NoProtection(),
+				run: func(rounds int, seed uint64) Row {
+					return runDowngrader("unprotected", core.NoProtection(), padNone, rounds, seed)
+				},
+			},
+			{
+				Label: "pad-only (no min-delivery)",
+				Prot:  fullWithout(func(c *core.Config) { c.MinDeliveryIPC = false }),
+				run: func(rounds int, seed uint64) Row {
+					return runDowngrader("pad-only (no min-delivery)",
+						fullWithout(func(c *core.Config) { c.MinDeliveryIPC = false }), padNone, rounds, seed)
+				},
+			},
+			{
+				Label: "full, busy-loop pad", Prot: core.FullProtection(),
+				run: func(rounds int, seed uint64) Row {
+					return runDowngrader("full, busy-loop pad", core.FullProtection(), padBusyLoop, rounds, seed)
+				},
+			},
+			{
+				Label: "full, interim process", Prot: core.FullProtection(),
+				run: func(rounds int, seed uint64) Row {
+					return runDowngrader("full, interim process", core.FullProtection(), padInterim, rounds, seed)
+				},
+			},
+		},
+	},
+	{
+		ID: "T11", Name: "padding",
+		Title:  "padding sufficiency by timestamp comparison (§5)",
+		Rounds: minRounds(20),
+		Variants: []Variant{
+			{
+				Label: "pad=25k (sufficient)", Prot: core.FullProtection(),
+				run: func(rounds int, _ uint64) Row {
+					return runPaddingSufficiency("pad=25k (sufficient)", 25_000, rounds)
+				},
+			},
+			{
+				Label: "pad=600 (insufficient)", Prot: core.FullProtection(),
+				run: func(rounds int, _ uint64) Row {
+					return runPaddingSufficiency("pad=600 (insufficient)", 600, rounds)
+				},
+			},
+		},
+	},
+	{
+		ID: "T12", Name: "overheads",
+		Title: "protection overheads on a cache-sensitive workload",
+		// T12's unit of work is heavier than a transmission round;
+		// requested rounds rescale so the default sweep stays fast.
+		Rounds: func(r int) int { return r/8 + 4 },
+		Variants: []Variant{
+			variant("unprotected", core.NoProtection(), customOverhead),
+			variant("flush", flushOnlyConfig(), customOverhead),
+			variant("flush+pad", flushPadConfig(), customOverhead),
+			variant("full (colour+clone+irq)", core.FullProtection(), customOverhead),
+		},
+		Custom:   customOverhead,
+		finalize: finalizeOverheads,
+	},
+	{
+		ID: "T13", Name: "branch",
+		Title:  "branch-predictor channel via PC aliasing (§3.1)",
+		Rounds: minRounds(30),
+		Variants: []Variant{
+			variant("no flush (pad+colour only)", fullWithout(func(c *core.Config) { c.FlushOnSwitch = false }), runBPChannel),
+			variant("flush (full)", core.FullProtection(), runBPChannel),
+		},
+		Custom: runBPChannel,
+	},
+	{
+		ID: "T14", Name: "tlb",
+		Title:  "TLB capacity channel: footprint vs page walks (§3.1, §5.3)",
+		Rounds: minRounds(30),
+		Variants: []Variant{
+			variant("no flush (pad+colour only)", fullWithout(func(c *core.Config) { c.FlushOnSwitch = false }), runTLBChannel),
+			variant("flush (full)", core.FullProtection(), runTLBChannel),
+		},
+		Custom: runTLBChannel,
+	},
+}

@@ -124,16 +124,5 @@ func runSMT(label string, prot core.Config, coResident bool, windows int, seed u
 // through the live-shared L1 despite flushing and colouring; the only
 // remedy is the scheduler policy banning such placements.
 func T7SMT(windows int, seed uint64) Experiment {
-	// Everything except the SMT ban armed: flushing and colouring are
-	// demonstrably not enough.
-	allButPolicy := core.FullProtection()
-	allButPolicy.DisallowSMTSharing = false
-	return Experiment{
-		ID:    "T7",
-		Title: "SMT sibling channel through the live-shared L1 (§4.1)",
-		Rows: []Row{
-			runSMT("SMT co-resident (flush+colour)", allButPolicy, true, windows, seed),
-			runSMT("policy: co-scheduled domains", core.FullProtection(), false, windows, seed),
-		},
-	}
+	return mustScenario("T7").Experiment(windows, seed)
 }

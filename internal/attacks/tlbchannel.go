@@ -22,11 +22,11 @@ import (
 // runTLBChannel runs one T14 configuration.
 func runTLBChannel(label string, prot core.Config, rounds int, seed uint64) Row {
 	const (
-		slice   = 100_000
-		pad     = 25_000
-		arity   = 4
-		perSym  = 16 // pages touched per symbol step (TLB has 64 entries)
-		spySet  = 12 // spy's resident translations
+		slice  = 100_000
+		pad    = 25_000
+		arity  = 4
+		perSym = 16 // pages touched per symbol step (TLB has 64 entries)
+		spySet = 12 // spy's resident translations
 	)
 	pcfg := platform.DefaultConfig()
 	pcfg.Cores = 1
@@ -101,14 +101,5 @@ func runTLBChannel(label string, prot core.Config, rounds int, seed uint64) Row 
 // tagging already guarantees functional isolation; only flushing
 // guarantees temporal isolation.
 func T14TLB(rounds int, seed uint64) Experiment {
-	noFlush := core.FullProtection()
-	noFlush.FlushOnSwitch = false
-	return Experiment{
-		ID:    "T14",
-		Title: "TLB capacity channel: footprint vs page walks (§3.1, §5.3)",
-		Rows: []Row{
-			runTLBChannel("no flush (pad+colour only)", noFlush, rounds, seed),
-			runTLBChannel("flush (full)", core.FullProtection(), rounds, seed),
-		},
-	}
+	return mustScenario("T14").Experiment(rounds, seed)
 }

@@ -1,0 +1,186 @@
+// Package experiment is the parallel experiment-sweep engine: it
+// expands a declarative sweep specification into the attack × mitigation
+// × seed matrix of the paper's evaluation, executes the cells on a
+// deterministic worker pool, and renders the results as JSON, Markdown
+// (the tables of EXPERIMENTS.md), or aligned text.
+//
+// Determinism is the engine's contract: every cell constructs its own
+// simulated kernel.System and depends only on its (rounds, seed)
+// arguments, results are stored by cell index rather than completion
+// order, and cross-row post-processing runs in canonical variant order —
+// so a sweep's output is bit-identical whether it runs on one worker or
+// sixteen.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"timeprot/internal/attacks"
+)
+
+// Spec declares a sweep: which scenarios and mitigation variants to
+// run, at what statistical weight, and over which seeds.
+type Spec struct {
+	// Scenarios selects attack scenarios by experiment ID ("T2") or
+	// short name ("l1pp"). Empty, or the single entry "all", selects
+	// every registered scenario.
+	Scenarios []string
+	// Variants filters mitigation variants by exact label; empty runs
+	// every canonical variant of each selected scenario.
+	Variants []string
+	// Rounds is the requested transmission rounds per cell; each
+	// scenario's own policy raises or rescales it (0 = default 60).
+	Rounds int
+	// Seeds are the base seeds of the sweep (empty = {42}).
+	Seeds []uint64
+	// Trials repeats each base seed with derived seeds (<=1 = one
+	// trial). Trial 0 uses the base seed itself, so a single-trial
+	// sweep reproduces the canonical tables.
+	Trials int
+	// Proofs includes the T1 proof-ablation matrix in the run.
+	Proofs bool
+	// ProofFamilies and ProofRandom size the prover's sampling (0 =
+	// defaults 5 and 200).
+	ProofFamilies, ProofRandom int
+}
+
+// DefaultRounds is the rounds used when Spec.Rounds is unset.
+const DefaultRounds = 60
+
+// normalized returns the spec with defaults applied.
+func (s Spec) normalized() Spec {
+	if s.Rounds <= 0 {
+		s.Rounds = DefaultRounds
+	}
+	if len(s.Seeds) == 0 {
+		s.Seeds = []uint64{42}
+	}
+	if s.Trials <= 1 {
+		s.Trials = 1
+	}
+	if s.ProofFamilies <= 0 {
+		s.ProofFamilies = 5
+	}
+	if s.ProofRandom <= 0 {
+		s.ProofRandom = 200
+	}
+	return s
+}
+
+// Cell is one point of the sweep matrix: a (scenario, variant, seed)
+// triple with its effective rounds.
+type Cell struct {
+	// Index is the cell's position in the expanded matrix.
+	Index int
+	// ScenarioID and ScenarioName identify the attack scenario.
+	ScenarioID, ScenarioName string
+	// Title is the scenario's description.
+	Title string
+	// Variant is the mitigation variant's label.
+	Variant string
+	// Config renders the variant's protection configuration.
+	Config string
+	// BaseSeed and Trial identify the seed point; Seed is the derived
+	// seed actually passed to the runner.
+	BaseSeed uint64
+	Trial    int
+	Seed     uint64
+	// Rounds is the effective rounds after the scenario's policy.
+	Rounds int
+}
+
+// trialSeed derives the seed for one trial of a base seed. Trial 0 is
+// the base seed itself; later trials decorrelate through a splitmix64
+// step so arithmetically related bases stay independent.
+func trialSeed(base uint64, trial int) uint64 {
+	if trial == 0 {
+		return base
+	}
+	z := base + uint64(trial)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// selectScenarios resolves the spec's scenario keys against the
+// registry, preserving registry order and rejecting unknown keys.
+func selectScenarios(keys []string) ([]attacks.Scenario, error) {
+	all := attacks.Scenarios()
+	if len(keys) == 0 || (len(keys) == 1 && strings.EqualFold(strings.TrimSpace(keys[0]), "all")) {
+		return all, nil
+	}
+	wanted := make(map[string]bool)
+	for _, k := range keys {
+		k = strings.TrimSpace(k)
+		if k == "" {
+			continue
+		}
+		s, ok := attacks.ScenarioByID(k)
+		if !ok {
+			return nil, fmt.Errorf("experiment: unknown scenario %q (have %s)",
+				k, strings.Join(attacks.ScenarioIDs(), ", "))
+		}
+		wanted[s.ID] = true
+	}
+	out := make([]attacks.Scenario, 0, len(wanted))
+	for _, s := range all {
+		if wanted[s.ID] {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// Cells expands the spec into its ordered cell matrix: scenario-major,
+// then base seed, then trial, then variant — so every (scenario, seed)
+// group of variant rows is contiguous for cross-row post-processing.
+func (s Spec) Cells() ([]Cell, error) {
+	spec := s.normalized()
+	scens, err := selectScenarios(spec.Scenarios)
+	if err != nil {
+		return nil, err
+	}
+	varFilter := make(map[string]bool)
+	for _, v := range spec.Variants {
+		varFilter[v] = true
+	}
+	matched := make(map[string]bool)
+	var cells []Cell
+	for _, sc := range scens {
+		rounds := sc.Rounds(spec.Rounds)
+		for _, base := range spec.Seeds {
+			for trial := 0; trial < spec.Trials; trial++ {
+				for _, v := range sc.Variants {
+					if len(varFilter) > 0 && !varFilter[v.Label] {
+						continue
+					}
+					matched[v.Label] = true
+					cells = append(cells, Cell{
+						Index:        len(cells),
+						ScenarioID:   sc.ID,
+						ScenarioName: sc.Name,
+						Title:        sc.Title,
+						Variant:      v.Label,
+						Config:       v.Prot.String(),
+						BaseSeed:     base,
+						Trial:        trial,
+						Seed:         trialSeed(base, trial),
+						Rounds:       rounds,
+					})
+				}
+			}
+		}
+	}
+	for v := range varFilter {
+		if !matched[v] {
+			return nil, fmt.Errorf("experiment: variant filter %q matches no variant of the selected scenarios", v)
+		}
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("experiment: empty sweep matrix")
+	}
+	return cells, nil
+}

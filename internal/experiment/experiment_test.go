@@ -1,0 +1,229 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"timeprot/internal/attacks"
+)
+
+func TestCellsExpansion(t *testing.T) {
+	spec := Spec{
+		Scenarios: []string{"T2", "tlb"}, // ID and short name both resolve
+		Rounds:    5,                     // below both minimums
+		Seeds:     []uint64{1, 2},
+		Trials:    2,
+	}
+	cells, err := spec.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T2 has 3 variants, T14 (tlb) has 2; × 2 seeds × 2 trials.
+	if want := (3 + 2) * 2 * 2; len(cells) != want {
+		t.Fatalf("got %d cells, want %d", len(cells), want)
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Fatalf("cell %d has Index %d", i, c.Index)
+		}
+		if c.Rounds != 30 {
+			t.Fatalf("cell %d: rounds %d not raised to the scenario minimum", i, c.Rounds)
+		}
+		if c.Trial == 0 && c.Seed != c.BaseSeed {
+			t.Fatalf("trial 0 must use the base seed, got %d from %d", c.Seed, c.BaseSeed)
+		}
+		if c.Trial != 0 && c.Seed == c.BaseSeed {
+			t.Fatalf("derived trial seed not decorrelated: %+v", c)
+		}
+	}
+	if trialSeed(1, 1) == trialSeed(2, 1) || trialSeed(1, 1) == trialSeed(1, 2) {
+		t.Fatal("trial seeds collide across bases or trials")
+	}
+	// Scenario-major, seed-major, variant-minor ordering.
+	if cells[0].ScenarioID != "T2" || cells[len(cells)-1].ScenarioID != "T14" {
+		t.Fatalf("unexpected scenario order: %s .. %s", cells[0].ScenarioID, cells[len(cells)-1].ScenarioID)
+	}
+
+	if _, err := (Spec{Scenarios: []string{"T99"}}).Cells(); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := (Spec{Variants: []string{"no such variant"}}).Cells(); err == nil {
+		t.Fatal("unmatched variant filter accepted")
+	}
+
+	// A variant filter narrows the matrix.
+	narrow, err := (Spec{Scenarios: []string{"T2"}, Variants: []string{"unprotected"}}).Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(narrow) != 1 || narrow[0].Variant != "unprotected" {
+		t.Fatalf("variant filter: %+v", narrow)
+	}
+}
+
+func TestCellsAllMatchesRegistry(t *testing.T) {
+	cells, err := (Spec{Scenarios: []string{"all"}}).Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, s := range attacks.Scenarios() {
+		want += len(s.Variants)
+	}
+	if len(cells) != want {
+		t.Fatalf("full matrix has %d cells, registry has %d variants", len(cells), want)
+	}
+}
+
+// runSmallSweep runs a cheap two-scenario sweep used by the determinism
+// and reporter tests. T4 exercises the capacity estimator path and T12
+// exercises cross-row finalisation (the slowdown column).
+func runSmallSweep(t *testing.T, parallelism int) *Report {
+	t.Helper()
+	rep, err := Run(Spec{
+		Scenarios: []string{"T4", "T12"},
+		Rounds:    30,
+		Seeds:     []uint64{7},
+	}, Options{Parallelism: parallelism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	seq := runSmallSweep(t, 1)
+	par := runSmallSweep(t, 8)
+
+	var bufSeq, bufPar bytes.Buffer
+	if err := WriteJSON(&bufSeq, seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&bufPar, par); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufSeq.Bytes(), bufPar.Bytes()) {
+		t.Fatalf("results differ between -parallel 1 and -parallel 8:\n--- seq ---\n%s\n--- par ---\n%s",
+			bufSeq.String(), bufPar.String())
+	}
+
+	for _, c := range seq.Cells {
+		if c.Err != "" {
+			t.Fatalf("cell %d (%s/%s) failed: %s", c.Index, c.ScenarioID, c.Variant, c.Err)
+		}
+	}
+	// T12's finalisation must have produced the relative column for
+	// every overheads cell, with the baseline pinned at 1.0.
+	sawBaseline := false
+	for _, c := range seq.Cells {
+		if c.ScenarioID != "T12" {
+			continue
+		}
+		slow := extraOf(c, "slowdown")
+		if slow == 0 {
+			t.Fatalf("T12 cell %q missing slowdown: %+v", c.Variant, c.Extra)
+		}
+		if c.Variant == "unprotected" {
+			sawBaseline = true
+			if slow != 1.0 {
+				t.Fatalf("baseline slowdown = %v, want 1.0", slow)
+			}
+		}
+	}
+	if !sawBaseline {
+		t.Fatal("no T12 baseline cell in sweep")
+	}
+}
+
+func extraOf(c CellResult, key string) float64 {
+	for _, kv := range c.Extra {
+		if kv.K == key {
+			return kv.V
+		}
+	}
+	return 0
+}
+
+func TestReporters(t *testing.T) {
+	rep := runSmallSweep(t, 0)
+
+	var jsonBuf bytes.Buffer
+	if err := WriteJSON(&jsonBuf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Report
+	if err := json.Unmarshal(jsonBuf.Bytes(), &decoded); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if len(decoded.Cells) != len(rep.Cells) {
+		t.Fatalf("JSON round-trip lost cells: %d != %d", len(decoded.Cells), len(rep.Cells))
+	}
+	if decoded.Cells[0].Variant != rep.Cells[0].Variant {
+		t.Fatalf("JSON round-trip mangled cell: %+v", decoded.Cells[0])
+	}
+
+	var md bytes.Buffer
+	if err := WriteMarkdown(&md, rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# EXPERIMENTS — reproduced results",
+		"## aISA hardware–software contract",
+		"## T4 —",
+		"## T12 —",
+		"| flush+pad (full) |",
+		rep.RegenCommand(),
+	} {
+		if !strings.Contains(md.String(), want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+	if strings.Contains(md.String(), "## T1 —") {
+		t.Error("markdown contains proof table although proofs were not run")
+	}
+
+	var txt bytes.Buffer
+	if err := WriteText(&txt, rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"aISA contract", "T4 —", "flush, no pad"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Errorf("text report missing %q", want)
+		}
+	}
+}
+
+func TestRunProofs(t *testing.T) {
+	res := RunProofs(1, 10, 7, 4)
+	if len(res) != 7 {
+		t.Fatalf("proof matrix rows = %d, want 7", len(res))
+	}
+	if !res[0].Proved || res[0].Name != "full protection" {
+		t.Fatalf("full protection row wrong: %+v", res[0])
+	}
+	for _, r := range res[1:] {
+		if r.Proved {
+			t.Errorf("ablation %q must not prove", r.Name)
+		}
+	}
+	if len(res[0].Cases) == 0 || res[0].BoundedRuns == 0 {
+		t.Fatalf("flattened proof fields not populated: %+v", res[0])
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	// An impossible variant reaches the runner only through a
+	// hand-built cell; simulate by running a scenario whose rounds are
+	// forced negative — the registry clamps, so instead exercise the
+	// unknown-variant path directly.
+	res := runCell(Cell{ScenarioID: "T2", Variant: "definitely not real"})
+	if res.Err == "" {
+		t.Fatal("unknown variant did not error")
+	}
+	res = runCell(Cell{ScenarioID: "T99", Variant: "x"})
+	if res.Err == "" {
+		t.Fatal("unknown scenario did not error")
+	}
+}

@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"sync"
+
+	"timeprot/internal/prove/absmodel"
+	"timeprot/internal/prove/nonintf"
+)
+
+// ProofVariant is one configuration of the T1 proof-ablation matrix:
+// the full-protection proof plus one ablation per mechanism, each
+// expected to fail in exactly its case.
+type ProofVariant struct {
+	// Name labels the configuration (e.g. "full", "no flush").
+	Name string
+	// Cfg is the abstract-model instance to prove.
+	Cfg absmodel.Config
+}
+
+// ProofVariants returns the canonical T1 matrix in presentation order.
+func ProofVariants() []ProofVariant {
+	rows := []struct {
+		name string
+		mut  func(*absmodel.Config)
+	}{
+		{"full protection", func(*absmodel.Config) {}},
+		{"no flush", func(c *absmodel.Config) { c.Flush = false }},
+		{"no pad", func(c *absmodel.Config) { c.Pad = false }},
+		{"no colour", func(c *absmodel.Config) { c.Color = false }},
+		{"shared kernel", func(c *absmodel.Config) { c.Clone = false }},
+		{"no IRQ partition", func(c *absmodel.Config) { c.PartitionIRQ = false }},
+		{"SMT co-residency", func(c *absmodel.Config) { c.SMT = true }},
+	}
+	out := make([]ProofVariant, 0, len(rows))
+	for _, r := range rows {
+		cfg := absmodel.DefaultConfig()
+		r.mut(&cfg)
+		out = append(out, ProofVariant{Name: r.name, Cfg: cfg})
+	}
+	return out
+}
+
+// ProofCase is one unwinding-lemma verdict, flattened for reporting.
+type ProofCase struct {
+	// Name identifies the lemma.
+	Name string
+	// Holds is the verdict.
+	Holds bool
+	// Checked counts the assignments examined.
+	Checked int
+}
+
+// ProofResult is one row of the T1 matrix.
+type ProofResult struct {
+	// Name labels the configuration.
+	Name string
+	// Proved is the overall verdict: all lemmas hold and the bounded
+	// check passed without padding overruns.
+	Proved bool
+	// Cases are the unwinding-lemma verdicts.
+	Cases []ProofCase
+	// BoundedProved is the end-to-end enumeration verdict.
+	BoundedProved bool
+	// BoundedRuns counts the complete machine executions compared.
+	BoundedRuns int
+	// PadOverruns counts runs whose switch work exceeded the pad.
+	PadOverruns int
+	// Report is the full prover output (not serialised to JSON).
+	Report nonintf.ProofReport `json:"-"`
+}
+
+// RunProofs runs the T1 proof-ablation matrix, at most parallelism
+// configurations concurrently (<=0 runs them sequentially). Results are
+// in canonical order regardless of scheduling.
+func RunProofs(families, extraRandom int, seed uint64, parallelism int) []ProofResult {
+	variants := ProofVariants()
+	out := make([]ProofResult, len(variants))
+	if parallelism <= 0 {
+		parallelism = 1
+	}
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i, v := range variants {
+		wg.Add(1)
+		go func(i int, v ProofVariant) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rep := nonintf.Prove(v.Cfg, families, extraRandom, seed)
+			res := ProofResult{
+				Name:          v.Name,
+				Proved:        rep.Proved(),
+				BoundedProved: rep.Bounded.Proved,
+				BoundedRuns:   rep.Bounded.Runs,
+				PadOverruns:   rep.Bounded.PadOverruns,
+				Report:        rep,
+			}
+			for _, c := range rep.Cases {
+				res.Cases = append(res.Cases, ProofCase{Name: c.Name, Holds: c.Holds, Checked: c.Checked})
+			}
+			out[i] = res
+		}(i, v)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,219 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"timeprot/internal/attacks"
+	"timeprot/internal/core"
+	"timeprot/internal/hw/platform"
+)
+
+// Options tunes a sweep run without affecting its results.
+type Options struct {
+	// Parallelism is the worker count (<=0 = GOMAXPROCS). Results are
+	// identical for any value; only wall-clock time changes.
+	Parallelism int
+	// Progress, when non-nil, is called after each completed cell with
+	// the done count, the matrix size, and the finished cell. Calls
+	// are serialised but arrive in completion order.
+	Progress func(done, total int, c Cell)
+}
+
+// CellResult is one completed cell: its coordinates plus the flattened
+// measurement. Float fields that can be NaN (a scenario without a
+// decoder has no error rate) are pointers so the struct serialises to
+// valid JSON.
+type CellResult struct {
+	Cell
+	// CapacityBits, FloorBits, and MIUniform summarise the channel
+	// estimate; Leaks is the capacity-above-floor verdict.
+	CapacityBits float64
+	FloorBits    float64
+	MIUniform    float64
+	// N and Bins describe the estimate's sample set.
+	N, Bins int
+	// ErrRate is the spy's decode error rate; nil when the scenario
+	// has no decoder.
+	ErrRate *float64 `json:",omitempty"`
+	// Leaks reports whether the cell demonstrates a channel.
+	Leaks bool
+	// Extra carries scenario-specific metrics in insertion order.
+	Extra []attacks.KV `json:",omitempty"`
+	// Err records a runner failure (the cell's row is then zero).
+	Err string `json:",omitempty"`
+
+	// row is the raw measurement, kept for text rendering and
+	// cross-row post-processing.
+	row attacks.Row
+}
+
+// Row returns the raw measured row.
+func (c CellResult) Row() attacks.Row { return c.row }
+
+// fillFromRow flattens a measured row into the result's JSON fields.
+func (c *CellResult) fillFromRow(row attacks.Row) {
+	c.row = row
+	c.CapacityBits = row.Est.CapacityBits
+	c.FloorBits = row.Est.FloorBits
+	c.MIUniform = row.Est.MIUniform
+	c.N = row.Est.N
+	c.Bins = row.Est.Bins
+	c.Leaks = row.Leaks()
+	c.ErrRate = nil
+	if !math.IsNaN(row.ErrRate) {
+		v := row.ErrRate
+		c.ErrRate = &v
+	}
+	c.Extra = nil
+	for _, kv := range row.Extra {
+		if math.IsNaN(kv.V) || math.IsInf(kv.V, 0) {
+			continue // keep the JSON encodable
+		}
+		c.Extra = append(c.Extra, kv)
+	}
+}
+
+// Report is a completed sweep: the spec, every cell in matrix order,
+// and optionally the proof matrix and the aISA contract.
+type Report struct {
+	// Spec is the normalised specification that produced the report.
+	Spec Spec
+	// Cells are the results in matrix order (independent of worker
+	// scheduling).
+	Cells []CellResult
+	// Proofs is the T1 proof-ablation matrix when Spec.Proofs is set.
+	Proofs []ProofResult `json:",omitempty"`
+	// Contract is the aISA contract check for full protection on the
+	// default platform.
+	Contract core.ContractReport
+}
+
+// Run executes the sweep. The report depends only on the spec: worker
+// count and scheduling cannot change a single bit of it.
+func Run(spec Spec, opt Options) (*Report, error) {
+	spec = spec.normalized()
+	cells, err := spec.Cells()
+	if err != nil {
+		return nil, err
+	}
+
+	par := opt.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(cells) {
+		par = len(cells)
+	}
+
+	results := make([]CellResult, len(cells))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := 0
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = runCell(cells[i])
+				if opt.Progress != nil {
+					mu.Lock()
+					done++
+					opt.Progress(done, len(cells), cells[i])
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range cells {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	finalizeGroups(results)
+
+	rep := &Report{
+		Spec:     spec,
+		Cells:    results,
+		Contract: defaultContract(),
+	}
+	if spec.Proofs {
+		rep.Proofs = RunProofs(spec.ProofFamilies, spec.ProofRandom, firstSeed(spec), par)
+	}
+	return rep, nil
+}
+
+// runCell executes one cell, converting runner panics into per-cell
+// errors so a bad scenario cannot take down the sweep.
+func runCell(c Cell) (res CellResult) {
+	res.Cell = c
+	defer func() {
+		if p := recover(); p != nil {
+			res = CellResult{Cell: c, Err: fmt.Sprint(p)}
+		}
+	}()
+	s, ok := attacks.ScenarioByID(c.ScenarioID)
+	if !ok {
+		res.Err = fmt.Sprintf("scenario %q not registered", c.ScenarioID)
+		return res
+	}
+	v, ok := s.VariantByLabel(c.Variant)
+	if !ok {
+		res.Err = fmt.Sprintf("variant %q not in scenario %s", c.Variant, s.ID)
+		return res
+	}
+	res.fillFromRow(v.Run(c.Rounds, c.Seed))
+	return res
+}
+
+// finalizeGroups applies each scenario's cross-row post-processing
+// (e.g. T12's slowdown-vs-baseline column) to every contiguous
+// (scenario, seed) group of rows, in canonical variant order. Groups
+// containing a failed cell are left untouched.
+func finalizeGroups(results []CellResult) {
+	for _, g := range cellGroups(results) {
+		group := results[g.start:g.end]
+		s, ok := attacks.ScenarioByID(group[0].ScenarioID)
+		if ok {
+			failed := false
+			rows := make([]attacks.Row, len(group))
+			for i, r := range group {
+				if r.Err != "" {
+					failed = true
+					break
+				}
+				rows[i] = r.row
+			}
+			if !failed {
+				rows = s.Finalize(rows)
+				for i := range group {
+					group[i].fillFromRow(rows[i])
+				}
+			}
+		}
+	}
+}
+
+// defaultContract checks the aISA for full protection on the default
+// platform, mirroring the top-level CheckContract helper.
+func defaultContract() core.ContractReport {
+	p := platform.DefaultConfig()
+	colors := p.LLCSets * 64 / 4096 // sets * line / page
+	if colors < 1 {
+		colors = 1
+	}
+	return core.CheckContract(core.FullProtection(), colors, p.SMTWays)
+}
+
+// firstSeed returns the sweep's first base seed, which also seeds the
+// prover so one -seed flag controls the whole run.
+func firstSeed(spec Spec) uint64 {
+	if len(spec.Seeds) > 0 {
+		return spec.Seeds[0]
+	}
+	return 42
+}

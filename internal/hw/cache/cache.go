@@ -98,11 +98,11 @@ type line struct {
 
 // Stats accumulates access statistics.
 type Stats struct {
-	Hits       uint64
-	Misses     uint64
-	Evictions  uint64
-	Writebacks uint64
-	Flushes    uint64
+	Hits         uint64
+	Misses       uint64
+	Evictions    uint64
+	Writebacks   uint64
+	Flushes      uint64
 	FlushedDirty uint64
 }
 

@@ -57,7 +57,7 @@ type Config struct {
 // stride prefetcher armed after 2 confirmations.
 func DefaultConfig(id int) Config {
 	return Config{
-		ID:     id,
+		ID:      id,
 		L1ISets: 64, L1IWays: 8,
 		L1DSets: 64, L1DWays: 8,
 		L2Sets: 512, L2Ways: 8,

@@ -28,8 +28,8 @@ type Bus struct {
 
 // CoreStats accumulates per-core bus statistics.
 type CoreStats struct {
-	Transfers   uint64
-	QueueCycles uint64
+	Transfers      uint64
+	QueueCycles    uint64
 	ThrottleCycles uint64
 }
 

@@ -78,12 +78,12 @@ func DefaultConfig() Config {
 		// Worst-case switch work: kernel entry (<=16) plus three
 		// flushes (<=32 each) = 112; the budget must cover it or the
 		// padding assumption fails (checked, not assumed).
-		PadBudget: 128,
-		Flush:         true,
-		Pad:           true,
-		Color:         true,
-		Clone:         true,
-		PartitionIRQ:  true,
+		PadBudget:    128,
+		Flush:        true,
+		Pad:          true,
+		Color:        true,
+		Clone:        true,
+		PartitionIRQ: true,
 	}
 }
 

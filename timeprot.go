@@ -28,9 +28,12 @@ package timeprot
 
 import (
 	"fmt"
+	"io"
+	"runtime"
 
 	"timeprot/internal/attacks"
 	"timeprot/internal/core"
+	"timeprot/internal/experiment"
 	"timeprot/internal/hw/mem"
 	"timeprot/internal/hw/platform"
 	"timeprot/internal/kernel"
@@ -114,47 +117,20 @@ func CheckContract(cfg Config, p PlatformConfig) ContractReport {
 	return core.CheckContract(cfg, colors, p.SMTWays)
 }
 
-// Experiment identifiers, in presentation order.
-var ExperimentIDs = []string{"T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T11", "T12", "T13", "T14"}
+// ExperimentIDs lists the experiment identifiers in presentation order,
+// as registered in the attack-scenario registry.
+var ExperimentIDs = attacks.ScenarioIDs()
 
-// RunExperiment reproduces one experiment table by ID with the given
-// round count and seed. Rounds below the per-experiment minimum are
-// raised to it, so small values are safe everywhere.
+// RunExperiment reproduces one experiment table by ID (or short scenario
+// name, e.g. "l1pp") with the given round count and seed. Rounds below
+// the per-experiment minimum are raised to it, so small values are safe
+// everywhere.
 func RunExperiment(id string, rounds int, seed uint64) (Experiment, error) {
-	atLeast := func(n int) int {
-		if rounds < n {
-			return n
-		}
-		return rounds
-	}
-	switch id {
-	case "T2":
-		return attacks.T2L1PrimeProbe(atLeast(30), seed), nil
-	case "T3":
-		return attacks.T3LLCPrimeProbe(atLeast(30), seed), nil
-	case "T4":
-		return attacks.T4FlushLatency(atLeast(30), seed), nil
-	case "T5":
-		return attacks.T5KernelImage(atLeast(30), seed), nil
-	case "T6":
-		return attacks.T6IRQ(atLeast(30), seed), nil
-	case "T7":
-		return attacks.T7SMT(atLeast(30), seed), nil
-	case "T8":
-		return attacks.T8Bus(atLeast(30), seed), nil
-	case "T9":
-		return attacks.T9Downgrader(atLeast(120), seed), nil
-	case "T11":
-		return attacks.T11PaddingSufficiency(atLeast(20), seed), nil
-	case "T12":
-		return attacks.T12Overheads(rounds/8+4, seed), nil
-	case "T13":
-		return attacks.T13BranchPredictor(atLeast(30), seed), nil
-	case "T14":
-		return attacks.T14TLB(atLeast(30), seed), nil
-	default:
+	s, ok := attacks.ScenarioByID(id)
+	if !ok {
 		return Experiment{}, fmt.Errorf("timeprot: unknown experiment %q (have %v)", id, ExperimentIDs)
 	}
+	return s.Experiment(s.Rounds(rounds), seed), nil
 }
 
 // AllExperiments reproduces every experiment table.
@@ -191,28 +167,49 @@ type NamedProof struct {
 
 // ProofMatrix reproduces experiment T1: the full-protection proof plus
 // one ablation per mechanism, each expected to fail in exactly its case.
+// The configurations run concurrently; results are deterministic.
 func ProofMatrix(families, extraRandom int, seed uint64) []NamedProof {
-	type row struct {
-		name string
-		mut  func(*ModelConfig)
-	}
-	rows := []row{
-		{"full protection", func(*ModelConfig) {}},
-		{"no flush", func(c *ModelConfig) { c.Flush = false }},
-		{"no pad", func(c *ModelConfig) { c.Pad = false }},
-		{"no colour", func(c *ModelConfig) { c.Color = false }},
-		{"shared kernel", func(c *ModelConfig) { c.Clone = false }},
-		{"no IRQ partition", func(c *ModelConfig) { c.PartitionIRQ = false }},
-		{"SMT co-residency", func(c *ModelConfig) { c.SMT = true }},
-	}
-	out := make([]NamedProof, 0, len(rows))
-	for _, r := range rows {
-		cfg := absmodel.DefaultConfig()
-		r.mut(&cfg)
-		out = append(out, NamedProof{Name: r.name, Report: nonintf.Prove(cfg, families, extraRandom, seed)})
+	results := experiment.RunProofs(families, extraRandom, seed, runtime.GOMAXPROCS(0))
+	out := make([]NamedProof, 0, len(results))
+	for _, r := range results {
+		out = append(out, NamedProof{Name: r.Name, Report: r.Report})
 	}
 	return out
 }
+
+// Sweep types re-exported from the experiment engine: the public API for
+// running the full attack × mitigation × seed matrix concurrently.
+type (
+	// SweepSpec declares an experiment sweep (scenarios × variants ×
+	// seeds × trials, plus the proof matrix).
+	SweepSpec = experiment.Spec
+	// SweepOptions tunes parallelism and progress reporting; it never
+	// affects results.
+	SweepOptions = experiment.Options
+	// SweepReport is a completed sweep with per-cell measurements.
+	SweepReport = experiment.Report
+	// SweepCell is one (scenario, variant, seed) point of the matrix.
+	SweepCell = experiment.Cell
+	// SweepCellResult is a completed cell's flattened measurement.
+	SweepCellResult = experiment.CellResult
+)
+
+// RunSweep executes an experiment sweep on a worker pool. The report is
+// a pure function of the spec: worker count cannot change a bit of it.
+func RunSweep(spec SweepSpec, opt SweepOptions) (*SweepReport, error) {
+	return experiment.Run(spec, opt)
+}
+
+// WriteSweepJSON serialises a sweep report as indented JSON.
+func WriteSweepJSON(w io.Writer, r *SweepReport) error { return experiment.WriteJSON(w, r) }
+
+// WriteSweepMarkdown renders a sweep report as the EXPERIMENTS.md
+// document (regeneration command, contract, proof matrix, one table per
+// scenario).
+func WriteSweepMarkdown(w io.Writer, r *SweepReport) error { return experiment.WriteMarkdown(w, r) }
+
+// WriteSweepText renders a sweep report as aligned text tables.
+func WriteSweepText(w io.Writer, r *SweepReport) error { return experiment.WriteText(w, r) }
 
 // NewFlushMonitor installs the flush-invariant monitor on a system; call
 // before Run and pass the monitor to CheckInvariants afterwards.
