@@ -11,7 +11,7 @@
 //
 //	tpbench [-sweep all|T2,l1pp,...] [-variants "label,..."]
 //	        [-rounds N] [-seed S | -seeds S1,S2,...] [-trials K]
-//	        [-parallel P] [-proofs=false]
+//	        [-parallel P] [-proofs=false] [-cpuprofile tpbench.prof]
 //	        [-out results.json] [-md EXPERIMENTS.md] [-quiet]
 package main
 
@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -55,7 +56,31 @@ func main() {
 	out := flag.String("out", "", "write JSON results to this path")
 	md := flag.String("md", "", "write the Markdown report (EXPERIMENTS.md format) to this path")
 	quiet := flag.Bool("quiet", false, "suppress progress and text tables on stdout")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this path")
 	flag.Parse()
+
+	stopProfile := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("starting CPU profile: %v", err)
+		}
+		stopped := false
+		stopProfile = func() {
+			if stopped {
+				return
+			}
+			stopped = true
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fail("closing %s: %v", *cpuprofile, err)
+			}
+		}
+	}
+	defer stopProfile()
 
 	spec := timeprot.SweepSpec{
 		Scenarios:     splitList(*sweep),
@@ -101,7 +126,10 @@ func main() {
 		if err := timeprot.WriteSweepText(os.Stdout, rep); err != nil {
 			fail("%v", err)
 		}
-		fmt.Printf("sweep: %d cells in %.1fs\n", len(rep.Cells), time.Since(start).Seconds())
+		elapsed := time.Since(start).Seconds()
+		ops := rep.TotalSimOps()
+		fmt.Printf("sweep: %d cells, %.1fM simulated ops in %.1fs (%.2fM ops/s)\n",
+			len(rep.Cells), float64(ops)/1e6, elapsed, float64(ops)/1e6/elapsed)
 	}
 	failures := 0
 	for _, c := range rep.Cells {
@@ -142,6 +170,7 @@ func main() {
 		}
 	}
 	if failures > 0 {
+		stopProfile()
 		os.Exit(1)
 	}
 }

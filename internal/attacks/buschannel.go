@@ -34,12 +34,129 @@ const (
 	busAddress                // Trojan modulates addresses at constant volume
 )
 
-// runBus runs one T8 configuration.
-func runBus(label string, prot core.Config, limiter *interconn.MBALimiter, tdm bool, mode busMode, windows int, seed uint64) Row {
-	const (
-		windowLen = 80_000
-		spyReads  = 48
-	)
+const (
+	t8WindowLen = 80_000
+	t8SpyReads  = 48
+)
+
+// t8Trojan streams (or idles) against the bus according to the window's
+// symbol.
+type t8Trojan struct {
+	windows   int
+	mode      busMode
+	seq       []int
+	trojOrder []int
+	syms      *SymLog
+
+	phase      int
+	w          int
+	start, end uint64
+	pos        int
+}
+
+// payload issues the window's next unit of traffic: a streaming miss, a
+// quiet burn, or (address mode) a constant-volume read whose buffer
+// half is the symbol.
+func (t *t8Trojan) payload(m *kernel.Machine) kernel.Status {
+	heap := m.HeapBytes()
+	sym := t.seq[t.w]
+	switch {
+	case t.mode == busVolume && sym == 1:
+		off := uint64(t.trojOrder[t.pos%len(t.trojOrder)]*hw.LineSize) % heap
+		t.pos++
+		return m.ReadHeap(off)
+	case t.mode == busVolume:
+		return m.Compute(300)
+	default:
+		off := uint64(t.trojOrder[t.pos%len(t.trojOrder)]*hw.LineSize) % (heap / 2)
+		if sym == 1 {
+			off += heap / 2
+		}
+		t.pos++
+		return m.ReadHeap(off)
+	}
+}
+
+func (t *t8Trojan) Step(m *kernel.Machine) kernel.Status {
+	switch t.phase {
+	case 0: // sample the stream's start time
+		t.phase = 1
+		return m.Now()
+	case 1:
+		t.start = m.Time()
+		t.phase = 2
+		return m.Now() // commit timestamp for window 0
+	case 2:
+		t.syms.Commit(m.Time(), t.seq[t.w])
+		t.end = t.start + uint64(t.w+1)*t8WindowLen
+		t.phase = 3
+		return m.Now() // window deadline check
+	case 3:
+		if m.Time() < t.end {
+			t.phase = 4
+			return t.payload(m)
+		}
+		t.w++
+		if t.w == t.windows+4 {
+			return kernel.Done
+		}
+		t.phase = 2
+		return m.Now()
+	default: // 4: the payload op completed; re-check the window
+		t.phase = 3
+		return m.Now()
+	}
+}
+
+// t8Spy streams its own buffer and times a fixed number of misses — a
+// bandwidth probe.
+type t8Spy struct {
+	windows  int
+	spyOrder []int
+	obs      *ObsLog
+
+	phase    int
+	deadline uint64
+	pos, i   int
+	lat      uint64
+}
+
+func (s *t8Spy) read(m *kernel.Machine) kernel.Status {
+	off := uint64(s.spyOrder[s.pos%len(s.spyOrder)]*hw.LineSize) % m.HeapBytes()
+	s.pos++
+	return m.ReadHeap(off)
+}
+
+func (s *t8Spy) Step(m *kernel.Machine) kernel.Status {
+	switch s.phase {
+	case 0: // loop deadline check
+		s.deadline = uint64(s.windows+4) * t8WindowLen
+		s.phase = 1
+		return m.Now()
+	case 1:
+		if m.Time() >= s.deadline {
+			return kernel.Done
+		}
+		s.i, s.lat = 0, 0
+		s.phase = 2
+		return s.read(m)
+	case 2: // timed probe burst
+		s.lat += m.Latency()
+		s.i++
+		if s.i < t8SpyReads {
+			return s.read(m)
+		}
+		s.phase = 3
+		return m.Now() // observation timestamp
+	default: // 3
+		s.obs.Record(m.Time(), float64(s.lat))
+		s.phase = 1
+		return m.Now()
+	}
+}
+
+// buildBus constructs one T8 configuration.
+func buildBus(label string, prot core.Config, limiter *interconn.MBALimiter, tdm bool, mode busMode, windows int, seed uint64, o execOpt) (*kernel.System, func(kernel.Report) Row) {
 	pcfg := platform.DefaultConfig()
 	pcfg.Cores = 2
 	pcfg.LLCSets = 512 // small LLC so streams miss continuously
@@ -62,8 +179,9 @@ func runBus(label string, prot core.Config, limiter *interconn.MBALimiter, tdm b
 			{Name: "Hi", SliceCycles: 400_000, PadCycles: 20_000, Colors: mem.NewColorSet(1, 2, 3), CodePages: 4, HeapPages: 126},
 			{Name: "Lo", SliceCycles: 400_000, PadCycles: 20_000, Colors: mem.NewColorSet(4, 5, 6, 7), CodePages: 4, HeapPages: 128},
 		},
-		Schedule:  [][]int{{1}, {0}}, // Lo on core 0, Hi on core 1
-		MaxCycles: uint64(windows+8)*windowLen + 8_000_000,
+		Schedule:    [][]int{{1}, {0}}, // Lo on core 0, Hi on core 1
+		EnableTrace: o.trace,
+		MaxCycles:   uint64(windows+8)*t8WindowLen + 8_000_000,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("attacks: T8 %s: %v", label, err))
@@ -80,85 +198,51 @@ func runBus(label string, prot core.Config, limiter *interconn.MBALimiter, tdm b
 	}
 
 	seq := SymbolSeq(windows+8, 2, seed)
-	var syms SymLog
-	var obs ObsLog
+	syms := &SymLog{}
+	obs := &ObsLog{}
 	// Shuffled full-buffer orders: each stream is several times larger
 	// than its LLC partition, so misses are sustained, and the
 	// shuffling defeats the prefetcher.
 	trojOrder := shuffledOffsets(126*hw.LinesPerPage, 1, seed^0xF1)
 	spyOrder := shuffledOffsets(128*hw.LinesPerPage, 1, seed^0xF2)
 
-	if _, err := sys.Spawn(0, "trojan", 1, func(c *kernel.UserCtx) {
-		heap := c.HeapBytes()
-		start := c.Now()
-		pos := 0
-		for w := 0; w < windows+4; w++ {
-			sym := seq[w]
-			syms.Commit(c.Now(), sym)
-			end := start + uint64(w+1)*windowLen
-			for c.Now() < end {
-				switch {
-				case mode == busVolume && sym == 1:
-					// Saturate the bus with streaming misses.
-					c.ReadHeap(uint64(trojOrder[pos%len(trojOrder)]*hw.LineSize) % heap)
-					pos++
-				case mode == busVolume:
-					c.Compute(300)
-				default:
-					// Address mode: constant volume, the symbol
-					// only picks which half of the buffer.
-					off := uint64(trojOrder[pos%len(trojOrder)]*hw.LineSize) % (heap / 2)
-					if sym == 1 {
-						off += heap / 2
-					}
-					c.ReadHeap(off)
-					pos++
-				}
+	o.spawn(sys, 0, "trojan", 1, &t8Trojan{
+		windows: windows, mode: mode, seq: seq, trojOrder: trojOrder, syms: syms,
+	})
+	o.spawn(sys, 1, "spy", 0, &t8Spy{
+		windows: windows, spyOrder: spyOrder, obs: obs,
+	})
+
+	return sys, func(rep kernel.Report) Row {
+		labels, vals := Label(syms, obs, 15)
+		est, err := EstimateLabelled(labels, vals, 16, seed^0x8888)
+		if err != nil {
+			panic(err)
+		}
+		// Amplitude: how much the Trojan slows the spy's probe — the
+		// raw signal the MBA limiter attenuates even where capacity
+		// survives.
+		var sum [2]float64
+		var n [2]int
+		for i, l := range labels {
+			if l == 0 || l == 1 {
+				sum[l] += vals[i]
+				n[l]++
 			}
 		}
-	}); err != nil {
-		panic(err)
-	}
-
-	// Spy: stream its own buffer and time a fixed number of misses —
-	// a bandwidth probe.
-	if _, err := sys.Spawn(1, "spy", 0, func(c *kernel.UserCtx) {
-		heap := c.HeapBytes()
-		deadline := uint64(windows+4) * windowLen
-		pos := 0
-		for c.Now() < deadline {
-			var lat uint64
-			for i := 0; i < spyReads; i++ {
-				lat += c.ReadHeap(uint64(spyOrder[pos%len(spyOrder)]*hw.LineSize) % heap)
-				pos++
-			}
-			obs.Record(c.Now(), float64(lat))
+		amp := 0.0
+		if n[0] > 0 && n[1] > 0 {
+			amp = sum[1]/float64(n[1]) - sum[0]/float64(n[0])
 		}
-	}); err != nil {
-		panic(err)
+		return Row{Label: label, Est: est, ErrRate: nan(), SimOps: rep.Ops,
+			Extra: []KV{{K: "amplitude_cyc", V: amp}}}
 	}
+}
 
-	mustRun(sys)
-	labels, vals := Label(&syms, &obs, 15)
-	est, err := EstimateLabelled(labels, vals, 16, seed^0x8888)
-	if err != nil {
-		panic(err)
-	}
-	// Amplitude: how much the Trojan slows the spy's probe — the raw
-	// signal the MBA limiter attenuates even where capacity survives.
-	var sum [2]float64
-	var n [2]int
-	for i, l := range labels {
-		if l == 0 || l == 1 {
-			sum[l] += vals[i]
-			n[l]++
-		}
-	}
-	amp := 0.0
-	if n[0] > 0 && n[1] > 0 {
-		amp = sum[1]/float64(n[1]) - sum[0]/float64(n[0])
-	}
-	return Row{Label: label, Est: est, ErrRate: nan(), Extra: []KV{{K: "amplitude_cyc", V: amp}}}
+// runBus runs one T8 configuration.
+func runBus(label string, prot core.Config, limiter *interconn.MBALimiter, tdm bool, mode busMode, windows int, seed uint64) Row {
+	sys, finish := buildBus(label, prot, limiter, tdm, mode, windows, seed, execOpt{})
+	return finish(mustRun(sys))
 }
 
 // T8Bus reproduces experiment T8: the interconnect bandwidth channel is

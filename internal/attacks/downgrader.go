@@ -35,17 +35,140 @@ const (
 	padInterim
 )
 
-// runDowngrader runs one T9 configuration.
-func runDowngrader(label string, prot core.Config, mode padMode, rounds int, seed uint64) Row {
-	const (
-		slice   = 30_000
-		pad     = 10_000
-		arity   = 4
-		base    = 8_000   // cycles of crypto work for symbol 0
-		step    = 12_000  // extra cycles per symbol value
-		wcet    = 120_000 // wall-clock bound for one round, busy-loop target
-		cadence = 200_000 // MinDelivery cadence
-	)
+const (
+	t9Slice   = 30_000
+	t9Pad     = 10_000
+	t9Arity   = 4
+	t9Base    = 8_000   // cycles of crypto work for symbol 0
+	t9Step    = 12_000  // extra cycles per symbol value
+	t9WCET    = 120_000 // wall-clock bound for one round, busy-loop target
+	t9Cadence = 200_000 // MinDelivery cadence
+)
+
+// t9Arrival is one ciphertext delivery as the network stack saw it.
+type t9Arrival struct {
+	sym int
+	at  uint64
+}
+
+// t9Crypto is the downgrader: per round, secret-dependent "encryption"
+// time, then publish the ciphertext. The secret rides along as payload
+// purely as ground truth for the capacity estimate.
+type t9Crypto struct {
+	rounds  int
+	mode    padMode
+	secrets []int
+	useful  *uint64
+
+	phase      int
+	r          int
+	roundStart uint64
+	work, done uint64
+	lastChunk  uint64
+}
+
+// chunk issues the next slab of crypto work, at most 500 cycles so the
+// kernel can always preempt in time.
+func (t *t9Crypto) chunk(m *kernel.Machine) kernel.Status {
+	c := t.work - t.done
+	if c > 500 {
+		c = 500
+	}
+	t.lastChunk = c
+	return m.Compute(c)
+}
+
+// send publishes the round's ciphertext.
+func (t *t9Crypto) send(m *kernel.Machine) kernel.Status {
+	t.phase = 5
+	return m.Send(0, uint64(t.secrets[t.r]))
+}
+
+func (t *t9Crypto) Step(m *kernel.Machine) kernel.Status {
+	switch t.phase {
+	case 0: // round timestamp
+		t.phase = 1
+		return m.Now()
+	case 1:
+		t.roundStart = m.Time()
+		t.work = uint64(t9Base + t.secrets[t.r]*t9Step)
+		t.done = 0
+		t.phase = 2
+		return t.chunk(m)
+	case 2: // a work chunk finished
+		t.done += t.lastChunk
+		*t.useful += t.lastChunk
+		if t.done < t.work {
+			return t.chunk(m)
+		}
+		if t.mode == padBusyLoop {
+			// §4.3: pad execution to an upper bound by busy
+			// looping — wasteful but safe.
+			t.phase = 3
+			return m.Now()
+		}
+		return t.send(m)
+	case 3: // busy-loop deadline check
+		if m.Time() < t.roundStart+t9WCET {
+			t.phase = 4
+			return m.Compute(200)
+		}
+		return t.send(m)
+	case 4:
+		t.phase = 3
+		return m.Now()
+	default: // 5: the send completed
+		t.r++
+		if t.r == t.rounds+2 {
+			return kernel.Done
+		}
+		t.phase = 1
+		return m.Now()
+	}
+}
+
+// t9Interim is the §4.3 "another Hi process should be scheduled for
+// padding": it soaks up the slice time the downgrader leaves while
+// blocked, doing useful work in small chunks so the kernel can always
+// preempt in time.
+type t9Interim struct {
+	done *bool
+}
+
+func (t *t9Interim) Step(m *kernel.Machine) kernel.Status {
+	if *t.done {
+		return kernel.Done
+	}
+	return m.Compute(200)
+}
+
+// t9Net is the network stack: it receives each ciphertext; the
+// observation is the inter-arrival time.
+type t9Net struct {
+	rounds   int
+	arrivals *[]t9Arrival
+	done     *bool
+
+	phase int
+	r     int
+}
+
+func (t *t9Net) Step(m *kernel.Machine) kernel.Status {
+	if t.phase == 1 {
+		*t.arrivals = append(*t.arrivals, t9Arrival{sym: int(m.Value()), at: m.Time()})
+		t.r++
+		if t.r == t.rounds+2 {
+			*t.done = true
+			return kernel.Done
+		}
+		return m.Recv(0)
+	}
+	t.phase = 1
+	return m.Recv(0)
+}
+
+// buildDowngrader constructs one T9 configuration.
+func buildDowngrader(label string, prot core.Config, mode padMode, rounds int, seed uint64, o execOpt) (*kernel.System, func(kernel.Report) Row) {
 	pcfg := platform.DefaultConfig()
 	pcfg.Cores = 1
 
@@ -53,11 +176,11 @@ func runDowngrader(label string, prot core.Config, mode padMode, rounds int, see
 		Platform:   pcfg,
 		Protection: prot,
 		Domains: []core.DomainSpec{
-			{Name: "Crypto", SliceCycles: slice, PadCycles: pad, Colors: mem.ColorRange(1, 32), CodePages: 4, HeapPages: 8},
-			{Name: "Net", SliceCycles: slice, PadCycles: pad, Colors: mem.ColorRange(32, 64), CodePages: 4, HeapPages: 8},
+			{Name: "Crypto", SliceCycles: t9Slice, PadCycles: t9Pad, Colors: mem.ColorRange(1, 32), CodePages: 4, HeapPages: 8},
+			{Name: "Net", SliceCycles: t9Slice, PadCycles: t9Pad, Colors: mem.ColorRange(32, 64), CodePages: 4, HeapPages: 8},
 		},
 		Schedule:    [][]int{{0, 1}},
-		Endpoints:   []kernel.EndpointSpec{{ID: 0, MinDelivery: cadence}},
+		Endpoints:   []kernel.EndpointSpec{{ID: 0, MinDelivery: t9Cadence}},
 		EnableTrace: true,
 		MaxCycles:   uint64(rounds+8)*400_000 + 8_000_000,
 	})
@@ -65,74 +188,57 @@ func runDowngrader(label string, prot core.Config, mode padMode, rounds int, see
 		panic(fmt.Sprintf("attacks: T9 %s: %v", label, err))
 	}
 
-	secrets := SymbolSeq(rounds+2, arity, seed)
-	var cryptoUseful uint64
+	secrets := SymbolSeq(rounds+2, t9Arity, seed)
+	cryptoUseful := new(uint64)
 	// done stops the interim thread once the workload completes; the
 	// lockstep execution of the kernel makes the shared flag safe.
-	var done bool
+	done := new(bool)
+	arrivals := &[]t9Arrival{}
 
-	// The downgrader: per round, secret-dependent "encryption" time,
-	// then publish the ciphertext. The secret rides along as payload
-	// purely as ground truth for the capacity estimate.
-	if _, err := sys.Spawn(0, "crypto", 0, func(c *kernel.UserCtx) {
-		for r := 0; r < rounds+2; r++ {
-			roundStart := c.Now()
-			sym := secrets[r]
-			work := uint64(base + sym*step)
-			var done uint64
-			for done < work {
-				chunk := work - done
-				if chunk > 500 {
-					chunk = 500
-				}
-				c.Compute(chunk)
-				done += chunk
-				cryptoUseful += chunk
-			}
-			if mode == padBusyLoop {
-				// §4.3: pad execution to an upper bound by
-				// busy looping — wasteful but safe.
-				for c.Now() < roundStart+wcet {
-					c.Compute(200)
-				}
-			}
-			c.Send(0, uint64(sym))
-		}
-	}); err != nil {
-		panic(err)
-	}
-
+	o.spawn(sys, 0, "crypto", 0, &t9Crypto{
+		rounds: rounds, mode: mode, secrets: secrets, useful: cryptoUseful,
+	})
 	if mode == padInterim {
-		// §4.3: "another Hi process should be scheduled for
-		// padding": it soaks up the slice time the downgrader
-		// leaves while blocked, doing useful work in small chunks
-		// so the kernel can always preempt in time.
-		if _, err := sys.Spawn(0, "interim", 0, func(c *kernel.UserCtx) {
-			for !done {
-				c.Compute(200)
-			}
-		}); err != nil {
+		o.spawn(sys, 0, "interim", 0, &t9Interim{done: done})
+	}
+	o.spawn(sys, 1, "net", 0, &t9Net{rounds: rounds, arrivals: arrivals, done: done})
+
+	return sys, func(rep kernel.Report) Row {
+		s := channel.NewSamples()
+		arr := *arrivals
+		for i := 1; i < len(arr); i++ {
+			s.Add(arr[i].sym, float64(arr[i].at-arr[i-1].at))
+		}
+		est, err := channel.EstimateScalar(s, 16, seed^0x9999)
+		if err != nil {
 			panic(err)
 		}
-	}
 
-	// The network stack: receive each ciphertext; the observation is
-	// the inter-arrival time.
-	type arrival struct {
-		sym int
-		at  uint64
-	}
-	var arrivals []arrival
-	if _, err := sys.Spawn(1, "net", 0, func(c *kernel.UserCtx) {
-		for r := 0; r < rounds+2; r++ {
-			v, at := c.Recv(0)
-			arrivals = append(arrivals, arrival{sym: int(v), at: at})
+		// Utilisation: the fraction of the Hi domain's consumed CPU
+		// time spent on useful work (real crypto cycles plus interim
+		// progress).
+		hiTotal := rep.ThreadCycles["crypto"] + rep.ThreadCycles["interim"]
+		useful := *cryptoUseful + rep.ThreadCycles["interim"]
+		util := 0.0
+		if hiTotal > 0 {
+			util = float64(useful) / float64(hiTotal)
 		}
-		done = true
-	}); err != nil {
-		panic(err)
+		return Row{
+			Label:   label,
+			Est:     est,
+			ErrRate: nan(),
+			SimOps:  rep.Ops,
+			Extra: []KV{
+				{K: "hi_utilisation", V: util},
+				{K: "deliveries", V: float64(len(arr))},
+			},
+		}
 	}
+}
 
+// runDowngrader runs one T9 configuration.
+func runDowngrader(label string, prot core.Config, mode padMode, rounds int, seed uint64) Row {
+	sys, finish := buildDowngrader(label, prot, mode, rounds, seed, execOpt{})
 	rep, err := sys.Run()
 	if err != nil {
 		panic(err)
@@ -140,32 +246,7 @@ func runDowngrader(label string, prot core.Config, mode padMode, rounds int, see
 	for _, e := range rep.Errors {
 		panic(e)
 	}
-	s := channel.NewSamples()
-	for i := 1; i < len(arrivals); i++ {
-		s.Add(arrivals[i].sym, float64(arrivals[i].at-arrivals[i-1].at))
-	}
-	est, err := channel.EstimateScalar(s, 16, seed^0x9999)
-	if err != nil {
-		panic(err)
-	}
-
-	// Utilisation: the fraction of the Hi domain's consumed CPU time
-	// spent on useful work (real crypto cycles plus interim progress).
-	hiTotal := rep.ThreadCycles["crypto"] + rep.ThreadCycles["interim"]
-	useful := cryptoUseful + rep.ThreadCycles["interim"]
-	util := 0.0
-	if hiTotal > 0 {
-		util = float64(useful) / float64(hiTotal)
-	}
-	return Row{
-		Label:   label,
-		Est:     est,
-		ErrRate: nan(),
-		Extra: []KV{
-			{K: "hi_utilisation", V: util},
-			{K: "deliveries", V: float64(len(arrivals))},
-		},
-	}
+	return finish(rep)
 }
 
 // T9Downgrader reproduces experiment T9 (Figure 1): the downgrader's

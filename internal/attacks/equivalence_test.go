@@ -1,0 +1,160 @@
+package attacks
+
+import (
+	"math"
+	"testing"
+
+	"timeprot/internal/core"
+	"timeprot/internal/kernel"
+)
+
+// These tests pin down the execution-model refactor's central contract:
+// the direct Program path and the legacy goroutine+UserCtx adapter are
+// bit-identical. Each representative registry scenario is built twice
+// with the same seed — once spawning its programs directly, once
+// replaying them through the adapter — and the complete kernel event
+// logs, run reports, and channel-capacity estimates must match exactly.
+
+// eqBuild builds one scenario configuration under the given execution
+// options.
+type eqBuild func(o execOpt) (*kernel.System, func(kernel.Report) Row)
+
+func equivalenceCases() map[string]eqBuild {
+	flushNoPad := core.FullProtection()
+	flushNoPad.PadSwitch = false
+	noFlush := core.FullProtection()
+	noFlush.FlushOnSwitch = false
+	return map[string]eqBuild{
+		"T2/unprotected": func(o execOpt) (*kernel.System, func(kernel.Report) Row) {
+			return buildL1PrimeProbe("unprotected", core.NoProtection(), defaultL1Params(8), 42, o)
+		},
+		"T2/full": func(o execOpt) (*kernel.System, func(kernel.Report) Row) {
+			return buildL1PrimeProbe("flush+pad (full)", core.FullProtection(), defaultL1Params(8), 42, o)
+		},
+		"T4/flush-no-pad": func(o execOpt) (*kernel.System, func(kernel.Report) Row) {
+			return buildFlushLatency("flush, no pad", flushNoPad, 8, 42, o)
+		},
+		"T9/interim": func(o execOpt) (*kernel.System, func(kernel.Report) Row) {
+			return buildDowngrader("full, interim process", core.FullProtection(), padInterim, 12, 42, o)
+		},
+		"T14/no-flush": func(o execOpt) (*kernel.System, func(kernel.Report) Row) {
+			return buildTLBChannel("no flush (pad+colour only)", noFlush, 8, 42, o)
+		},
+	}
+}
+
+// runEq runs one build and returns the system (for its trace), the run
+// report, and the measured row.
+func runEq(t *testing.T, build eqBuild, o execOpt) (*kernel.System, kernel.Report, Row) {
+	t.Helper()
+	sys, finish := build(o)
+	rep, err := sys.Run()
+	if err != nil {
+		t.Fatalf("run (legacy=%v): %v", o.legacy, err)
+	}
+	if len(rep.Errors) > 0 {
+		t.Fatalf("thread errors (legacy=%v): %v", o.legacy, rep.Errors)
+	}
+	return sys, rep, finish(rep)
+}
+
+func floatEq(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return a == b
+}
+
+// TestExecutionModelEquivalence runs representative registry scenarios
+// under both execution paths with the same seed and asserts identical
+// trace event logs and identical channel-capacity estimates.
+func TestExecutionModelEquivalence(t *testing.T) {
+	for name, build := range equivalenceCases() {
+		build := build
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			dsys, drep, drow := runEq(t, build, execOpt{trace: true})
+			lsys, lrep, lrow := runEq(t, build, execOpt{trace: true, legacy: true})
+
+			// Trace event logs must be bit-identical.
+			dev, lev := dsys.Trace().Events(), lsys.Trace().Events()
+			if len(dev) != len(lev) {
+				t.Fatalf("trace length differs: direct %d vs legacy %d", len(dev), len(lev))
+			}
+			for i := range dev {
+				if dev[i] != lev[i] {
+					t.Fatalf("trace diverges at event %d:\n direct: %+v\n legacy: %+v", i, dev[i], lev[i])
+				}
+			}
+
+			// Run reports must agree.
+			if drep.Ops != lrep.Ops || drep.Switches != lrep.Switches {
+				t.Errorf("report differs: ops %d vs %d, switches %d vs %d",
+					drep.Ops, lrep.Ops, drep.Switches, lrep.Switches)
+			}
+			for i := range drep.CPUCycles {
+				if drep.CPUCycles[i] != lrep.CPUCycles[i] {
+					t.Errorf("CPU %d cycles differ: %d vs %d", i, drep.CPUCycles[i], lrep.CPUCycles[i])
+				}
+			}
+			for name, c := range drep.ThreadCycles {
+				if lc := lrep.ThreadCycles[name]; lc != c {
+					t.Errorf("thread %s cycles differ: %d vs %d", name, c, lc)
+				}
+			}
+
+			// Capacity estimates must be bit-identical.
+			if drow.Est != lrow.Est {
+				t.Errorf("estimates differ:\n direct: %+v\n legacy: %+v", drow.Est, lrow.Est)
+			}
+			if !floatEq(drow.ErrRate, lrow.ErrRate) {
+				t.Errorf("error rates differ: %f vs %f", drow.ErrRate, lrow.ErrRate)
+			}
+			if drow.SimOps != lrow.SimOps {
+				t.Errorf("sim ops differ: %d vs %d", drow.SimOps, lrow.SimOps)
+			}
+			if len(drow.Extra) != len(lrow.Extra) {
+				t.Fatalf("extra metrics differ: %v vs %v", drow.Extra, lrow.Extra)
+			}
+			for i := range drow.Extra {
+				if drow.Extra[i].K != lrow.Extra[i].K || !floatEq(drow.Extra[i].V, lrow.Extra[i].V) {
+					t.Errorf("extra %q differs: %v vs %v", drow.Extra[i].K, drow.Extra[i].V, lrow.Extra[i].V)
+				}
+			}
+		})
+	}
+}
+
+// TestReplayProgramFaults checks that a program panic surfaces as the
+// same thread fault on both paths.
+func TestReplayProgramFaults(t *testing.T) {
+	for _, legacy := range []bool{false, true} {
+		sys, _ := buildL1PrimeProbe("unprotected", core.NoProtection(), defaultL1Params(4), 7, execOpt{})
+		o := execOpt{legacy: legacy}
+		o.spawn(sys, 0, "bomb", 0, &bombProgram{})
+		rep, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, e := range rep.Errors {
+			if e != nil && e.Error() == "kernel: thread bomb panicked: boom" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("legacy=%v: missing bomb fault, errors: %v", legacy, rep.Errors)
+		}
+	}
+}
+
+// bombProgram computes once, then panics.
+type bombProgram struct{ stepped bool }
+
+func (b *bombProgram) Step(m *kernel.Machine) kernel.Status {
+	if b.stepped {
+		panic("boom")
+	}
+	b.stepped = true
+	return m.Compute(10)
+}

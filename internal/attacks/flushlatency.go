@@ -21,16 +21,120 @@ import (
 // measures the scheduling gap between its own slices (the time it was
 // off-CPU), which includes the flush of the Trojan's dirty lines. Without
 // padding the gap tracks the dirty count; with padding it is constant.
+//
+// T11 (padding sufficiency) shares this file and deliberately stays on
+// the legacy UserCtx adapter: it is a cold-path diagnostic, and keeping
+// one scenario on the adapter exercises the compatibility bridge in
+// every full sweep.
 
-// runFlushLatency runs one T4 configuration.
-func runFlushLatency(label string, prot core.Config, rounds int, seed uint64) Row {
-	const (
-		slice  = 60_000
-		pad    = 20_000
-		arity  = 4
-		perSym = 150 // dirty lines per symbol step
-		bigGap = 10_000
-	)
+// t4Params sizes the T4 scenario.
+const (
+	t4Slice  = 60_000
+	t4Pad    = 20_000
+	t4Arity  = 4
+	t4PerSym = 150 // dirty lines per symbol step
+	t4BigGap = 10_000
+)
+
+// t4Trojan dirties (sym+1)*perSym lines, then waits for its next
+// slice. The dirty lines lengthen the flush on the switch away from Hi.
+type t4Trojan struct {
+	rounds int
+	seq    []int
+	syms   *SymLog
+
+	phase int
+	r     int
+	i, n  int
+	epoch uint64
+	spin  epochSpin
+}
+
+func (t *t4Trojan) write(m *kernel.Machine) kernel.Status {
+	return m.WriteHeap(uint64(t.i*64) % m.HeapBytes())
+}
+
+func (t *t4Trojan) Step(m *kernel.Machine) kernel.Status {
+	switch t.phase {
+	case 0: // read the starting epoch
+		t.phase = 1
+		return m.Epoch()
+	case 1: // begin round 0's dirtying sweep
+		t.epoch = m.Value()
+		t.n = (t.seq[t.r] + 1) * t4PerSym
+		t.i = 0
+		t.phase = 2
+		return t.write(m)
+	case 2: // advance the sweep
+		t.i++
+		if t.i < t.n {
+			return t.write(m)
+		}
+		t.phase = 3
+		return m.Now() // commit timestamp
+	case 3:
+		t.syms.Commit(m.Time(), t.seq[t.r])
+		t.phase = 4
+		return t.spin.start(t.epoch, m)
+	default: // 4: spinning to the next slice
+		e, done, st := t.spin.step(m)
+		if !done {
+			return st
+		}
+		t.epoch = e
+		t.r++
+		if t.r == t.rounds+4 {
+			return kernel.Done
+		}
+		t.n = (t.seq[t.r] + 1) * t4PerSym
+		t.i = 0
+		t.phase = 2
+		return t.write(m)
+	}
+}
+
+// t4Spy samples the cycle counter continuously; a large jump means it
+// was preempted for the Trojan's slice plus both switches. The jump
+// length is the observation.
+type t4Spy struct {
+	rounds int
+	obs    *ObsLog
+
+	phase int
+	prev  uint64
+}
+
+func (s *t4Spy) Step(m *kernel.Machine) kernel.Status {
+	switch s.phase {
+	case 0: // first timestamp
+		s.phase = 1
+		return m.Now()
+	case 1:
+		s.prev = m.Time()
+		if s.obs.Len() >= s.rounds+6 {
+			return kernel.Done
+		}
+		s.phase = 2
+		return m.Now()
+	case 2: // gap check
+		t := m.Time()
+		if t-s.prev > t4BigGap {
+			s.obs.Record(t, float64(t-s.prev))
+		}
+		s.prev = t
+		s.phase = 3
+		return m.Compute(40)
+	default: // 3: burn finished; loop condition
+		if s.obs.Len() >= s.rounds+6 {
+			return kernel.Done
+		}
+		s.phase = 2
+		return m.Now()
+	}
+}
+
+// buildFlushLatency constructs one T4 configuration.
+func buildFlushLatency(label string, prot core.Config, rounds int, seed uint64, o execOpt) (*kernel.System, func(kernel.Report) Row) {
 	pcfg := platform.DefaultConfig()
 	pcfg.Cores = 1
 
@@ -38,62 +142,40 @@ func runFlushLatency(label string, prot core.Config, rounds int, seed uint64) Ro
 		Platform:   pcfg,
 		Protection: prot,
 		Domains: []core.DomainSpec{
-			{Name: "Hi", SliceCycles: slice, PadCycles: pad, Colors: mem.ColorRange(1, 32), CodePages: 4, HeapPages: 16},
-			{Name: "Lo", SliceCycles: slice, PadCycles: pad, Colors: mem.ColorRange(32, 64), CodePages: 4, HeapPages: 16},
+			{Name: "Hi", SliceCycles: t4Slice, PadCycles: t4Pad, Colors: mem.ColorRange(1, 32), CodePages: 4, HeapPages: 16},
+			{Name: "Lo", SliceCycles: t4Slice, PadCycles: t4Pad, Colors: mem.ColorRange(32, 64), CodePages: 4, HeapPages: 16},
 		},
-		Schedule:  [][]int{{0, 1}},
-		MaxCycles: uint64(rounds+16) * (slice + pad + 60_000) * 2,
+		Schedule:    [][]int{{0, 1}},
+		EnableTrace: o.trace,
+		MaxCycles:   uint64(rounds+16) * (t4Slice + t4Pad + 60_000) * 2,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("attacks: T4 %s: %v", label, err))
 	}
 
-	seq := SymbolSeq(rounds+8, arity, seed)
-	var syms SymLog
-	var obs ObsLog
+	seq := SymbolSeq(rounds+8, t4Arity, seed)
+	syms := &SymLog{}
+	obs := &ObsLog{}
 
-	// Trojan: dirty (sym+1)*perSym lines, then wait for the next
-	// slice. The dirty lines lengthen the flush on the switch away
-	// from Hi.
-	if _, err := sys.Spawn(0, "trojan", 0, func(c *kernel.UserCtx) {
-		e := c.Epoch()
-		for r := 0; r < rounds+4; r++ {
-			sym := seq[r]
-			n := (sym + 1) * perSym
-			for i := 0; i < n; i++ {
-				c.WriteHeap(uint64(i*64) % c.HeapBytes())
-			}
-			syms.Commit(c.Now(), sym)
-			e = spinEpoch(c, e)
+	o.spawn(sys, 0, "trojan", 0, &t4Trojan{
+		rounds: rounds, seq: seq, syms: syms, spin: epochSpin{burn: 180},
+	})
+	o.spawn(sys, 1, "spy", 0, &t4Spy{rounds: rounds, obs: obs})
+
+	return sys, func(rep kernel.Report) Row {
+		labels, vals := Label(syms, obs, 3)
+		est, err := EstimateLabelled(labels, vals, 16, seed^0x4444)
+		if err != nil {
+			panic(err)
 		}
-	}); err != nil {
-		panic(err)
+		return Row{Label: label, Est: est, ErrRate: nan(), SimOps: rep.Ops}
 	}
+}
 
-	// Spy: sample the cycle counter continuously; a large jump means
-	// it was preempted for the Trojan's slice plus both switches. The
-	// jump length is the observation.
-	if _, err := sys.Spawn(1, "spy", 0, func(c *kernel.UserCtx) {
-		prev := c.Now()
-		for len(obs.obs) < rounds+6 {
-			t := c.Now()
-			if t-prev > bigGap {
-				obs.Record(t, float64(t-prev))
-			}
-			prev = t
-			c.Compute(40)
-		}
-	}); err != nil {
-		panic(err)
-	}
-
-	mustRun(sys)
-	labels, vals := Label(&syms, &obs, 3)
-	est, err := EstimateLabelled(labels, vals, 16, seed^0x4444)
-	if err != nil {
-		panic(err)
-	}
-	return Row{Label: label, Est: est, ErrRate: nan()}
+// runFlushLatency runs one T4 configuration.
+func runFlushLatency(label string, prot core.Config, rounds int, seed uint64) Row {
+	sys, finish := buildFlushLatency(label, prot, rounds, seed, execOpt{})
+	return finish(mustRun(sys))
 }
 
 // T4FlushLatency reproduces experiment T4: the switch-latency channel
@@ -114,7 +196,8 @@ func T11PaddingSufficiency(rounds int, seed uint64) Experiment {
 
 // runPaddingSufficiency runs one T11 configuration: full protection with
 // the given pad budget, measured against an adversarial dirtying
-// workload for `rounds` slices.
+// workload for `rounds` slices. The workload runs through the legacy
+// UserCtx adapter — a deliberate exercise of the compatibility bridge.
 func runPaddingSufficiency(label string, pad uint64, rounds int) Row {
 	prot := core.FullProtection()
 	pcfg := platform.DefaultConfig()
@@ -156,7 +239,7 @@ func runPaddingSufficiency(label string, pad uint64, rounds int) Row {
 	}); err != nil {
 		panic(err)
 	}
-	mustRun(sys)
+	rep := mustRun(sys)
 
 	// Worst-case switch work observed: SwitchStart -> pre-pad
 	// time is entry+flush; compare against the pad budget.
@@ -184,6 +267,7 @@ func runPaddingSufficiency(label string, pad uint64, rounds int) Row {
 		Label:   label,
 		Est:     channel.Estimate{}, // no capacity measured here
 		ErrRate: nan(),
+		SimOps:  rep.Ops,
 		Extra: []KV{
 			{K: "max_switch_work", V: float64(maxWork)},
 			{K: "pad", V: float64(pad)},

@@ -13,10 +13,14 @@
 // with a shuffled-label noise floor. A defence works when the measured
 // capacity drops to the floor.
 //
-// The lockstep execution of internal/kernel makes it safe for the Trojan
-// and the harness to share plain Go slices for symbol commits and
-// observations: all user code is serialised by the simulator's event
-// loop, with happens-before edges through its channels.
+// Scenarios run as direct kernel.Program state machines — the
+// simulator's hot path, free of per-instruction goroutine handoffs —
+// except T11 and T12, which deliberately stay on the legacy UserCtx
+// adapter to keep the compatibility bridge exercised. The lockstep
+// execution of internal/kernel makes it safe for the Trojan and the
+// harness to share plain Go state for symbol commits and observations:
+// all user code is serialised by the simulator's event loop regardless
+// of execution path.
 package attacks
 
 import (
@@ -111,6 +115,10 @@ type Row struct {
 	// ErrRate is the spy's symbol decode error rate; NaN when the
 	// scenario has no decoder.
 	ErrRate float64
+	// SimOps is the number of simulated thread operations the
+	// scenario executed — the sweep engine's per-cell throughput
+	// denominator.
+	SimOps uint64
 	// Extra carries scenario-specific values (e.g. utilisation), in
 	// insertion order.
 	Extra []KV
@@ -175,15 +183,68 @@ func SymbolSeq(n, arity int, seed uint64) []int {
 	return out
 }
 
-// waitEpoch spins until the thread's domain enters its next slice,
-// returning the new epoch. The spin uses only Epoch reads, so it leaves
-// the data cache untouched.
-func waitEpoch(c *kernel.UserCtx, cur uint64) uint64 {
-	for {
-		e := c.Epoch()
-		if e != cur {
-			return e
+// execOpt selects a scenario build's execution path and tracing. The
+// zero value is the production setting: direct Program execution, no
+// event log. The equivalence tests flip legacy to drive the identical
+// programs through the goroutine+UserCtx adapter and trace to compare
+// the two paths' event logs bit for bit.
+type execOpt struct {
+	legacy bool
+	trace  bool
+}
+
+// spawn adds a scenario program to sys on the selected execution path.
+func (o execOpt) spawn(sys *kernel.System, domain int, name string, cpu int, p kernel.Program) {
+	var err error
+	if o.legacy {
+		_, err = sys.Spawn(domain, name, cpu, kernel.ReplayProgram(p))
+	} else {
+		_, err = sys.SpawnProgram(domain, name, cpu, p)
+	}
+	if err != nil {
+		panic(err)
+	}
+}
+
+// epochSpin is a reusable Program fragment implementing the
+// waitEpoch/spinEpoch idiom as a step function: poll Epoch until it
+// leaves the armed value, optionally burning compute cycles between
+// polls (so the spin leaves the data cache untouched either way).
+type epochSpin struct {
+	// burn is the Compute length between polls; 0 polls continuously.
+	burn uint64
+
+	cur uint64
+	st  int // 0 idle, 1 awaiting an Epoch result, 2 awaiting a Compute
+}
+
+// start arms the fragment to spin away from epoch cur and issues the
+// first poll.
+func (sp *epochSpin) start(cur uint64, m *kernel.Machine) kernel.Status {
+	sp.cur = cur
+	sp.st = 1
+	return m.Epoch()
+}
+
+// step consumes the previous operation's result and continues the
+// spin; done reports completion, with the new epoch in next.
+func (sp *epochSpin) step(m *kernel.Machine) (next uint64, done bool, st kernel.Status) {
+	switch sp.st {
+	case 1: // an Epoch poll arrived
+		if e := m.Value(); e != sp.cur {
+			sp.st = 0
+			return e, true, 0
 		}
+		if sp.burn > 0 {
+			sp.st = 2
+			return 0, false, m.Compute(sp.burn)
+		}
+		return 0, false, m.Epoch()
+	case 2: // the burn finished; poll again
+		sp.st = 1
+		return 0, false, m.Epoch()
+	default:
+		panic("attacks: epochSpin.step while idle")
 	}
 }
 

@@ -77,6 +77,7 @@ func runOverhead(label string, prot core.Config, workRounds int) (Row, float64) 
 		Label:   label,
 		Est:     channel.Estimate{},
 		ErrRate: nan(),
+		SimOps:  rep.Ops,
 		Extra: []KV{
 			{K: "cycles_per_op", V: cpo},
 			{K: "total_Mcycles", V: total / 1e6},

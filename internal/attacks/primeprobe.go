@@ -28,6 +28,10 @@ import (
 // Probe loops visit lines in a shuffled order: a sequential sweep would
 // train the stride prefetcher, which then hides the very misses the probe
 // measures. Real attacks do the same.
+//
+// Both scenarios run as direct kernel.Program state machines — the
+// simulator's hot path — with each closure-era loop nest flattened into
+// explicit per-thread state.
 
 // l1Params sizes the T2 scenario.
 type l1Params struct {
@@ -48,17 +52,6 @@ func defaultL1Params(rounds int) l1Params {
 		rounds:       rounds,
 		slice:        100_000,
 		pad:          25_000,
-	}
-}
-
-// spinEpoch burns cycles in compute-only operations until the next slice
-// of the calling thread's domain, leaving the data cache untouched.
-func spinEpoch(c *kernel.UserCtx, cur uint64) uint64 {
-	for {
-		if e := c.Epoch(); e != cur {
-			return e
-		}
-		c.Compute(180)
 	}
 }
 
@@ -89,8 +82,185 @@ func decodePairs(label string, labels []int, vals []float64, seed uint64) Row {
 	return Row{Label: label, Est: est, ErrRate: channel.ErrorRate(labels, decoded)}
 }
 
-// runL1PrimeProbe runs one T2 configuration and returns its row.
-func runL1PrimeProbe(label string, prot core.Config, p l1Params, seed uint64) Row {
+// t2Trojan transmits the symbol sequence through the L1: in its k-th
+// slice it touches every way of every set in group seq[k], commits the
+// symbol, then spins to its next slice. The line offset within a page
+// equals the L1 set index (64-set VIPT L1, 64 lines per page), so page
+// pg at offset set*64 fills way pg of set `set`.
+type t2Trojan struct {
+	p        l1Params
+	seq      []int
+	setOrder []int
+	syms     *SymLog
+
+	phase  int
+	r      int
+	pg, si int
+	epoch  uint64
+	spin   epochSpin
+}
+
+func (t *t2Trojan) read(m *kernel.Machine) kernel.Status {
+	set := t.seq[t.r]*t.p.setsPerGroup + t.setOrder[t.si]
+	return m.ReadHeap(uint64(t.pg)*hw.PageSize + uint64(set)*hw.LineSize)
+}
+
+func (t *t2Trojan) Step(m *kernel.Machine) kernel.Status {
+	switch t.phase {
+	case 0: // read the starting epoch
+		t.phase = 1
+		return m.Epoch()
+	case 1: // starting epoch arrived; begin round 0's sweep
+		t.epoch = m.Value()
+		t.pg, t.si = 0, 0
+		t.phase = 2
+		return t.read(m)
+	case 2: // one touch returned; advance the sweep
+		t.si++
+		if t.si == len(t.setOrder) {
+			t.si = 0
+			t.pg++
+		}
+		if t.pg < t.p.trojanWays {
+			return t.read(m)
+		}
+		t.phase = 3
+		return m.Now() // commit timestamp
+	case 3: // commit the symbol, then spin to the next slice
+		t.syms.Commit(m.Time(), t.seq[t.r])
+		t.phase = 4
+		return t.spin.start(t.epoch, m)
+	default: // 4: spinning between rounds
+		e, done, st := t.spin.step(m)
+		if !done {
+			return st
+		}
+		t.epoch = e
+		t.r++
+		if t.r == t.p.rounds+4 {
+			return kernel.Done
+		}
+		t.pg, t.si = 0, 0
+		t.phase = 2
+		return t.read(m)
+	}
+}
+
+// l1Probe is the spy's probe sweep as a program fragment: visit every
+// prime way of every set group in shuffled order, accumulating latency
+// per group; the slowest group is the decoded symbol.
+type l1Probe struct {
+	p        l1Params
+	setOrder []int
+
+	g, pg, si    int
+	lat, bestLat uint64
+	best         int
+}
+
+// start resets the sweep and issues its first read.
+func (pr *l1Probe) start(m *kernel.Machine) kernel.Status {
+	pr.g, pr.pg, pr.si = 0, 0, 0
+	pr.lat, pr.bestLat, pr.best = 0, 0, 0
+	return pr.read(m)
+}
+
+func (pr *l1Probe) read(m *kernel.Machine) kernel.Status {
+	set := pr.g*pr.p.setsPerGroup + pr.setOrder[pr.si]
+	return m.ReadHeap(uint64(pr.pg)*hw.PageSize + uint64(set)*hw.LineSize)
+}
+
+// step consumes the previous read's latency and issues the next one;
+// done with the decoded group when the sweep completes.
+func (pr *l1Probe) step(m *kernel.Machine) (dec int, done bool, st kernel.Status) {
+	pr.lat += m.Latency()
+	pr.si++
+	if pr.si == len(pr.setOrder) {
+		pr.si = 0
+		pr.pg++
+		if pr.pg == pr.p.primeWays {
+			pr.pg = 0
+			if pr.lat > pr.bestLat {
+				pr.bestLat, pr.best = pr.lat, pr.g
+			}
+			pr.lat = 0
+			pr.g++
+			if pr.g == pr.p.groups {
+				return pr.best, true, 0
+			}
+		}
+	}
+	return 0, false, pr.read(m)
+}
+
+// t2Spy probes (and thereby re-primes) its resident lines at the top of
+// each slice; the group with the highest total latency is the decoded
+// symbol.
+type t2Spy struct {
+	p    l1Params
+	obs  *ObsLog
+	prb  l1Probe
+	spin epochSpin
+
+	phase int
+	r     int
+	epoch uint64
+	dec   int
+}
+
+func (s *t2Spy) Step(m *kernel.Machine) kernel.Status {
+	switch s.phase {
+	case 0: // initial prime
+		s.phase = 1
+		return s.prb.start(m)
+	case 1:
+		if _, done, st := s.prb.step(m); !done {
+			return st
+		}
+		s.phase = 2
+		return m.Epoch()
+	case 2:
+		s.epoch = m.Value()
+		s.phase = 3
+		return s.spin.start(s.epoch, m)
+	case 3: // aligning spin before the first round
+		e, done, st := s.spin.step(m)
+		if !done {
+			return st
+		}
+		s.epoch = e
+		s.phase = 4
+		return s.prb.start(m)
+	case 4: // per-round probe
+		dec, done, st := s.prb.step(m)
+		if !done {
+			return st
+		}
+		s.dec = dec
+		s.phase = 5
+		return m.Now()
+	case 5: // record the decode, then spin to the next slice
+		s.obs.Record(m.Time(), float64(s.dec))
+		s.phase = 6
+		return s.spin.start(s.epoch, m)
+	default: // 6: spinning between rounds
+		e, done, st := s.spin.step(m)
+		if !done {
+			return st
+		}
+		s.epoch = e
+		s.r++
+		if s.r == s.p.rounds+4 {
+			return kernel.Done
+		}
+		s.phase = 4
+		return s.prb.start(m)
+	}
+}
+
+// buildL1PrimeProbe constructs one T2 configuration; finish turns the
+// harness logs into the measured row once the system has run.
+func buildL1PrimeProbe(label string, prot core.Config, p l1Params, seed uint64, o execOpt) (*kernel.System, func(kernel.Report) Row) {
 	pcfg := platform.DefaultConfig()
 	pcfg.Cores = 1
 	seq := SymbolSeq(p.rounds+8, p.groups, seed)
@@ -102,74 +272,39 @@ func runL1PrimeProbe(label string, prot core.Config, p l1Params, seed uint64) Ro
 			{Name: "Hi", SliceCycles: p.slice, PadCycles: p.pad, Colors: mem.ColorRange(1, 32), CodePages: 4, HeapPages: 16},
 			{Name: "Lo", SliceCycles: p.slice, PadCycles: p.pad, Colors: mem.ColorRange(32, 64), CodePages: 4, HeapPages: 16},
 		},
-		Schedule:  [][]int{{0, 1}},
-		MaxCycles: uint64(p.rounds+16) * (p.slice + p.pad + 60_000) * 2,
+		Schedule:    [][]int{{0, 1}},
+		EnableTrace: o.trace,
+		MaxCycles:   uint64(p.rounds+16) * (p.slice + p.pad + 60_000) * 2,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("attacks: T2 %s: %v", label, err))
 	}
 
-	var syms SymLog
-	var obs ObsLog
+	syms := &SymLog{}
+	obs := &ObsLog{}
 	setOrder := shuffledOffsets(p.setsPerGroup, 1, seed^0xA0)
 
-	// Trojan: in its k-th slice, touch every way of every set in group
-	// seq[k]. The line offset within a page equals the L1 set index
-	// (64-set VIPT L1, 64 lines per page), so page pg at offset set*64
-	// fills way pg of set `set`.
-	if _, err := sys.Spawn(0, "trojan", 0, func(c *kernel.UserCtx) {
-		e := c.Epoch()
-		for r := 0; r < p.rounds+4; r++ {
-			sym := seq[r]
-			for pg := 0; pg < p.trojanWays; pg++ {
-				for _, s := range setOrder {
-					set := sym*p.setsPerGroup + s
-					c.ReadHeap(uint64(pg)*hw.PageSize + uint64(set)*hw.LineSize)
-				}
-			}
-			syms.Commit(c.Now(), sym)
-			e = spinEpoch(c, e)
-		}
-	}); err != nil {
-		panic(err)
-	}
+	o.spawn(sys, 0, "trojan", 0, &t2Trojan{
+		p: p, seq: seq, setOrder: setOrder, syms: syms, spin: epochSpin{burn: 180},
+	})
+	o.spawn(sys, 1, "spy", 0, &t2Spy{
+		p: p, obs: obs,
+		prb:  l1Probe{p: p, setOrder: setOrder},
+		spin: epochSpin{burn: 180},
+	})
 
-	// Spy: probe (and thereby re-prime) its resident lines at the top
-	// of each slice; the group with the highest total latency is the
-	// decoded symbol.
-	if _, err := sys.Spawn(1, "spy", 0, func(c *kernel.UserCtx) {
-		probe := func() int {
-			best, bestLat := 0, uint64(0)
-			for g := 0; g < p.groups; g++ {
-				var lat uint64
-				for pg := 0; pg < p.primeWays; pg++ {
-					for _, s := range setOrder {
-						set := g*p.setsPerGroup + s
-						lat += c.ReadHeap(uint64(pg)*hw.PageSize + uint64(set)*hw.LineSize)
-					}
-				}
-				if lat > bestLat {
-					bestLat = lat
-					best = g
-				}
-			}
-			return best
-		}
-		probe() // initial prime
-		e := c.Epoch()
-		e = spinEpoch(c, e)
-		for r := 0; r < p.rounds+4; r++ {
-			dec := probe()
-			obs.Record(c.Now(), float64(dec))
-			e = spinEpoch(c, e)
-		}
-	}); err != nil {
-		panic(err)
+	return sys, func(rep kernel.Report) Row {
+		labels, vals := Label(syms, obs, 4)
+		row := decodePairs(label, labels, vals, seed^0x5151)
+		row.SimOps = rep.Ops
+		return row
 	}
+}
 
-	mustRun(sys)
-	labels, vals := Label(&syms, &obs, 4)
-	return decodePairs(label, labels, vals, seed^0x5151)
+// runL1PrimeProbe runs one T2 configuration and returns its row.
+func runL1PrimeProbe(label string, prot core.Config, p l1Params, seed uint64) Row {
+	sys, finish := buildL1PrimeProbe(label, prot, p, seed, execOpt{})
+	return finish(mustRun(sys))
 }
 
 // T2L1PrimeProbe reproduces experiment T2: the L1-D prime-and-probe
@@ -215,10 +350,152 @@ func firstN(xs []int, n int) []int {
 	return xs[:n]
 }
 
-// runLLCPrimeProbe runs one T3 configuration: Trojan and spy on separate
-// cores, running concurrently; no domain switch ever happens, so flushing
-// and padding are structurally irrelevant and only colouring can help.
-func runLLCPrimeProbe(label string, prot core.Config, p llcParams, seed uint64) Row {
+// t3Trojan thrashes the pages matching the window's symbol for the
+// window's whole duration, checking the clock between sweeps.
+type t3Trojan struct {
+	windows   int
+	windowLen uint64
+	seq       []int
+	trojG     [2][]int
+	lineOrder []int
+	syms      *SymLog
+
+	phase      int
+	w          int
+	start, end uint64
+	gi, li     int
+}
+
+func (t *t3Trojan) read(m *kernel.Machine) kernel.Status {
+	pg := t.trojG[t.seq[t.w]][t.gi]
+	return m.ReadHeap(uint64(pg)*hw.PageSize + uint64(t.lineOrder[t.li])*hw.LineSize)
+}
+
+func (t *t3Trojan) Step(m *kernel.Machine) kernel.Status {
+	switch t.phase {
+	case 0: // sample the stream's start time
+		t.phase = 1
+		return m.Now()
+	case 1:
+		t.start = m.Time()
+		t.phase = 2
+		return m.Now() // commit timestamp for window 0
+	case 2: // commit the window's symbol
+		t.syms.Commit(m.Time(), t.seq[t.w])
+		t.end = t.start + uint64(t.w+1)*t.windowLen
+		t.phase = 3
+		return m.Now() // window deadline check
+	case 3:
+		if m.Time() < t.end {
+			t.gi, t.li = 0, 0
+			t.phase = 4
+			return t.read(m)
+		}
+		t.w++
+		if t.w == t.windows+4 {
+			return kernel.Done
+		}
+		t.phase = 2
+		return m.Now()
+	default: // 4: sweeping the symbol's page group
+		t.li++
+		if t.li == len(t.lineOrder) {
+			t.li = 0
+			t.gi++
+		}
+		if t.gi < len(t.trojG[t.seq[t.w]]) {
+			return t.read(m)
+		}
+		t.phase = 3
+		return m.Now()
+	}
+}
+
+// t3Spy alternately probes its two single-colour eviction groups until
+// the deadline; whichever group probed slower is the decoded symbol.
+type t3Spy struct {
+	windowLen uint64
+	windows   int
+	spyG      [2][]int
+	lineOrder []int
+	obs       *ObsLog
+
+	phase    int
+	grp      int
+	pi, li   int
+	lat, l0  uint64
+	dec      int
+	deadline uint64
+}
+
+func (s *t3Spy) read(m *kernel.Machine) kernel.Status {
+	pg := s.spyG[s.grp][s.pi]
+	return m.ReadHeap(uint64(pg)*hw.PageSize + uint64(s.lineOrder[s.li])*hw.LineSize)
+}
+
+// advance moves to the next (page, line) of the current group; done
+// when the group's sweep is complete.
+func (s *t3Spy) advance() (groupDone bool) {
+	s.li++
+	if s.li == len(s.lineOrder) {
+		s.li = 0
+		s.pi++
+	}
+	return s.pi == len(s.spyG[s.grp])
+}
+
+func (s *t3Spy) Step(m *kernel.Machine) kernel.Status {
+	switch s.phase {
+	case 0: // initial prime of both groups, latencies discarded
+		s.deadline = uint64(s.windows+4) * s.windowLen
+		s.grp, s.pi, s.li = 0, 0, 0
+		s.phase = 1
+		return s.read(m)
+	case 1:
+		if !s.advance() {
+			return s.read(m)
+		}
+		if s.grp == 0 {
+			s.grp, s.pi, s.li = 1, 0, 0
+			return s.read(m)
+		}
+		s.phase = 2
+		return m.Now() // loop deadline check
+	case 2:
+		if m.Time() >= s.deadline {
+			return kernel.Done
+		}
+		s.grp, s.pi, s.li, s.lat = 0, 0, 0, 0
+		s.phase = 3
+		return s.read(m)
+	default: // 3: timed probe of group 0 then group 1
+		s.lat += m.Latency()
+		if !s.advance() {
+			return s.read(m)
+		}
+		if s.grp == 0 {
+			s.l0 = s.lat
+			s.grp, s.pi, s.li, s.lat = 1, 0, 0, 0
+			return s.read(m)
+		}
+		s.dec = 0
+		if s.lat > s.l0 {
+			s.dec = 1
+		}
+		s.phase = 4
+		return m.Now() // observation timestamp
+	case 4:
+		s.obs.Record(m.Time(), float64(s.dec))
+		s.phase = 2
+		return m.Now()
+	}
+}
+
+// buildLLCPrimeProbe constructs one T3 configuration: Trojan and spy on
+// separate cores, running concurrently; no domain switch ever happens,
+// so flushing and padding are structurally irrelevant and only colouring
+// can help.
+func buildLLCPrimeProbe(label string, prot core.Config, p llcParams, seed uint64, o execOpt) (*kernel.System, func(kernel.Report) Row) {
 	pcfg := platform.DefaultConfig()
 	pcfg.Cores = 2
 	pcfg.LLCSets = 512 // 256 KiB, 8 colours: small enough to thrash
@@ -232,8 +509,9 @@ func runLLCPrimeProbe(label string, prot core.Config, p llcParams, seed uint64) 
 			{Name: "Hi", SliceCycles: 400_000, PadCycles: 20_000, Colors: mem.NewColorSet(1, 2, 3), CodePages: 4, HeapPages: 128},
 			{Name: "Lo", SliceCycles: 400_000, PadCycles: 20_000, Colors: mem.NewColorSet(4, 5, 6, 7), CodePages: 4, HeapPages: 64},
 		},
-		Schedule:  [][]int{{1}, {0}}, // Lo on core 0, Hi on core 1: co-resident forever
-		MaxCycles: uint64(p.windows+8)*p.windowLen + 8_000_000,
+		Schedule:    [][]int{{1}, {0}}, // Lo on core 0, Hi on core 1: co-resident forever
+		EnableTrace: o.trace,
+		MaxCycles:   uint64(p.windows+8)*p.windowLen + 8_000_000,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("attacks: T3 %s: %v", label, err))
@@ -262,57 +540,31 @@ func runLLCPrimeProbe(label string, prot core.Config, p llcParams, seed uint64) 
 	}
 
 	seq := SymbolSeq(p.windows+8, 2, seed)
-	var syms SymLog
-	var obs ObsLog
+	syms := &SymLog{}
+	obs := &ObsLog{}
 	lineOrder := shuffledOffsets(hw.LinesPerPage, 2, seed^0xB7)
 
-	if _, err := sys.Spawn(0, "trojan", 1, func(c *kernel.UserCtx) {
-		start := c.Now()
-		for w := 0; w < p.windows+4; w++ {
-			sym := seq[w]
-			syms.Commit(c.Now(), sym)
-			end := start + uint64(w+1)*p.windowLen
-			for c.Now() < end {
-				for _, pg := range trojG[sym] {
-					for _, l := range lineOrder {
-						c.ReadHeap(uint64(pg)*hw.PageSize + uint64(l)*hw.LineSize)
-					}
-				}
-			}
-		}
-	}); err != nil {
-		panic(err)
-	}
+	o.spawn(sys, 0, "trojan", 1, &t3Trojan{
+		windows: p.windows, windowLen: p.windowLen,
+		seq: seq, trojG: trojG, lineOrder: lineOrder, syms: syms,
+	})
+	o.spawn(sys, 1, "spy", 0, &t3Spy{
+		windowLen: p.windowLen, windows: p.windows,
+		spyG: spyG, lineOrder: lineOrder, obs: obs,
+	})
 
-	if _, err := sys.Spawn(1, "spy", 0, func(c *kernel.UserCtx) {
-		probeGroup := func(pages []int) uint64 {
-			var lat uint64
-			for _, pg := range pages {
-				for _, l := range lineOrder {
-					lat += c.ReadHeap(uint64(pg)*hw.PageSize + uint64(l)*hw.LineSize)
-				}
-			}
-			return lat
-		}
-		probeGroup(spyG[0]) // initial prime
-		probeGroup(spyG[1])
-		deadline := uint64(p.windows+4) * p.windowLen
-		for c.Now() < deadline {
-			l0 := probeGroup(spyG[0])
-			l1 := probeGroup(spyG[1])
-			dec := 0
-			if l1 > l0 {
-				dec = 1
-			}
-			obs.Record(c.Now(), float64(dec))
-		}
-	}); err != nil {
-		panic(err)
+	return sys, func(rep kernel.Report) Row {
+		labels, vals := Label(syms, obs, 6)
+		row := decodePairs(label, labels, vals, seed^0x1313)
+		row.SimOps = rep.Ops
+		return row
 	}
+}
 
-	mustRun(sys)
-	labels, vals := Label(&syms, &obs, 6)
-	return decodePairs(label, labels, vals, seed^0x1313)
+// runLLCPrimeProbe runs one T3 configuration.
+func runLLCPrimeProbe(label string, prot core.Config, p llcParams, seed uint64) Row {
+	sys, finish := buildLLCPrimeProbe(label, prot, p, seed, execOpt{})
+	return finish(mustRun(sys))
 }
 
 func sortedKeys(m map[int][]int) []int {

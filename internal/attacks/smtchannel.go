@@ -24,17 +24,143 @@ import (
 // sibling schedules under DisallowSMTSharing), so no cross-domain
 // co-residency ever occurs.
 
-// runSMT runs one T7 configuration. coResident selects the insecure
-// placement (Hi and Lo pinned to sibling hardware threads) versus the
-// policy-compliant time-shared placement.
-func runSMT(label string, prot core.Config, coResident bool, windows int, seed uint64) Row {
-	const (
-		windowLen = 60_000
-		slice     = 60_000
-		pad       = 20_000
-		spyLines  = 48 // spy's resident buffer: 48 lines in distinct sets
-		trojWays  = 8  // trojan fills all 8 ways of the shared L1 sets
-	)
+const (
+	t7WindowLen = 60_000
+	t7Slice     = 60_000
+	t7Pad       = 20_000
+	t7SpyLines  = 48 // spy's resident buffer: 48 lines in distinct sets
+	t7TrojWays  = 8  // trojan fills all 8 ways of the shared L1 sets
+)
+
+// t7Trojan hammers every way of the L1 sets the spy lives in while the
+// window's symbol is 1, and computes otherwise. On SMT siblings this
+// evicts the spy's lines *while the spy runs*.
+type t7Trojan struct {
+	windows  int
+	seq      []int
+	setOrder []int
+	syms     *SymLog
+
+	phase      int
+	w          int
+	start, end uint64
+	pg, si     int
+}
+
+func (t *t7Trojan) read(m *kernel.Machine) kernel.Status {
+	return m.ReadHeap(uint64(t.pg)*hw.PageSize + uint64(t.setOrder[t.si])*hw.LineSize)
+}
+
+func (t *t7Trojan) Step(m *kernel.Machine) kernel.Status {
+	switch t.phase {
+	case 0: // sample the stream's start time
+		t.phase = 1
+		return m.Now()
+	case 1:
+		t.start = m.Time()
+		t.phase = 2
+		return m.Now() // commit timestamp for window 0
+	case 2:
+		t.syms.Commit(m.Time(), t.seq[t.w])
+		t.end = t.start + uint64(t.w+1)*t7WindowLen
+		t.phase = 3
+		return m.Now() // window deadline check
+	case 3:
+		if m.Time() < t.end {
+			if t.seq[t.w] == 1 {
+				t.pg, t.si = 0, 0
+				t.phase = 4
+				return t.read(m)
+			}
+			t.phase = 5
+			return m.Compute(500)
+		}
+		t.w++
+		if t.w == t.windows+4 {
+			return kernel.Done
+		}
+		t.phase = 2
+		return m.Now()
+	case 4: // hammering sweep
+		t.si++
+		if t.si == len(t.setOrder) {
+			t.si = 0
+			t.pg++
+		}
+		if t.pg < t7TrojWays {
+			return t.read(m)
+		}
+		t.phase = 3
+		return m.Now()
+	default: // 5: quiet burn finished
+		t.phase = 3
+		return m.Now()
+	}
+}
+
+// t7Spy probes once per window, late in the window, then stays off the
+// data cache until the next one. Probing continuously would keep the
+// spy's own lines most-recently-used, and LRU would then deflect every
+// trojan fill onto the trojan's own stale lines — the probe cadence
+// must give the eviction set time to win.
+type t7Spy struct {
+	windows  int
+	setOrder []int
+	obs      *ObsLog
+
+	phase  int
+	w      int
+	start  uint64
+	target uint64
+	si     int
+	lat    uint64
+}
+
+func (s *t7Spy) Step(m *kernel.Machine) kernel.Status {
+	switch s.phase {
+	case 0:
+		s.phase = 1
+		return m.Now()
+	case 1:
+		s.start = m.Time()
+		s.target = s.start + t7WindowLen*3/4
+		s.phase = 2
+		return m.Now() // wait-loop check
+	case 2:
+		if m.Time() < s.target {
+			s.phase = 3
+			return m.Compute(150)
+		}
+		s.si, s.lat = 0, 0
+		s.phase = 4
+		return m.ReadHeap(uint64(s.setOrder[s.si]) * hw.LineSize)
+	case 3:
+		s.phase = 2
+		return m.Now()
+	case 4: // timed probe of the resident buffer
+		s.lat += m.Latency()
+		s.si++
+		if s.si < len(s.setOrder) {
+			return m.ReadHeap(uint64(s.setOrder[s.si]) * hw.LineSize)
+		}
+		s.phase = 5
+		return m.Now()
+	default: // 5: observation timestamp
+		s.obs.Record(m.Time(), float64(s.lat))
+		s.w++
+		if s.w == s.windows+4 {
+			return kernel.Done
+		}
+		s.target = s.start + uint64(s.w)*t7WindowLen + t7WindowLen*3/4
+		s.phase = 2
+		return m.Now()
+	}
+}
+
+// buildSMT constructs one T7 configuration. coResident selects the
+// insecure placement (Hi and Lo pinned to sibling hardware threads)
+// versus the policy-compliant time-shared placement.
+func buildSMT(label string, prot core.Config, coResident bool, windows int, seed uint64, o execOpt) (*kernel.System, func(kernel.Report) Row) {
 	pcfg := platform.DefaultConfig()
 	pcfg.Cores = 1
 	pcfg.SMTWays = 2
@@ -49,75 +175,43 @@ func runSMT(label string, prot core.Config, coResident bool, windows int, seed u
 		Platform:   pcfg,
 		Protection: prot,
 		Domains: []core.DomainSpec{
-			{Name: "Hi", SliceCycles: slice, PadCycles: pad, Colors: mem.ColorRange(1, 32), CodePages: 4, HeapPages: 16},
-			{Name: "Lo", SliceCycles: slice, PadCycles: pad, Colors: mem.ColorRange(32, 64), CodePages: 4, HeapPages: 16},
+			{Name: "Hi", SliceCycles: t7Slice, PadCycles: t7Pad, Colors: mem.ColorRange(1, 32), CodePages: 4, HeapPages: 16},
+			{Name: "Lo", SliceCycles: t7Slice, PadCycles: t7Pad, Colors: mem.ColorRange(32, 64), CodePages: 4, HeapPages: 16},
 		},
-		Schedule:  schedule,
-		MaxCycles: uint64(windows+16)*windowLen*4 + 8_000_000,
+		Schedule:    schedule,
+		EnableTrace: o.trace,
+		MaxCycles:   uint64(windows+16)*t7WindowLen*4 + 8_000_000,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("attacks: T7 %s: %v", label, err))
 	}
 
 	seq := SymbolSeq(windows+8, 2, seed)
-	var syms SymLog
-	var obs ObsLog
-	setOrder := shuffledOffsets(spyLines, 1, seed^0xE1)
+	syms := &SymLog{}
+	obs := &ObsLog{}
+	setOrder := shuffledOffsets(t7SpyLines, 1, seed^0xE1)
 
-	// Trojan: sym=1 hammers every way of the L1 sets the spy lives in;
-	// sym=0 computes. On SMT siblings this evicts the spy's lines
-	// *while the spy runs*.
-	if _, err := sys.Spawn(0, "trojan", trojCPU, func(c *kernel.UserCtx) {
-		start := c.Now()
-		for w := 0; w < windows+4; w++ {
-			sym := seq[w]
-			syms.Commit(c.Now(), sym)
-			end := start + uint64(w+1)*windowLen
-			for c.Now() < end {
-				if sym == 1 {
-					for pg := 0; pg < trojWays; pg++ {
-						for _, s := range setOrder {
-							c.ReadHeap(uint64(pg)*hw.PageSize + uint64(s)*hw.LineSize)
-						}
-					}
-				} else {
-					c.Compute(500)
-				}
-			}
+	o.spawn(sys, 0, "trojan", trojCPU, &t7Trojan{
+		windows: windows, seq: seq, setOrder: setOrder, syms: syms,
+	})
+	o.spawn(sys, 1, "spy", spyCPU, &t7Spy{
+		windows: windows, setOrder: setOrder, obs: obs,
+	})
+
+	return sys, func(rep kernel.Report) Row {
+		labels, vals := Label(syms, obs, 6)
+		est, err := EstimateLabelled(labels, vals, 16, seed^0x7777)
+		if err != nil {
+			panic(err)
 		}
-	}); err != nil {
-		panic(err)
+		return Row{Label: label, Est: est, ErrRate: nan(), SimOps: rep.Ops}
 	}
+}
 
-	// Spy: probe once per window, late in the window, then stay off
-	// the data cache until the next one. Probing continuously would
-	// keep the spy's own lines most-recently-used, and LRU would then
-	// deflect every trojan fill onto the trojan's own stale lines —
-	// the probe cadence must give the eviction set time to win.
-	if _, err := sys.Spawn(1, "spy", spyCPU, func(c *kernel.UserCtx) {
-		start := c.Now()
-		for w := 0; w < windows+4; w++ {
-			target := start + uint64(w)*windowLen + windowLen*3/4
-			for c.Now() < target {
-				c.Compute(150)
-			}
-			var lat uint64
-			for _, s := range setOrder {
-				lat += c.ReadHeap(uint64(s) * hw.LineSize)
-			}
-			obs.Record(c.Now(), float64(lat))
-		}
-	}); err != nil {
-		panic(err)
-	}
-
-	mustRun(sys)
-	labels, vals := Label(&syms, &obs, 6)
-	est, err := EstimateLabelled(labels, vals, 16, seed^0x7777)
-	if err != nil {
-		panic(err)
-	}
-	return Row{Label: label, Est: est, ErrRate: nan()}
+// runSMT runs one T7 configuration.
+func runSMT(label string, prot core.Config, coResident bool, windows int, seed uint64) Row {
+	sys, finish := buildSMT(label, prot, coResident, windows, seed, execOpt{})
+	return finish(mustRun(sys))
 }
 
 // T7SMT reproduces experiment T7: cross-domain SMT co-residency leaks

@@ -19,15 +19,138 @@ import (
 // the paper's flushable-state list (§4.1): consistency partitioning by
 // ASID is not timing partitioning.
 
-// runTLBChannel runs one T14 configuration.
-func runTLBChannel(label string, prot core.Config, rounds int, seed uint64) Row {
-	const (
-		slice  = 100_000
-		pad    = 25_000
-		arity  = 4
-		perSym = 16 // pages touched per symbol step (TLB has 64 entries)
-		spySet = 12 // spy's resident translations
-	)
+const (
+	t14Slice  = 100_000
+	t14Pad    = 25_000
+	t14Arity  = 4
+	t14PerSym = 16 // pages touched per symbol step (TLB has 64 entries)
+	t14SpySet = 12 // spy's resident translations
+)
+
+// t14Trojan touches (sym+1)*perSym distinct pages per slice — its TLB
+// footprint is the symbol.
+type t14Trojan struct {
+	rounds int
+	seq    []int
+	syms   *SymLog
+
+	phase int
+	r     int
+	p, n  int
+	epoch uint64
+	spin  epochSpin
+}
+
+func (t *t14Trojan) Step(m *kernel.Machine) kernel.Status {
+	switch t.phase {
+	case 0:
+		t.phase = 1
+		return m.Epoch()
+	case 1: // begin round 0's page walk
+		t.epoch = m.Value()
+		t.n = (t.seq[t.r] + 1) * t14PerSym
+		t.p = 0
+		t.phase = 2
+		return m.ReadHeap(uint64(t.p) * hw.PageSize)
+	case 2: // advance the footprint sweep
+		t.p++
+		if t.p < t.n {
+			return m.ReadHeap(uint64(t.p) * hw.PageSize)
+		}
+		t.phase = 3
+		return m.Now()
+	case 3:
+		t.syms.Commit(m.Time(), t.seq[t.r])
+		t.phase = 4
+		return t.spin.start(t.epoch, m)
+	default: // 4: spinning to the next slice
+		e, done, st := t.spin.step(m)
+		if !done {
+			return st
+		}
+		t.epoch = e
+		t.r++
+		if t.r == t.rounds+4 {
+			return kernel.Done
+		}
+		t.n = (t.seq[t.r] + 1) * t14PerSym
+		t.p = 0
+		t.phase = 2
+		return m.ReadHeap(uint64(t.p) * hw.PageSize)
+	}
+}
+
+// t14Spy keeps a fixed set of translations resident; at slice start it
+// re-touches them and totals the latency — every evicted entry costs a
+// page walk.
+type t14Spy struct {
+	rounds int
+	obs    *ObsLog
+
+	phase int
+	r, p  int
+	lat   uint64
+	ts    uint64
+	epoch uint64
+	spin  epochSpin
+}
+
+func (s *t14Spy) Step(m *kernel.Machine) kernel.Status {
+	switch s.phase {
+	case 0: // initial warming touch, latencies discarded
+		s.p = 0
+		s.phase = 1
+		return m.ReadHeap(uint64(s.p) * hw.PageSize)
+	case 1:
+		s.p++
+		if s.p < t14SpySet {
+			return m.ReadHeap(uint64(s.p) * hw.PageSize)
+		}
+		s.phase = 2
+		return m.Epoch()
+	case 2:
+		s.epoch = m.Value()
+		s.phase = 3
+		return s.spin.start(s.epoch, m)
+	case 3: // aligning spin before the first round
+		e, done, st := s.spin.step(m)
+		if !done {
+			return st
+		}
+		s.epoch = e
+		s.phase = 4
+		return m.Now() // observation timestamp, taken before the touch
+	case 4:
+		s.ts = m.Time()
+		s.p, s.lat = 0, 0
+		s.phase = 5
+		return m.ReadHeap(uint64(s.p) * hw.PageSize)
+	case 5: // timed re-touch of the resident set
+		s.lat += m.Latency()
+		s.p++
+		if s.p < t14SpySet {
+			return m.ReadHeap(uint64(s.p) * hw.PageSize)
+		}
+		s.obs.Record(s.ts, float64(s.lat))
+		s.phase = 6
+		return s.spin.start(s.epoch, m)
+	default: // 6: spinning between rounds
+		e, done, st := s.spin.step(m)
+		if !done {
+			return st
+		}
+		s.epoch = e
+		s.r++
+		if s.r == s.rounds+4 {
+			return kernel.Done
+		}
+		s.phase = 4
+		return m.Now()
+	}
+}
+
+// buildTLBChannel constructs one T14 configuration.
+func buildTLBChannel(label string, prot core.Config, rounds int, seed uint64, o execOpt) (*kernel.System, func(kernel.Report) Row) {
 	pcfg := platform.DefaultConfig()
 	pcfg.Cores = 1
 
@@ -35,65 +158,42 @@ func runTLBChannel(label string, prot core.Config, rounds int, seed uint64) Row 
 		Platform:   pcfg,
 		Protection: prot,
 		Domains: []core.DomainSpec{
-			{Name: "Hi", SliceCycles: slice, PadCycles: pad, Colors: mem.ColorRange(1, 32), CodePages: 4, HeapPages: 80},
-			{Name: "Lo", SliceCycles: slice, PadCycles: pad, Colors: mem.ColorRange(32, 64), CodePages: 4, HeapPages: 16},
+			{Name: "Hi", SliceCycles: t14Slice, PadCycles: t14Pad, Colors: mem.ColorRange(1, 32), CodePages: 4, HeapPages: 80},
+			{Name: "Lo", SliceCycles: t14Slice, PadCycles: t14Pad, Colors: mem.ColorRange(32, 64), CodePages: 4, HeapPages: 16},
 		},
-		Schedule:  [][]int{{0, 1}},
-		MaxCycles: uint64(rounds+16) * (slice + pad + 60_000) * 2,
+		Schedule:    [][]int{{0, 1}},
+		EnableTrace: o.trace,
+		MaxCycles:   uint64(rounds+16) * (t14Slice + t14Pad + 60_000) * 2,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("attacks: T14 %s: %v", label, err))
 	}
 
-	seq := SymbolSeq(rounds+8, arity, seed)
-	var syms SymLog
-	var obs ObsLog
+	seq := SymbolSeq(rounds+8, t14Arity, seed)
+	syms := &SymLog{}
+	obs := &ObsLog{}
 
-	// Trojan: touch (sym+1)*perSym distinct pages per slice — its TLB
-	// footprint is the symbol.
-	if _, err := sys.Spawn(0, "trojan", 0, func(c *kernel.UserCtx) {
-		e := c.Epoch()
-		for r := 0; r < rounds+4; r++ {
-			n := (seq[r] + 1) * perSym
-			for p := 0; p < n; p++ {
-				c.ReadHeap(uint64(p) * hw.PageSize)
-			}
-			syms.Commit(c.Now(), seq[r])
-			e = spinEpoch(c, e)
-		}
-	}); err != nil {
-		panic(err)
-	}
+	o.spawn(sys, 0, "trojan", 0, &t14Trojan{
+		rounds: rounds, seq: seq, syms: syms, spin: epochSpin{burn: 180},
+	})
+	o.spawn(sys, 1, "spy", 0, &t14Spy{
+		rounds: rounds, obs: obs, spin: epochSpin{burn: 180},
+	})
 
-	// Spy: keep a fixed set of translations resident; at slice start,
-	// re-touch them and total the latency — every evicted entry costs
-	// a page walk.
-	if _, err := sys.Spawn(1, "spy", 0, func(c *kernel.UserCtx) {
-		touch := func() uint64 {
-			var lat uint64
-			for p := 0; p < spySet; p++ {
-				lat += c.ReadHeap(uint64(p) * hw.PageSize)
-			}
-			return lat
+	return sys, func(rep kernel.Report) Row {
+		labels, vals := Label(syms, obs, 3)
+		est, err := EstimateLabelled(labels, vals, 16, seed^0x71B)
+		if err != nil {
+			panic(err)
 		}
-		touch()
-		e := c.Epoch()
-		e = spinEpoch(c, e)
-		for r := 0; r < rounds+4; r++ {
-			obs.Record(c.Now(), float64(touch()))
-			e = spinEpoch(c, e)
-		}
-	}); err != nil {
-		panic(err)
+		return Row{Label: label, Est: est, ErrRate: nan(), SimOps: rep.Ops}
 	}
+}
 
-	mustRun(sys)
-	labels, vals := Label(&syms, &obs, 3)
-	est, err := EstimateLabelled(labels, vals, 16, seed^0x71B)
-	if err != nil {
-		panic(err)
-	}
-	return Row{Label: label, Est: est, ErrRate: nan()}
+// runTLBChannel runs one T14 configuration.
+func runTLBChannel(label string, prot core.Config, rounds int, seed uint64) Row {
+	sys, finish := buildTLBChannel(label, prot, rounds, seed, execOpt{})
+	return finish(mustRun(sys))
 }
 
 // T14TLB reproduces experiment T14: the TLB working-set-size channel,

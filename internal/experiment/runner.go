@@ -35,6 +35,11 @@ type CellResult struct {
 	MIUniform    float64
 	// N and Bins describe the estimate's sample set.
 	N, Bins int
+	// SimOps is the number of simulated thread operations the cell
+	// executed — with wall-clock time (which the report deliberately
+	// omits, to stay a pure function of the spec) it gives the sweep's
+	// throughput. tpbench prints the aggregate ops/sec.
+	SimOps uint64
 	// ErrRate is the spy's decode error rate; nil when the scenario
 	// has no decoder.
 	ErrRate *float64 `json:",omitempty"`
@@ -61,6 +66,7 @@ func (c *CellResult) fillFromRow(row attacks.Row) {
 	c.MIUniform = row.Est.MIUniform
 	c.N = row.Est.N
 	c.Bins = row.Est.Bins
+	c.SimOps = row.SimOps
 	c.Leaks = row.Leaks()
 	c.ErrRate = nil
 	if !math.IsNaN(row.ErrRate) {
@@ -89,6 +95,16 @@ type Report struct {
 	// Contract is the aISA contract check for full protection on the
 	// default platform.
 	Contract core.ContractReport
+}
+
+// TotalSimOps sums the simulated thread operations over every cell —
+// the numerator of the sweep's throughput.
+func (r *Report) TotalSimOps() uint64 {
+	var total uint64
+	for _, c := range r.Cells {
+		total += c.SimOps
+	}
+	return total
 }
 
 // Run executes the sweep. The report depends only on the spec: worker

@@ -1,0 +1,229 @@
+package kernel
+
+import (
+	"testing"
+	"time"
+
+	"timeprot/internal/core"
+	"timeprot/internal/hw"
+	"timeprot/internal/hw/mem"
+	"timeprot/internal/hw/platform"
+)
+
+// Engine microbenchmarks: the simulation cost (host ns per simulated
+// operation) of instruction streams and the domain-switch protocol,
+// under the direct Program path and the legacy goroutine+UserCtx
+// adapter. The direct/legacy ratio is the payoff of the
+// direct-execution model — the refactor's acceptance bar is >= 3x on
+// instruction streams. The "simops/s" metric is simulated operations
+// per wall-clock second.
+
+// streamKind selects the benchmarked instruction stream.
+type streamKind int
+
+const (
+	streamRead streamKind = iota
+	streamCompute
+	streamNow
+)
+
+// streamProgram issues n operations of one kind — the direct-execution
+// benchmark workload.
+type streamProgram struct {
+	kind streamKind
+	n    int
+	i    int
+}
+
+func (p *streamProgram) Step(m *Machine) Status {
+	if p.i == p.n {
+		return Done
+	}
+	p.i++
+	switch p.kind {
+	case streamRead:
+		return m.ReadHeap(uint64(p.i%256) * hw.LineSize)
+	case streamCompute:
+		return m.Compute(50)
+	default:
+		return m.Now()
+	}
+}
+
+// streamFn is the identical workload as a legacy thread function.
+func streamFn(kind streamKind, n int) func(*UserCtx) {
+	return func(c *UserCtx) {
+		for i := 1; i <= n; i++ {
+			switch kind {
+			case streamRead:
+				c.ReadHeap(uint64(i%256) * hw.LineSize)
+			case streamCompute:
+				c.Compute(50)
+			default:
+				c.Now()
+			}
+		}
+	}
+}
+
+// streamSystem builds a single-domain uniprocessor that never
+// domain-switches, so the measurement isolates per-operation engine
+// cost.
+func streamSystem(b testing.TB, maxOps int) *System {
+	b.Helper()
+	pcfg := platform.DefaultConfig()
+	pcfg.Cores = 1
+	sys, err := NewSystem(SystemConfig{
+		Platform:   pcfg,
+		Protection: core.NoProtection(),
+		Domains: []core.DomainSpec{
+			{Name: "A", SliceCycles: 1_000_000, PadCycles: 0, Colors: mem.ColorRange(1, 32), CodePages: 2, HeapPages: 16},
+		},
+		Schedule:  [][]int{{0}},
+		MaxCycles: uint64(maxOps)*3_000 + 50_000_000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+func benchStream(b *testing.B, kind streamKind, direct bool) {
+	sys := streamSystem(b, b.N)
+	var err error
+	if direct {
+		_, err = sys.SpawnProgram(0, "stream", 0, &streamProgram{kind: kind, n: b.N})
+	} else {
+		_, err = sys.Spawn(0, "stream", 0, streamFn(kind, b.N))
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	rep, err := sys.Run()
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(rep.Errors) > 0 {
+		b.Fatal(rep.Errors)
+	}
+	if rep.HitMaxCycles {
+		b.Fatal("benchmark hit the cycle cap")
+	}
+	if el := b.Elapsed().Seconds(); el > 0 {
+		b.ReportMetric(float64(rep.Ops)/el, "simops/s")
+	}
+}
+
+func BenchmarkDirectRead(b *testing.B)    { benchStream(b, streamRead, true) }
+func BenchmarkLegacyRead(b *testing.B)    { benchStream(b, streamRead, false) }
+func BenchmarkDirectCompute(b *testing.B) { benchStream(b, streamCompute, true) }
+func BenchmarkLegacyCompute(b *testing.B) { benchStream(b, streamCompute, false) }
+func BenchmarkDirectNow(b *testing.B)     { benchStream(b, streamNow, true) }
+func BenchmarkLegacyNow(b *testing.B)     { benchStream(b, streamNow, false) }
+
+// computeProgram burns fixed-size compute chunks forever; the slice
+// preemptions between two such programs drive the full padded
+// domain-switch protocol.
+type computeProgram struct{ n, i int }
+
+func (p *computeProgram) Step(m *Machine) Status {
+	if p.i == p.n {
+		return Done
+	}
+	p.i++
+	return m.Compute(400)
+}
+
+// benchSwitch measures one full domain-switch cycle (two switches: A->B
+// and B->A, including flush and padding) per iteration pair.
+func benchSwitch(b *testing.B, direct bool) {
+	pcfg := platform.DefaultConfig()
+	pcfg.Cores = 1
+	sys, err := NewSystem(SystemConfig{
+		Platform:   pcfg,
+		Protection: core.FullProtection(),
+		Domains: []core.DomainSpec{
+			{Name: "A", SliceCycles: 2_000, PadCycles: 3_000, Colors: mem.ColorRange(1, 32), CodePages: 2, HeapPages: 4},
+			{Name: "B", SliceCycles: 2_000, PadCycles: 3_000, Colors: mem.ColorRange(32, 64), CodePages: 2, HeapPages: 4},
+		},
+		Schedule:  [][]int{{0, 1}},
+		MaxCycles: uint64(b.N)*20_000 + 10_000_000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for d, name := range []string{"a", "b"} {
+		if direct {
+			_, err = sys.SpawnProgram(d, name, 0, &computeProgram{n: b.N})
+		} else {
+			n := b.N
+			_, err = sys.Spawn(d, name, 0, func(c *UserCtx) {
+				for i := 0; i < n; i++ {
+					c.Compute(400)
+				}
+			})
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	rep, err := sys.Run()
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(rep.Errors) > 0 {
+		b.Fatal(rep.Errors)
+	}
+	b.ReportMetric(float64(rep.Switches)/float64(b.N), "switches/op")
+}
+
+func BenchmarkDirectDomainSwitch(b *testing.B) { benchSwitch(b, true) }
+func BenchmarkLegacyDomainSwitch(b *testing.B) { benchSwitch(b, false) }
+
+// TestDirectSpeedup is the acceptance gate for the direct-execution
+// refactor in test form: the direct path must sustain at least 3x the
+// legacy adapter's operation rate on an instruction stream. Benchmarks
+// give the precise number; this test fails loudly if the win regresses.
+func TestDirectSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation distorts the direct/legacy timing ratio")
+	}
+	const ops = 300_000
+	rate := func(direct bool) float64 {
+		sys := streamSystem(t, ops)
+		var err error
+		if direct {
+			_, err = sys.SpawnProgram(0, "stream", 0, &streamProgram{kind: streamCompute, n: ops})
+		} else {
+			_, err = sys.Spawn(0, "stream", 0, streamFn(streamCompute, ops))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		rep, err := sys.Run()
+		elapsed := time.Since(start).Seconds()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Errors) > 0 {
+			t.Fatal(rep.Errors)
+		}
+		return float64(rep.Ops) / elapsed
+	}
+	// Warm both paths once, then measure.
+	rate(true)
+	rate(false)
+	d, l := rate(true), rate(false)
+	t.Logf("direct %.0f ops/s, legacy %.0f ops/s, speedup %.1fx", d, l, d/l)
+	if d < 3*l {
+		t.Errorf("direct path %.0f ops/s is less than 3x legacy %.0f ops/s", d, l)
+	}
+}

@@ -5,11 +5,15 @@
 // interrupt partitioning, and deterministic minimum-time IPC delivery —
 // over the hardware platform of internal/hw.
 //
-// Threads run as goroutines executing synthetic programs against a
-// UserCtx; all hardware access is serialised through a single
-// deterministic event loop (System.Run) that always advances the
-// logical CPU with the lowest cycle clock. Two runs of the same system
-// with the same seeds are cycle-identical, which is what makes two-run
+// Threads execute synthetic programs under the direct-execution model:
+// a Program is a resumable step function the event loop (System.Run)
+// invokes inline, one operation per step, always advancing the logical
+// CPU with the lowest cycle clock. Blocking operations park the
+// thread's state struct, not a goroutine. The legacy goroutine+UserCtx
+// API survives as a compatibility adapter (one channel bridge per
+// legacy thread) implemented on top of Program; both paths execute the
+// same operation streams, and two runs of the same system with the
+// same seeds are cycle-identical — which is what makes two-run
 // comparisons meaningful on the concrete simulator.
 package kernel
 

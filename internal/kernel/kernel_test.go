@@ -382,6 +382,63 @@ func TestPageFaultReportedAsThreadError(t *testing.T) {
 	}
 }
 
+func TestLegacyFaultDeliveredInBand(t *testing.T) {
+	// A fault reaches a legacy thread as a panic out of the faulting
+	// call, at fault time — so the function's own recovery can catch
+	// it and keep executing, exactly as before the Program refactor.
+	s := uniSys(t, core.FullProtection(), nil)
+	recovered := false
+	continued := false
+	mustSpawn(t, s, 0, "recoverer", 0, func(c *UserCtx) {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					recovered = true
+				}
+			}()
+			c.Read(hw.Addr(0xdead << hw.PageBits))
+		}()
+		c.Compute(10)
+		continued = true
+	})
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recovered || !continued {
+		t.Fatalf("recovered=%v continued=%v, want both", recovered, continued)
+	}
+	if len(rep.Errors) != 0 {
+		t.Fatalf("a recovered fault must not be reported: %v", rep.Errors)
+	}
+}
+
+// faultProgram reads an unmapped page; a direct program cannot recover
+// a fault, so the engine must kill the thread and report it.
+type faultProgram struct{ stepped bool }
+
+func (p *faultProgram) Step(m *Machine) Status {
+	if p.stepped {
+		return Done
+	}
+	p.stepped = true
+	return m.Read(hw.Addr(0xdead << hw.PageBits))
+}
+
+func TestDirectFaultReportedAsThreadError(t *testing.T) {
+	s := uniSys(t, core.FullProtection(), nil)
+	if _, err := s.SpawnProgram(0, "fault", 0, &faultProgram{}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Errors) != 1 || !strings.Contains(rep.Errors[0].Error(), "page fault") {
+		t.Fatalf("errors = %v", rep.Errors)
+	}
+}
+
 func TestDeadlockDetected(t *testing.T) {
 	s := uniSys(t, core.FullProtection(), []EndpointSpec{{ID: 0}})
 	mustSpawn(t, s, 0, "waiter", 0, func(c *UserCtx) {

@@ -1,0 +1,262 @@
+package kernel
+
+import (
+	"fmt"
+
+	"timeprot/internal/hw"
+)
+
+// This file is the direct-execution program model: the event loop runs
+// user programs by calling a step function inline — no goroutines, no
+// channel handoffs, no parking — which removes two scheduler crossings
+// per simulated instruction from the simulator's hot path. The legacy
+// goroutine+UserCtx API survives as a compatibility adapter (goBridge)
+// implemented on top of Program, so both execution paths share one
+// event loop and produce bit-identical traces.
+
+// Status is a program's answer to the scheduler after one step.
+type Status int
+
+const (
+	// Running means the program issued its next operation through the
+	// Machine and wants to be resumed with its result. Blocking
+	// operations (Send, Recv, Yield) are issued the same way: the
+	// scheduler parks the thread's state — not a goroutine — and calls
+	// Step again when the operation completes.
+	Running Status = iota
+	// Done means the program finished; the thread exits.
+	Done
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Program is a direct-execution user program: a resumable step function
+// over an explicit state struct of the implementer's choosing. The
+// event loop calls Step inline each time the thread may execute one
+// operation; Step must either issue exactly one operation through the
+// Machine and return Running, or issue none and return Done.
+//
+// The result of the issued operation is available from the Machine's
+// accessors (Latency, Time, Value) at the NEXT Step call — programs are
+// written as small state machines that consume the previous result and
+// issue the next operation. Step is invoked at exactly the moments the
+// legacy goroutine path ran user code, so programs may share plain Go
+// state with the harness under the same lockstep guarantee UserCtx
+// programs enjoy.
+//
+// A panic in Step faults the thread (recorded in the run report's
+// Errors), matching a panicking legacy thread function.
+type Program interface {
+	Step(m *Machine) Status
+}
+
+// Machine is the per-thread execution context handed to Program.Step:
+// the previous operation's result, the issue methods for the next
+// operation, and the domain helpers programs need to form addresses.
+// Every issue method records exactly one operation and returns Running,
+// so the idiom is
+//
+//	return m.ReadHeap(off)
+//
+// Machine values are owned by the engine; programs must not retain them
+// across Step calls.
+type Machine struct {
+	t   *Thread
+	res response
+	// op is the operation issued by the current step; issued doubles as
+	// the thread's has-pending-operation flag between Step and the
+	// event-loop iteration that executes the operation.
+	op     request
+	issued bool
+}
+
+// Latency returns the previous operation's cost in cycles as the thread
+// observed it (the value UserCtx.Read and friends returned).
+func (m *Machine) Latency() uint64 { return m.res.latency }
+
+// Time returns the core clock at completion of the previous operation —
+// what UserCtx.Now returned, and the timestamp Recv deliveries carry.
+func (m *Machine) Time() uint64 { return m.res.now }
+
+// Value returns the previous operation's result value: the payload for
+// Recv, the slice count for Epoch.
+func (m *Machine) Value() uint64 { return m.res.val }
+
+// issue records the step's single operation.
+func (m *Machine) issue(r request) Status {
+	if m.issued {
+		panic("kernel: program issued two operations in one step")
+	}
+	m.op = r
+	m.issued = true
+	return Running
+}
+
+// Read issues a load of the byte at virtual address va; the next step's
+// Latency is the access cost — the prime-and-probe primitive.
+func (m *Machine) Read(va hw.Addr) Status { return m.issue(request{kind: opRead, addr: va}) }
+
+// Write issues a store to virtual address va. Writes dirty cache lines,
+// lengthening a later flush (§4.2).
+func (m *Machine) Write(va hw.Addr) Status { return m.issue(request{kind: opWrite, addr: va}) }
+
+// ReadHeap is Read at byte offset off within the domain's heap.
+func (m *Machine) ReadHeap(off uint64) Status { return m.Read(m.t.Domain.HeapAddr(off)) }
+
+// WriteHeap is Write at byte offset off within the domain's heap.
+func (m *Machine) WriteHeap(off uint64) Status { return m.Write(m.t.Domain.HeapAddr(off)) }
+
+// Compute issues n cycles of pure computation.
+func (m *Machine) Compute(n uint64) Status { return m.issue(request{kind: opCompute, n: n}) }
+
+// Now issues a read of the core's cycle counter — the rdtsc analogue;
+// the next step's Time is the sample.
+func (m *Machine) Now() Status { return m.issue(request{kind: opNow}) }
+
+// Branch issues a conditional branch at code offset pcOff with the
+// given outcome; the next step's Latency reveals the prediction.
+func (m *Machine) Branch(pcOff uint64, taken bool) Status {
+	return m.issue(request{kind: opBranch, addr: m.t.Domain.CodeAddr(pcOff), taken: taken})
+}
+
+// Send issues a synchronous IPC send of val on endpoint ep. The thread
+// blocks until a receiver rendezvouses; the scheduler resumes the
+// program when the send completes.
+func (m *Machine) Send(ep int, val uint64) Status {
+	return m.issue(request{kind: opSend, arg: ep, n: val})
+}
+
+// Recv issues a synchronous IPC receive on endpoint ep. When the
+// program resumes, Value is the payload and Time the delivery cycle —
+// the receiver's timing observation of the sender.
+func (m *Machine) Recv(ep int) Status { return m.issue(request{kind: opRecv, arg: ep}) }
+
+// StartIO issues programming of the device on IRQ line to raise its
+// completion interrupt delay cycles from now (§4.2).
+func (m *Machine) StartIO(line int, delay uint64) Status {
+	return m.issue(request{kind: opStartIO, arg: line, n: delay})
+}
+
+// Yield gives up the CPU to the next ready thread of the same domain.
+func (m *Machine) Yield() Status { return m.issue(request{kind: opYield}) }
+
+// Epoch issues a read of the number of time slices the thread's domain
+// has begun on its CPU; the next step's Value is the count.
+func (m *Machine) Epoch() Status { return m.issue(request{kind: opEpoch}) }
+
+// NullSyscall issues a syscall that only enters and exits the kernel —
+// the probe for the kernel-image channel (§4.2).
+func (m *Machine) NullSyscall() Status { return m.issue(request{kind: opNull}) }
+
+// HeapBytes returns the size of the domain's heap.
+func (m *Machine) HeapBytes() uint64 { return m.t.Domain.HeapBytes() }
+
+// HeapAddr resolves a heap offset to a virtual address.
+func (m *Machine) HeapAddr(off uint64) hw.Addr { return m.t.Domain.HeapAddr(off) }
+
+// DomainName returns the owning domain's name.
+func (m *Machine) DomainName() string { return m.t.Domain.Spec.Name }
+
+// goBridge adapts a legacy thread function to the Program model: one
+// goroutine per legacy thread, parked on a channel pair. Step delivers
+// the previous result to the goroutine, lets the user code run to its
+// next UserCtx call, and issues the request it posted — so legacy
+// threads pay the two channel handoffs per instruction the direct path
+// eliminates, but behave identically otherwise.
+type goBridge struct {
+	sys *System
+	fn  func(*UserCtx)
+
+	req     chan request
+	resp    chan response
+	started bool
+}
+
+func newGoBridge(sys *System, fn func(*UserCtx)) *goBridge {
+	return &goBridge{
+		sys:  sys,
+		fn:   fn,
+		req:  make(chan request, 1),
+		resp: make(chan response, 1),
+	}
+}
+
+// Step implements Program by driving the bridged goroutine one
+// operation forward.
+func (b *goBridge) Step(m *Machine) Status {
+	if !b.started {
+		b.started = true
+		t := m.t
+		b.sys.wg.Add(1)
+		go func() {
+			defer b.sys.wg.Done()
+			b.run(t)
+		}()
+	}
+	b.resp <- m.res
+	// The user goroutine runs here, until it posts its next operation
+	// (a returning thread function posts opExit) — the same lockstep
+	// the old event loop enforced.
+	return m.issue(<-b.req)
+}
+
+// run is the bridged goroutine body: it executes the user function and
+// converts its termination (return or panic) into an exit request.
+func (b *goBridge) run(t *Thread) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isKill := r.(killSentinel); isKill {
+				return // system shut down; do not touch channels
+			}
+			t.Err = fmt.Errorf("kernel: thread %s panicked: %v", t.Name, r)
+		}
+		b.req <- request{kind: opExit}
+	}()
+	// Run no user code until first dispatched: this keeps all user
+	// code serialised by the event loop, so programs (and tests) may
+	// safely share state across threads — ordering is deterministic.
+	var first response
+	select {
+	case first = <-b.resp:
+	case <-b.sys.killAll:
+		panic(killSentinel{})
+	}
+	ctx := &UserCtx{t: t, b: b, kill: b.sys.killAll, first: first}
+	b.fn(ctx)
+}
+
+// ReplayProgram adapts a Program to the legacy goroutine+UserCtx API by
+// interpreting its operation stream over a UserCtx — the inverse of the
+// goBridge. Both paths then execute the identical operation sequence,
+// which is what the execution-model equivalence tests exercise: spawn
+// the program directly on one system and replayed on another, and the
+// traces must match bit for bit.
+func ReplayProgram(p Program) func(*UserCtx) {
+	return func(c *UserCtx) {
+		m := &Machine{t: c.t, res: c.first}
+		for {
+			m.issued = false
+			st := p.Step(m)
+			if st == Done {
+				if m.issued {
+					panic("kernel: program issued an operation and returned Done")
+				}
+				return
+			}
+			if !m.issued {
+				panic("kernel: program returned Running without issuing an operation")
+			}
+			m.res = c.call(m.op)
+		}
+	}
+}

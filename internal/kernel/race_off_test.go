@@ -1,0 +1,7 @@
+//go:build !race
+
+package kernel
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation distorts host-timing comparisons.
+const raceEnabled = false

@@ -29,7 +29,7 @@ type cpuState struct {
 	runQ map[hw.DomainID][]*Thread
 
 	// epochs counts begun slices per domain on this CPU, read by the
-	// Epoch user operation.
+	// Epoch user operation. Initialised alongside runQ at construction.
 	epochs map[hw.DomainID]uint64
 
 	// started is set once the first slice has begun.
@@ -46,9 +46,6 @@ func (st *cpuState) clk() *clock.Clock { return &st.lcpu.Core.Clock }
 
 // bumpEpoch records the start of a new slice for domain d.
 func (st *cpuState) bumpEpoch(d hw.DomainID) {
-	if st.epochs == nil {
-		st.epochs = make(map[hw.DomainID]uint64)
-	}
 	st.epochs[d]++
 }
 
@@ -59,16 +56,17 @@ func (st *cpuState) enqueue(t *Thread) {
 
 // nextReady removes and returns the first thread of domain d that is
 // Ready and whose wakeAt gate has passed, rotating over the queue. It
-// returns nil if none is eligible at now.
+// returns nil if none is eligible at now. The pop shifts the queue in
+// place rather than building a fresh slice, so a dispatch allocates
+// nothing — this runs once per dispatched operation on the hot path.
 func (st *cpuState) nextReady(d hw.DomainID, now uint64) *Thread {
 	q := st.runQ[d]
 	for i := 0; i < len(q); i++ {
 		t := q[i]
 		if t.state == threadReady && t.wakeAt <= now {
-			rest := make([]*Thread, 0, len(q)-1)
-			rest = append(rest, q[:i]...)
-			rest = append(rest, q[i+1:]...)
-			st.runQ[d] = rest
+			copy(q[i:], q[i+1:])
+			q[len(q)-1] = nil
+			st.runQ[d] = q[:len(q)-1]
 			return t
 		}
 	}

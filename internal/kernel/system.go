@@ -47,6 +47,10 @@ type Report struct {
 	ThreadCycles map[string]uint64
 	// Switches counts domain-switch protocol executions.
 	Switches int
+	// Ops counts thread operations executed (instructions of the
+	// synthetic programs, exits excluded) — the sweep engine's per-cell
+	// throughput denominator.
+	Ops uint64
 	// Deadlocked is set when every thread was blocked with no pending
 	// device activity.
 	Deadlocked bool
@@ -82,6 +86,7 @@ type System struct {
 	seq      uint64
 	live     int
 	switches int
+	ops      uint64
 	ran      bool
 }
 
@@ -157,8 +162,9 @@ func NewSystem(scfg SystemConfig) (*System, error) {
 	// CPU scheduling state.
 	for i, lcpu := range m.CPUs {
 		st := &cpuState{
-			lcpu: lcpu,
-			runQ: make(map[hw.DomainID][]*Thread),
+			lcpu:   lcpu,
+			runQ:   make(map[hw.DomainID][]*Thread),
+			epochs: make(map[hw.DomainID]uint64),
 		}
 		if i < len(scfg.Schedule) {
 			for _, di := range scfg.Schedule[i] {
@@ -202,9 +208,20 @@ func sameSchedule(a, b []hw.DomainID) bool {
 	return true
 }
 
-// Spawn adds a thread running fn in domain domainIdx, pinned to logical
-// CPU cpuIdx. It must be called before Run.
+// Spawn adds a thread running the legacy thread function fn in domain
+// domainIdx, pinned to logical CPU cpuIdx. It must be called before
+// Run. Spawn is the compatibility adapter over the Program model: fn
+// runs on its own goroutine behind a channel bridge, which costs two
+// channel handoffs per instruction. New code — and anything
+// throughput-sensitive — should implement Program and use SpawnProgram.
 func (s *System) Spawn(domainIdx int, name string, cpuIdx int, fn func(*UserCtx)) (*Thread, error) {
+	return s.SpawnProgram(domainIdx, name, cpuIdx, newGoBridge(s, fn))
+}
+
+// SpawnProgram adds a thread running the direct-execution program p in
+// domain domainIdx, pinned to logical CPU cpuIdx. It must be called
+// before Run. The event loop steps p inline — no goroutine is created.
+func (s *System) SpawnProgram(domainIdx int, name string, cpuIdx int, p Program) (*Thread, error) {
 	if s.ran {
 		return nil, fmt.Errorf("kernel: Spawn after Run")
 	}
@@ -231,12 +248,11 @@ func (s *System) Spawn(domainIdx int, name string, cpuIdx int, fn func(*UserCtx)
 		Name:   name,
 		Domain: d,
 		CPU:    cpuIdx,
-		fn:     fn,
-		req:    make(chan request, 1),
-		resp:   make(chan response, 1),
+		prog:   p,
 		state:  threadReady,
 		pc:     d.CodeBase(),
 	}
+	t.m.t = t
 	s.threads = append(s.threads, t)
 	d.Threads = append(d.Threads, t)
 	st.enqueue(t)
@@ -273,14 +289,6 @@ func (s *System) Run() (Report, error) {
 	}
 	s.ran = true
 	s.live = len(s.threads)
-	for _, t := range s.threads {
-		t := t
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			t.run(s)
-		}()
-	}
 
 	var rep Report
 	for s.live > 0 {
@@ -311,6 +319,7 @@ func (s *System) Run() (Report, error) {
 		}
 	}
 	rep.Switches = s.switches
+	rep.Ops = s.ops
 	return rep, nil
 }
 
@@ -437,22 +446,62 @@ func (s *System) step(st *cpuState) {
 		return
 	}
 
-	// Execute one operation of the current thread. The request was
-	// pre-fetched when the previous response was delivered.
-	req := *st.cur.pendingReq
-	st.cur.pendingReq = nil
+	// Execute one operation of the current thread. The operation was
+	// fetched (by stepping the program) when the previous response was
+	// delivered.
+	req := st.cur.m.op
+	st.cur.m.issued = false
 	s.execOp(st, st.cur, req)
 }
 
-// respondAndFetch delivers a response to t and immediately pre-fetches
-// t's next request. Every ctx operation posts a follow-up request (a
-// returning user function posts opExit), so the receive always
-// completes; in between, only t's goroutine runs — the lockstep that
-// makes user code deterministic.
+// respondAndFetch delivers a response to t's program and immediately
+// fetches t's next operation by stepping the program inline. A faulted
+// response, a Done status, or a panic in the program all become a
+// synthetic exit operation, so the thread always makes progress towards
+// opExit; only t's program runs in between — the lockstep that makes
+// user code deterministic.
 func (s *System) respondAndFetch(t *Thread, resp response) {
-	t.resp <- resp
-	r := <-t.req
-	t.pendingReq = &r
+	if resp.err != nil {
+		if _, bridged := t.prog.(*goBridge); !bridged {
+			// A fault kills a direct program immediately; the engine
+			// records it exactly as the legacy unwinding would.
+			t.Err = fmt.Errorf("kernel: thread %s panicked: %v", t.Name, resp.err)
+			t.m.op = request{kind: opExit}
+			t.m.issued = true
+			return
+		}
+		// Legacy threads receive the fault in-band: UserCtx.call
+		// panics inside the user goroutine, so the function's defers
+		// (and any recovery) run at fault time, exactly as before the
+		// Program refactor.
+	}
+	t.m.res = resp
+	t.m.issued = false
+	if st := s.stepProgram(t); st == Done || !t.m.issued {
+		if st == Done && t.m.issued {
+			t.Err = fmt.Errorf("kernel: thread %s panicked: %v", t.Name,
+				"program issued an operation and returned Done")
+		}
+		if st == Running && !t.m.issued && t.Err == nil {
+			t.Err = fmt.Errorf("kernel: thread %s panicked: %v", t.Name,
+				"program returned Running without issuing an operation")
+		}
+		t.m.op = request{kind: opExit}
+		t.m.issued = true
+	}
+}
+
+// stepProgram invokes the program's step function, converting a panic
+// into a thread fault (parity with a panicking legacy thread function).
+func (s *System) stepProgram(t *Thread) (st Status) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Err = fmt.Errorf("kernel: thread %s panicked: %v", t.Name, r)
+			t.m.issued = false
+			st = Done
+		}
+	}()
+	return t.prog.Step(&t.m)
 }
 
 // switchOrRenew runs the domain-switch protocol, or just renews the slice
@@ -477,6 +526,9 @@ func (s *System) switchOrRenew(st *cpuState) {
 
 // execOp performs one thread operation.
 func (s *System) execOp(st *cpuState, t *Thread, r request) {
+	if r.kind != opExit {
+		s.ops++
+	}
 	clk := st.clk()
 	d := t.Domain
 	coreHW := st.lcpu.Core

@@ -52,8 +52,7 @@ const (
 	opExit
 )
 
-// request is one operation posted by a thread goroutine to the event
-// loop.
+// request is one operation a program asks the machine to perform.
 type request struct {
 	kind  opKind
 	addr  hw.Addr // read/write target, branch pc
@@ -62,7 +61,7 @@ type request struct {
 	taken bool    // branch outcome
 }
 
-// response is the event loop's reply: what the thread observes.
+// response is the machine's reply: what the thread observes.
 type response struct {
 	// latency is the operation's cost in cycles as seen by the thread
 	// (for blocking operations: from request to resumption).
@@ -77,7 +76,8 @@ type response struct {
 }
 
 // Thread is a schedulable execution context bound to a domain and a
-// logical CPU.
+// logical CPU. Its program is a Program stepped inline by the event
+// loop; legacy thread functions run behind a goBridge Program.
 type Thread struct {
 	ID     ThreadID
 	Name   string
@@ -85,10 +85,11 @@ type Thread struct {
 	// CPU is the logical CPU index the thread is pinned to.
 	CPU int
 
-	fn func(*UserCtx)
-
-	req  chan request
-	resp chan response
+	// prog is the thread's program; m is the execution context the
+	// event loop passes to its Step calls. m.issued marks a fetched
+	// operation awaiting execution.
+	prog Program
+	m    Machine
 
 	state threadState
 	// wakeAt gates a Ready thread: it may not be dispatched before the
@@ -97,13 +98,8 @@ type Thread struct {
 	// pendingResp, if non-nil, is delivered when the thread is next
 	// dispatched (completion of a blocking operation).
 	pendingResp *response
-	// pendingReq is the thread's next operation, pre-fetched by the
-	// event loop right after responding so that user code executes in
-	// strict lockstep with the simulation (no two thread goroutines
-	// ever run concurrently).
-	pendingReq *request
 	// begun is set when the thread has been dispatched for the first
-	// time; before that its goroutine waits and runs no user code.
+	// time; before that its program runs no user code.
 	begun bool
 	// sendTime and sendSliceStart record a blocked sender's context
 	// for the delivery-time rule.
@@ -120,34 +116,43 @@ type Thread struct {
 	// padding).
 	Cycles uint64
 
-	// Err records a panic raised by the thread's function.
+	// Err records a panic raised by the thread's program.
 	Err error
 }
 
 // State returns the thread's scheduling state (for tests and reports).
 func (t *Thread) State() string { return t.state.String() }
 
-// killSentinel unwinds a thread goroutine when the system shuts down.
+// killSentinel unwinds a bridged goroutine when the system shuts down.
 type killSentinel struct{}
 
-// UserCtx is the interface a thread's program uses to interact with the
-// simulated machine. Every method is an "instruction" whose latency is
-// determined by the microarchitectural state; the returned latencies and
-// Now() values are the only clocks available to the program — precisely
-// the attacker's observational power in the paper's threat model (§3).
+// UserCtx is the legacy interface thread functions use to interact with
+// the simulated machine, kept as a compatibility adapter over the
+// Program model: each method posts one operation through the thread's
+// goroutine bridge and parks until the event loop delivers the result.
+// Every method is an "instruction" whose latency is determined by the
+// microarchitectural state; the returned latencies and Now() values are
+// the only clocks available to the program — precisely the attacker's
+// observational power in the paper's threat model (§3).
 //
 // UserCtx methods must only be called from the thread's own goroutine.
+// Performance-sensitive programs should implement Program directly and
+// skip the two channel handoffs per instruction this adapter costs.
 type UserCtx struct {
 	t    *Thread
-	sys  *System
+	b    *goBridge
 	kill <-chan struct{}
+	// first is the dispatch response that started the thread, kept so
+	// ReplayProgram can seed its Machine exactly as the direct path
+	// does.
+	first response
 }
 
 // call posts a request and waits for the event loop's response.
 func (c *UserCtx) call(r request) response {
-	c.t.req <- r
+	c.b.req <- r
 	select {
-	case resp := <-c.t.resp:
+	case resp := <-c.b.resp:
 		if resp.err != nil {
 			panic(resp.err)
 		}
@@ -249,27 +254,3 @@ func (c *UserCtx) HeapAddr(off uint64) hw.Addr { return c.t.Domain.HeapAddr(off)
 
 // DomainName returns the owning domain's name.
 func (c *UserCtx) DomainName() string { return c.t.Domain.Spec.Name }
-
-// run is the thread goroutine body: it executes the user function and
-// converts its termination (return or panic) into an exit request.
-func (t *Thread) run(sys *System) {
-	defer func() {
-		if r := recover(); r != nil {
-			if _, isKill := r.(killSentinel); isKill {
-				return // system shut down; do not touch channels
-			}
-			t.Err = fmt.Errorf("kernel: thread %s panicked: %v", t.Name, r)
-		}
-		t.req <- request{kind: opExit}
-	}()
-	// Run no user code until first dispatched: this keeps all user
-	// code serialised by the event loop, so programs (and tests) may
-	// safely share state across threads — ordering is deterministic.
-	select {
-	case <-t.resp:
-	case <-sys.killAll:
-		panic(killSentinel{})
-	}
-	ctx := &UserCtx{t: t, sys: sys, kill: sys.killAll}
-	t.fn(ctx)
-}

@@ -56,7 +56,21 @@ type (
 	SystemConfig = kernel.SystemConfig
 	// System is an assembled machine + kernel + workload.
 	System = kernel.System
-	// UserCtx is the interface thread programs run against.
+	// Program is a direct-execution user program: a resumable step
+	// function the kernel's event loop invokes inline, one operation
+	// per step — the simulator's hot path. Spawn with
+	// System.SpawnProgram.
+	Program = kernel.Program
+	// Machine is the per-thread execution context a Program steps
+	// against: previous result accessors plus one-operation issue
+	// methods.
+	Machine = kernel.Machine
+	// ProgramStatus is a Program step's answer to the scheduler.
+	ProgramStatus = kernel.Status
+	// UserCtx is the legacy blocking interface thread functions run
+	// against, kept as a goroutine-bridge adapter over Program; use
+	// System.Spawn. It costs two channel handoffs per instruction —
+	// prefer Program for anything throughput-sensitive.
 	UserCtx = kernel.UserCtx
 	// Thread is a spawned thread handle.
 	Thread = kernel.Thread
@@ -86,6 +100,19 @@ type (
 	// ContractReport is the aISA hardware-software contract check.
 	ContractReport = core.ContractReport
 )
+
+// Program step statuses: Running means the step issued its next
+// operation; Done means the program finished.
+const (
+	Running = kernel.Running
+	Done    = kernel.Done
+)
+
+// ReplayProgram adapts a Program to the legacy goroutine+UserCtx
+// execution path. Both paths run the identical operation stream; the
+// kernel's equivalence tests rely on this to prove the two execution
+// models produce bit-identical traces.
+func ReplayProgram(p Program) func(*UserCtx) { return kernel.ReplayProgram(p) }
 
 // FullProtection arms every mechanism of §4.
 func FullProtection() Config { return core.FullProtection() }
