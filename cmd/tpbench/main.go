@@ -7,11 +7,21 @@
 // It regenerates EXPERIMENTS.md (-md) and emits machine-readable
 // results (-out).
 //
+// With -store it becomes incremental: each cell is keyed by a content
+// address (engine fingerprint + scenario version + configuration +
+// seed point), cells already in the store are served without
+// re-execution, and the emitted reports are byte-identical either way.
+// With -shard i/n it runs one deterministic shard of the matrix, so a
+// huge sweep can spread over independent processes or machines whose
+// stores merge (-merge-from) into one. -warm-only asserts a fully
+// cached run (CI's cheap re-verification check).
+//
 // Usage:
 //
 //	tpbench [-sweep all|T2,l1pp,...] [-variants "label,..."]
 //	        [-rounds N] [-seed S | -seeds S1,S2,...] [-trials K]
 //	        [-parallel P] [-proofs=false] [-cpuprofile tpbench.prof]
+//	        [-store DIR] [-shard i/n] [-merge-from DIR,...] [-warm-only]
 //	        [-out results.json] [-md EXPERIMENTS.md] [-quiet]
 package main
 
@@ -53,6 +63,10 @@ func main() {
 	proofs := flag.Bool("proofs", true, "include the T1 proof-ablation matrix")
 	families := flag.Int("families", 5, "sampled time-function families per proof configuration")
 	random := flag.Int("random", 200, "extra random Hi programs in the bounded proof check")
+	storeDir := flag.String("store", "", "content-addressed result store directory; cached cells are served without re-execution")
+	shard := flag.String("shard", "", "run only shard i/n of the matrix (e.g. 0/4); the report is then partial")
+	mergeFrom := flag.String("merge-from", "", "comma-separated store directories to merge into -store before the sweep")
+	warmOnly := flag.Bool("warm-only", false, "fail unless every cell is served from -store (zero executions)")
 	out := flag.String("out", "", "write JSON results to this path")
 	md := flag.String("md", "", "write the Markdown report (EXPERIMENTS.md format) to this path")
 	quiet := flag.Bool("quiet", false, "suppress progress and text tables on stdout")
@@ -103,7 +117,40 @@ func main() {
 		}
 	}
 
-	opt := timeprot.SweepOptions{Parallelism: *parallel}
+	var stats timeprot.SweepCacheStats
+	opt := timeprot.SweepOptions{Parallelism: *parallel, Stats: &stats}
+
+	if *storeDir != "" {
+		st, err := timeprot.OpenSweepStore(*storeDir)
+		if err != nil {
+			fail("%v", err)
+		}
+		opt.Store = st
+		for _, src := range splitList(*mergeFrom) {
+			added, err := st.MergeFrom(src)
+			if err != nil {
+				fail("merging %s: %v", src, err)
+			}
+			if !*quiet {
+				fmt.Printf("merged %d cells from %s\n", added, src)
+			}
+		}
+	} else if *mergeFrom != "" {
+		fail("-merge-from requires -store")
+	} else if *warmOnly {
+		fail("-warm-only requires -store")
+	}
+
+	if *shard != "" {
+		is, ns, ok := strings.Cut(*shard, "/")
+		i, erri := strconv.Atoi(is)
+		n, errn := strconv.Atoi(ns)
+		if !ok || erri != nil || errn != nil || n < 1 || i < 0 || i >= n {
+			fail("bad -shard %q: want i/n with 0 <= i < n", *shard)
+		}
+		opt.Shard = timeprot.SweepShard{Index: i, Count: n}
+	}
+
 	if !*quiet {
 		fmt.Println("timeprot experiment sweep — reproducing the evaluation of")
 		fmt.Println("\"Can We Prove Time Protection?\" (HotOS 2019) on the simulated platform")
@@ -130,6 +177,17 @@ func main() {
 		ops := rep.TotalSimOps()
 		fmt.Printf("sweep: %d cells, %.1fM simulated ops in %.1fs (%.2fM ops/s)\n",
 			len(rep.Cells), float64(ops)/1e6, elapsed, float64(ops)/1e6/elapsed)
+		if *storeDir != "" {
+			fmt.Printf("store: %d/%d cells cached, %d executed, %d stored (fingerprint %s)\n",
+				stats.Hits, stats.Total, stats.Executed, stats.Stored, timeprot.SweepFingerprint())
+		}
+	}
+	if stats.FailedPuts > 0 {
+		fmt.Fprintf(os.Stderr, "tpbench: warning: %d store write-backs failed (will re-execute next run): %s\n",
+			stats.FailedPuts, stats.FailedPut)
+	}
+	if *warmOnly && stats.Executed > 0 {
+		fail("-warm-only: %d of %d cells were not served from the store", stats.Executed, stats.Total)
 	}
 	failures := 0
 	for _, c := range rep.Cells {

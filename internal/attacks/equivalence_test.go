@@ -40,6 +40,14 @@ func equivalenceCases() map[string]eqBuild {
 		"T14/no-flush": func(o execOpt) (*kernel.System, func(kernel.Report) Row) {
 			return buildTLBChannel("no flush (pad+colour only)", noFlush, 8, 42, o)
 		},
+		"T11/insufficient-pad": func(o execOpt) (*kernel.System, func(kernel.Report) Row) {
+			return buildPaddingSufficiency("pad=600 (insufficient)", 600, 6, o)
+		},
+		"T12/flush": func(o execOpt) (*kernel.System, func(kernel.Report) Row) {
+			flushOnly := core.NoProtection()
+			flushOnly.FlushOnSwitch = true
+			return buildOverhead("flush", flushOnly, 4, o)
+		},
 	}
 }
 

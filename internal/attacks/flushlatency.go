@@ -22,10 +22,11 @@ import (
 // off-CPU), which includes the flush of the Trojan's dirty lines. Without
 // padding the gap tracks the dirty count; with padding it is constant.
 //
-// T11 (padding sufficiency) shares this file and deliberately stays on
-// the legacy UserCtx adapter: it is a cold-path diagnostic, and keeping
-// one scenario on the adapter exercises the compatibility bridge in
-// every full sweep.
+// T11 (padding sufficiency) shares this file. Like every scenario it
+// runs as a direct Program state machine, so the sweep store's engine
+// fingerprint covers a single execution path; the legacy goroutine
+// adapter is exercised by the execution-model equivalence tests, which
+// replay these same programs through it.
 
 // t4Params sizes the T4 scenario.
 const (
@@ -194,11 +195,76 @@ func T11PaddingSufficiency(rounds int, seed uint64) Experiment {
 	return mustScenario("T11").Experiment(rounds, seed)
 }
 
-// runPaddingSufficiency runs one T11 configuration: full protection with
-// the given pad budget, measured against an adversarial dirtying
-// workload for `rounds` slices. The workload runs through the legacy
-// UserCtx adapter — a deliberate exercise of the compatibility bridge.
-func runPaddingSufficiency(label string, pad uint64, rounds int) Row {
+// t11Dirtier is the adversarial T11 workload as a direct-execution
+// Program: dirty as many lines as each slice allows, for `rounds`
+// slices. Its operation stream reproduces the original UserCtx loop
+// exactly (including the epoch re-read on each slice boundary), so the
+// measured tables are unchanged by the port.
+type t11Dirtier struct {
+	rounds int
+
+	e     uint64
+	r     int
+	i     uint64
+	phase int
+}
+
+func (d *t11Dirtier) Step(m *kernel.Machine) kernel.Status {
+	switch d.phase {
+	case 0: // read the starting epoch
+		d.phase = 1
+		return m.Epoch()
+	case 1: // starting epoch arrived; begin round 0
+		d.e = m.Value()
+		if d.r == d.rounds {
+			return kernel.Done
+		}
+		d.i = 0
+		d.phase = 2
+		return m.Epoch()
+	case 2: // boundary poll arrived
+		if m.Value() != d.e {
+			d.phase = 3
+			return m.Epoch() // the original loop re-reads on break
+		}
+		d.phase = 4
+		return m.WriteHeap((d.i * 64) % m.HeapBytes())
+	case 3: // re-read arrived; the slice rolled over
+		d.e = m.Value()
+		d.r++
+		if d.r == d.rounds {
+			return kernel.Done
+		}
+		d.i = 0
+		d.phase = 2
+		return m.Epoch()
+	default: // 4: a dirtying write completed
+		d.i++
+		d.phase = 2
+		return m.Epoch()
+	}
+}
+
+// computeLoop is a Program that issues n Compute(burn) operations.
+type computeLoop struct {
+	n    int
+	burn uint64
+	i    int
+}
+
+func (p *computeLoop) Step(m *kernel.Machine) kernel.Status {
+	if p.i == p.n {
+		return kernel.Done
+	}
+	p.i++
+	return m.Compute(p.burn)
+}
+
+// buildPaddingSufficiency constructs one T11 configuration: full
+// protection with the given pad budget under an adversarial dirtying
+// workload. Tracing is always enabled — the measurement itself reads
+// the switch trace.
+func buildPaddingSufficiency(label string, pad uint64, rounds int, o execOpt) (*kernel.System, func(kernel.Report) Row) {
 	prot := core.FullProtection()
 	pcfg := platform.DefaultConfig()
 	pcfg.Cores = 1
@@ -216,63 +282,49 @@ func runPaddingSufficiency(label string, pad uint64, rounds int) Row {
 	if err != nil {
 		panic(err)
 	}
-	// Adversarial workload: dirty as many lines as the slice
-	// allows.
-	if _, err := sys.Spawn(0, "dirtier", 0, func(c *kernel.UserCtx) {
-		e := c.Epoch()
-		for r := 0; r < rounds; r++ {
-			for i := uint64(0); ; i++ {
-				if c.Epoch() != e {
-					e = c.Epoch()
-					break
-				}
-				c.WriteHeap((i * 64) % c.HeapBytes())
+	o.spawn(sys, 0, "dirtier", 0, &t11Dirtier{rounds: rounds})
+	o.spawn(sys, 1, "other", 0, &computeLoop{n: rounds * 400, burn: 150})
+
+	return sys, func(rep kernel.Report) Row {
+		// Worst-case switch work observed: SwitchStart -> pre-pad
+		// time is entry+flush; compare against the pad budget.
+		var maxWork uint64
+		starts := sys.Trace().Filter(trace.SwitchStart)
+		ends := sys.Trace().Filter(trace.SwitchEnd)
+		flushes := sys.Trace().Filter(trace.Flush)
+		for i := 0; i < len(flushes) && i < len(starts); i++ {
+			work := flushes[i].Cycle - starts[i].Cycle
+			if work > maxWork {
+				maxWork = work
 			}
 		}
-	}); err != nil {
-		panic(err)
-	}
-	if _, err := sys.Spawn(1, "other", 0, func(c *kernel.UserCtx) {
-		for i := 0; i < rounds*400; i++ {
-			c.Compute(150)
+		overruns := len(sys.Trace().Filter(trace.PadOverrun))
+		// Dispatch delta variability: a sufficient pad gives a
+		// single steady-state value.
+		deltas := make(map[uint64]int)
+		for i, e := range ends {
+			if i == 0 {
+				continue // cold start
+			}
+			deltas[e.Cycle-e.AuxCycle]++
 		}
-	}); err != nil {
-		panic(err)
+		return Row{
+			Label:   label,
+			Est:     channel.Estimate{}, // no capacity measured here
+			ErrRate: nan(),
+			SimOps:  rep.Ops,
+			Extra: []KV{
+				{K: "max_switch_work", V: float64(maxWork)},
+				{K: "pad", V: float64(pad)},
+				{K: "overruns", V: float64(overruns)},
+				{K: "distinct_deltas", V: float64(len(deltas))},
+			},
+		}
 	}
-	rep := mustRun(sys)
+}
 
-	// Worst-case switch work observed: SwitchStart -> pre-pad
-	// time is entry+flush; compare against the pad budget.
-	var maxWork uint64
-	starts := sys.Trace().Filter(trace.SwitchStart)
-	ends := sys.Trace().Filter(trace.SwitchEnd)
-	flushes := sys.Trace().Filter(trace.Flush)
-	for i := 0; i < len(flushes) && i < len(starts); i++ {
-		work := flushes[i].Cycle - starts[i].Cycle
-		if work > maxWork {
-			maxWork = work
-		}
-	}
-	overruns := len(sys.Trace().Filter(trace.PadOverrun))
-	// Dispatch delta variability: a sufficient pad gives a
-	// single steady-state value.
-	deltas := make(map[uint64]int)
-	for i, e := range ends {
-		if i == 0 {
-			continue // cold start
-		}
-		deltas[e.Cycle-e.AuxCycle]++
-	}
-	return Row{
-		Label:   label,
-		Est:     channel.Estimate{}, // no capacity measured here
-		ErrRate: nan(),
-		SimOps:  rep.Ops,
-		Extra: []KV{
-			{K: "max_switch_work", V: float64(maxWork)},
-			{K: "pad", V: float64(pad)},
-			{K: "overruns", V: float64(overruns)},
-			{K: "distinct_deltas", V: float64(len(deltas))},
-		},
-	}
+// runPaddingSufficiency runs one T11 configuration.
+func runPaddingSufficiency(label string, pad uint64, rounds int) Row {
+	sys, finish := buildPaddingSufficiency(label, pad, rounds, execOpt{})
+	return finish(mustRun(sys))
 }

@@ -13,14 +13,16 @@
 // with a shuffled-label noise floor. A defence works when the measured
 // capacity drops to the floor.
 //
-// Scenarios run as direct kernel.Program state machines — the
+// Every scenario runs as a direct kernel.Program state machine — the
 // simulator's hot path, free of per-instruction goroutine handoffs —
-// except T11 and T12, which deliberately stay on the legacy UserCtx
-// adapter to keep the compatibility bridge exercised. The lockstep
-// execution of internal/kernel makes it safe for the Trojan and the
-// harness to share plain Go state for symbol commits and observations:
-// all user code is serialised by the simulator's event loop regardless
-// of execution path.
+// so the sweep store's engine fingerprint covers exactly one execution
+// path. The legacy goroutine adapter stays exercised by the
+// execution-model equivalence tests, which replay representative
+// scenarios (including T11 and T12) through it and require bit-identical
+// traces. The lockstep execution of internal/kernel makes it safe for
+// the Trojan and the harness to share plain Go state for symbol commits
+// and observations: all user code is serialised by the simulator's
+// event loop regardless of execution path.
 package attacks
 
 import (
@@ -32,6 +34,13 @@ import (
 	"timeprot/internal/kernel"
 	"timeprot/internal/rng"
 )
+
+// HarnessVersion is the attack layer's registered model-version string,
+// part of the experiment engine's fingerprint. Bump it when the shared
+// harness machinery changes what any scenario measures (labelling,
+// warmup policy, leak margin); per-scenario construction changes bump
+// the scenario's own Version tag in the registry instead.
+const HarnessVersion = "attacks/1"
 
 // SymCommit records that the Trojan finished transmitting sym at cycle T.
 type SymCommit struct {

@@ -19,9 +19,75 @@ import (
 // domain's effective LLC. The experiment quantifies each step so the
 // security/performance trade-off the paper implies is visible.
 
-// runOverhead measures one configuration: total cycles for both domains
-// to finish a fixed workload.
-func runOverhead(label string, prot core.Config, workRounds int) (Row, float64) {
+// t12Worker is the per-domain workload as a direct-execution Program:
+// per round, a sweep over the domain's working set (every other line),
+// a burst of compute, and a syscall — a stand-in for a cache-sensitive
+// service. Both domains run their own instance but share the ops
+// counter, the denominator of the cycles-per-op metric.
+type t12Worker struct {
+	rounds int
+	ops    *int
+
+	lines uint64
+	r     int
+	i     uint64
+	j     int
+	phase int
+}
+
+// startRound begins one workload round with its first operation.
+func (w *t12Worker) startRound(m *kernel.Machine) kernel.Status {
+	w.i = 0
+	if w.i < w.lines {
+		w.phase = 1
+		*w.ops++
+		return m.ReadHeap(0)
+	}
+	w.j = 0
+	w.phase = 2
+	*w.ops++
+	return m.Compute(100)
+}
+
+func (w *t12Worker) Step(m *kernel.Machine) kernel.Status {
+	switch w.phase {
+	case 0: // first dispatch
+		w.lines = m.HeapBytes() / 64
+		if w.rounds == 0 {
+			return kernel.Done
+		}
+		return w.startRound(m)
+	case 1: // a sweep read completed
+		w.i += 2
+		if w.i < w.lines {
+			*w.ops++
+			return m.ReadHeap(w.i * 64)
+		}
+		w.j = 0
+		w.phase = 2
+		*w.ops++
+		return m.Compute(100)
+	case 2: // the compute burst
+		w.j++
+		if w.j < 50 {
+			*w.ops++
+			return m.Compute(100)
+		}
+		w.phase = 3
+		*w.ops++
+		return m.NullSyscall()
+	default: // 3: syscall done; next round
+		w.r++
+		if w.r == w.rounds {
+			return kernel.Done
+		}
+		return w.startRound(m)
+	}
+}
+
+// buildOverhead constructs one T12 configuration: both domains running
+// the fixed workload to completion on one core.
+func buildOverhead(label string, prot core.Config, workRounds int, o execOpt) (*kernel.System, func(kernel.Report) Row) {
 	const (
 		slice = 60_000
 		pad   = 20_000
@@ -39,50 +105,40 @@ func runOverhead(label string, prot core.Config, workRounds int) (Row, float64) 
 			{Name: "A", SliceCycles: slice, PadCycles: pad, Colors: mem.ColorRange(1, 8), CodePages: 4, HeapPages: 60},
 			{Name: "B", SliceCycles: slice, PadCycles: pad, Colors: mem.ColorRange(8, 16), CodePages: 4, HeapPages: 60},
 		},
-		Schedule:  [][]int{{0, 1}},
-		MaxCycles: uint64(workRounds)*3_000_000 + 100_000_000,
+		Schedule:    [][]int{{0, 1}},
+		EnableTrace: o.trace,
+		MaxCycles:   uint64(workRounds)*3_000_000 + 100_000_000,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("attacks: T12 %s: %v", label, err))
 	}
 
-	// The workload: per round, a sweep over the 240 KiB working set,
-	// a burst of compute, and a few syscalls — a stand-in for a
-	// cache-sensitive service.
-	ops := 0
-	work := func(c *kernel.UserCtx) {
-		lines := c.HeapBytes() / 64
-		for r := 0; r < workRounds; r++ {
-			for i := uint64(0); i < lines; i += 2 {
-				c.ReadHeap(i * 64)
-				ops++
-			}
-			for i := 0; i < 50; i++ {
-				c.Compute(100)
-				ops++
-			}
-			c.NullSyscall()
-			ops++
+	ops := new(int)
+	o.spawn(sys, 0, "a", 0, &t12Worker{rounds: workRounds, ops: ops})
+	o.spawn(sys, 1, "b", 0, &t12Worker{rounds: workRounds, ops: ops})
+
+	return sys, func(rep kernel.Report) Row {
+		total := float64(rep.CPUCycles[0])
+		cpo := total / float64(*ops)
+		return Row{
+			Label:   label,
+			Est:     channel.Estimate{},
+			ErrRate: nan(),
+			SimOps:  rep.Ops,
+			Extra: []KV{
+				{K: "cycles_per_op", V: cpo},
+				{K: "total_Mcycles", V: total / 1e6},
+			},
 		}
 	}
-	for d, name := range map[int]string{0: "a", 1: "b"} {
-		if _, err := sys.Spawn(d, name, 0, work); err != nil {
-			panic(err)
-		}
-	}
-	rep := mustRun(sys)
-	total := float64(rep.CPUCycles[0])
-	cpo := total / float64(ops)
-	return Row{
-		Label:   label,
-		Est:     channel.Estimate{},
-		ErrRate: nan(),
-		SimOps:  rep.Ops,
-		Extra: []KV{
-			{K: "cycles_per_op", V: cpo},
-			{K: "total_Mcycles", V: total / 1e6},
-		},
-	}, cpo
+}
+
+// runOverhead measures one configuration: total cycles for both domains
+// to finish a fixed workload.
+func runOverhead(label string, prot core.Config, workRounds int) (Row, float64) {
+	sys, finish := buildOverhead(label, prot, workRounds, execOpt{})
+	row := finish(mustRun(sys))
+	return row, extraValue(row, "cycles_per_op")
 }
 
 // T12Overheads reproduces the overhead ablation: what each mechanism

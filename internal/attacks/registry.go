@@ -44,6 +44,13 @@ type Scenario struct {
 	Name string
 	// Title describes the scenario.
 	Title string
+	// Version is the scenario's model-version tag, part of the sweep
+	// store's cache key. Bump it whenever the scenario's construction
+	// or measurement changes in a way that can alter its rows (program
+	// logic, platform sizing, estimator inputs); stale cached cells
+	// then automatically read as misses. Execution-path refactors that
+	// the equivalence tests prove row-identical do not bump it.
+	Version int
 	// Rounds maps requested rounds to the effective per-variant rounds
 	// (raising to the scenario's statistical minimum, or rescaling for
 	// scenarios whose unit of work differs).
@@ -210,7 +217,7 @@ func extraValue(r Row, key string) float64 {
 // derivations reproduce the historical T2..T14 tables exactly.
 var scenarios = []Scenario{
 	{
-		ID: "T2", Name: "l1pp",
+		ID: "T2", Name: "l1pp", Version: 1,
 		Title:  "L1-D prime-and-probe, time-shared core (§3.1)",
 		Rounds: minRounds(30),
 		Variants: []Variant{
@@ -221,7 +228,7 @@ var scenarios = []Scenario{
 		Custom: customL1,
 	},
 	{
-		ID: "T3", Name: "llcpp",
+		ID: "T3", Name: "llcpp", Version: 1,
 		Title:  "LLC prime-and-probe, concurrent cross-core (§4.1)",
 		Rounds: minRounds(30),
 		Variants: []Variant{
@@ -232,7 +239,7 @@ var scenarios = []Scenario{
 		Custom: customLLC,
 	},
 	{
-		ID: "T4", Name: "flush",
+		ID: "T4", Name: "flush", Version: 1,
 		Title:  "flush-latency channel: switch gap vs dirty lines (§4.2)",
 		Rounds: minRounds(30),
 		Variants: []Variant{
@@ -242,7 +249,7 @@ var scenarios = []Scenario{
 		Custom: runFlushLatency,
 	},
 	{
-		ID: "T5", Name: "kimage",
+		ID: "T5", Name: "kimage", Version: 1,
 		Title:  "kernel-image channel via shared kernel text (§4.2)",
 		Rounds: minRounds(30),
 		Variants: []Variant{
@@ -252,7 +259,7 @@ var scenarios = []Scenario{
 		Custom: runKernelImage,
 	},
 	{
-		ID: "T6", Name: "irq",
+		ID: "T6", Name: "irq", Version: 1,
 		Title:  "interrupt channel: Trojan-timed completion IRQ (§4.2)",
 		Rounds: minRounds(30),
 		Variants: []Variant{
@@ -262,7 +269,7 @@ var scenarios = []Scenario{
 		Custom: runIRQChannel,
 	},
 	{
-		ID: "T7", Name: "smt",
+		ID: "T7", Name: "smt", Version: 1,
 		Title:  "SMT sibling channel through the live-shared L1 (§4.1)",
 		Rounds: minRounds(30),
 		Variants: []Variant{
@@ -284,7 +291,7 @@ var scenarios = []Scenario{
 		},
 	},
 	{
-		ID: "T8", Name: "bus",
+		ID: "T8", Name: "bus", Version: 1,
 		Title:  "stateless interconnect: bandwidth covert channel (§2)",
 		Rounds: minRounds(30),
 		Variants: []Variant{
@@ -323,7 +330,7 @@ var scenarios = []Scenario{
 		},
 	},
 	{
-		ID: "T9", Name: "downgrader",
+		ID: "T9", Name: "downgrader", Version: 1,
 		Title:  "Fig. 1 downgrader: secret-dependent message timing (§3.2, §4.3)",
 		Rounds: minRounds(120),
 		Variants: []Variant{
@@ -356,7 +363,7 @@ var scenarios = []Scenario{
 		},
 	},
 	{
-		ID: "T11", Name: "padding",
+		ID: "T11", Name: "padding", Version: 1,
 		Title:  "padding sufficiency by timestamp comparison (§5)",
 		Rounds: minRounds(20),
 		Variants: []Variant{
@@ -375,7 +382,7 @@ var scenarios = []Scenario{
 		},
 	},
 	{
-		ID: "T12", Name: "overheads",
+		ID: "T12", Name: "overheads", Version: 1,
 		Title: "protection overheads on a cache-sensitive workload",
 		// T12's unit of work is heavier than a transmission round;
 		// requested rounds rescale so the default sweep stays fast.
@@ -390,7 +397,7 @@ var scenarios = []Scenario{
 		finalize: finalizeOverheads,
 	},
 	{
-		ID: "T13", Name: "branch",
+		ID: "T13", Name: "branch", Version: 1,
 		Title:  "branch-predictor channel via PC aliasing (§3.1)",
 		Rounds: minRounds(30),
 		Variants: []Variant{
@@ -400,7 +407,7 @@ var scenarios = []Scenario{
 		Custom: runBPChannel,
 	},
 	{
-		ID: "T14", Name: "tlb",
+		ID: "T14", Name: "tlb", Version: 1,
 		Title:  "TLB capacity channel: footprint vs page walks (§3.1, §5.3)",
 		Rounds: minRounds(30),
 		Variants: []Variant{

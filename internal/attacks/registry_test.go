@@ -29,6 +29,9 @@ func TestRegistryShape(t *testing.T) {
 		if s.Name == "" || s.Title == "" || s.Rounds == nil || len(s.Variants) == 0 {
 			t.Fatalf("scenario %s incomplete: %+v", s.ID, s)
 		}
+		if s.Version < 1 {
+			t.Fatalf("scenario %s has no model-version tag (Version=%d); the sweep store cannot key its cells", s.ID, s.Version)
+		}
 		seen := make(map[string]bool)
 		for _, v := range s.Variants {
 			if v.Label == "" || v.run == nil {

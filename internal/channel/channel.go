@@ -15,6 +15,12 @@ import (
 	"timeprot/internal/rng"
 )
 
+// EstimatorVersion is the capacity estimator's registered model-version
+// string, part of the experiment engine's fingerprint. Bump it when the
+// estimate a given sample set produces can change (binning, iteration
+// count, floor construction, shuffle derivation).
+const EstimatorVersion = "channel/1"
+
 // Samples accumulates scalar observations per input symbol.
 type Samples struct {
 	bySym map[int][]float64

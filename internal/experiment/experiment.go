@@ -10,6 +10,13 @@
 // order, and cross-row post-processing runs in canonical variant order —
 // so a sweep's output is bit-identical whether it runs on one worker or
 // sixteen.
+//
+// That contract is also what makes sweeps incremental: cells are pure
+// functions of their inputs, so Options.Store can memoise them in a
+// content-addressed store (internal/experiment/store) keyed under the
+// engine fingerprint (Fingerprint), Options.Shard can split the matrix
+// across independent processes, and a warm run reproduces a cold run's
+// reports byte for byte without executing anything.
 package experiment
 
 import (

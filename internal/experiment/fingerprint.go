@@ -1,0 +1,53 @@
+package experiment
+
+import (
+	"strings"
+
+	"timeprot/internal/attacks"
+	"timeprot/internal/channel"
+	"timeprot/internal/experiment/store"
+	"timeprot/internal/hw"
+	"timeprot/internal/kernel"
+)
+
+// Fingerprint returns the engine fingerprint: the registered
+// model-version string of every simulator layer a cell's measurement
+// passes through — hardware time model, kernel model, capacity
+// estimator, and attack harness. It is part of every cell's store key,
+// so bumping any layer's version (the declared discipline for semantic
+// changes) invalidates the entire store instead of silently serving
+// results computed by a different model — the cheap re-verification
+// loop the paper's proof-maintenance argument needs.
+func Fingerprint() string {
+	return strings.Join([]string{
+		hw.ModelVersion,
+		kernel.ModelVersion,
+		channel.EstimatorVersion,
+		attacks.HarnessVersion,
+	}, "|")
+}
+
+// cellKey derives the store key for one cell of the matrix. It reports
+// false when the cell does not resolve against the registry (such cells
+// fail in the runner and are never cached).
+func cellKey(c Cell) (store.Key, bool) {
+	s, ok := attacks.ScenarioByID(c.ScenarioID)
+	if !ok {
+		return store.Key{}, false
+	}
+	v, ok := s.VariantByLabel(c.Variant)
+	if !ok {
+		return store.Key{}, false
+	}
+	return store.Spec{
+		Fingerprint:     Fingerprint(),
+		ScenarioID:      s.ID,
+		ScenarioVersion: s.Version,
+		Variant:         v.Label,
+		Config:          v.Prot,
+		Rounds:          c.Rounds,
+		BaseSeed:        c.BaseSeed,
+		Trial:           c.Trial,
+		Seed:            c.Seed,
+	}.Key(), true
+}

@@ -1,0 +1,112 @@
+// Package store is the sweep engine's content-addressed result store:
+// a directory of cell results keyed by a stable hash of everything a
+// cell's measurement depends on — the engine fingerprint (the
+// registered model version of each simulator layer), the scenario's
+// identity and version tag, the mitigation variant and its protection
+// configuration, and the cell's (rounds, seed) point.
+//
+// The store is what makes huge experiment matrices incremental and
+// embarrassingly parallel. Because every cell is a pure function of its
+// key inputs (the engine's determinism contract), a stored result can
+// be served instead of recomputed, shards of a matrix can execute on
+// independent machines and their stores merge associatively (same key
+// ⇒ same bytes), and any semantic change to a simulator layer changes
+// the fingerprint, which changes every key, which turns the whole store
+// into misses — the automated proof-maintenance discipline of §5,
+// applied to the empirical side of the programme.
+//
+// Robustness contract: a corrupt, truncated, or foreign store file is
+// a miss, never a served result. Writes are atomic (temp file + rename
+// within the shard directory), so concurrent writers — including
+// sharded sweeps pointed at one directory — cannot tear each other's
+// cells.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"reflect"
+	"strings"
+
+	"timeprot/internal/core"
+)
+
+// Spec identifies one cell execution for keying: every input that can
+// influence the cell's measured row. Two Specs that differ in any field
+// produce different keys; identical Specs produce byte-identical keys
+// in any process.
+type Spec struct {
+	// Fingerprint is the engine fingerprint: the joined model-version
+	// strings of the simulator layers (hw, kernel, channel estimator,
+	// attack harness). Any layer bump invalidates every cached cell.
+	Fingerprint string
+	// ScenarioID and ScenarioVersion identify the attack scenario and
+	// its registered model-version tag.
+	ScenarioID      string
+	ScenarioVersion int
+	// Variant is the mitigation variant's exact label — the
+	// distinguishing knob for variants whose difference is not a
+	// core.Config field (e.g. T11's pad budget).
+	Variant string
+	// Config is the variant's protection configuration. It is encoded
+	// field by field, so flipping any single mechanism changes the key.
+	Config core.Config
+	// Rounds is the cell's effective rounds (after the scenario's
+	// rounds policy).
+	Rounds int
+	// BaseSeed, Trial, and Seed locate the cell's seed point. Seed is
+	// derived from (BaseSeed, Trial); all three are keyed so the stored
+	// cell round-trips into identical report coordinates.
+	BaseSeed uint64
+	Trial    int
+	Seed     uint64
+}
+
+// Key is a cell's content address: SHA-256 over the Spec's canonical
+// encoding.
+type Key [sha256.Size]byte
+
+// String renders the key as lowercase hex — also the store filename.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey parses the hex form produced by Key.String.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return k, fmt.Errorf("store: bad key %q: %v", s, err)
+	}
+	if len(b) != len(k) {
+		return k, fmt.Errorf("store: bad key %q: %d bytes, want %d", s, len(b), len(k))
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// Key derives the Spec's content address. The canonical encoding walks
+// the Spec — and the embedded core.Config — field by field in declared
+// order via reflection: no Go map is ever ranged, so the encoding is
+// byte-identical across processes, and adding a field to either struct
+// automatically changes every encoding (a schema change invalidates the
+// store rather than aliasing old entries).
+func (s Spec) Key() Key {
+	var b strings.Builder
+	writeCanonical(&b, reflect.ValueOf(s), "")
+	return sha256.Sum256([]byte(b.String()))
+}
+
+// writeCanonical appends one name=value line per scalar field, quoting
+// values so no field content can forge another field's line.
+func writeCanonical(b *strings.Builder, v reflect.Value, prefix string) {
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f, fv := t.Field(i), v.Field(i)
+		name := prefix + f.Name
+		if fv.Kind() == reflect.Struct {
+			writeCanonical(b, fv, name+".")
+			continue
+		}
+		fmt.Fprintf(b, "%s=%q\n", name, fmt.Sprint(fv.Interface()))
+	}
+}

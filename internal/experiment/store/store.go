@@ -1,0 +1,284 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"timeprot/internal/attacks"
+	"timeprot/internal/channel"
+)
+
+// Store is a content-addressed cell store rooted at a directory. Cells
+// live one per file under two-hex-digit shard subdirectories
+// (dir/ab/abcdef….json), named by their key. Store values are safe for
+// concurrent use by multiple goroutines and multiple processes.
+type Store struct {
+	dir string
+}
+
+// Open opens (creating if needed) the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %v", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a key to its file: two-hex-digit fan-out keeps directories
+// small even for million-cell matrices.
+func (s *Store) path(k Key) string {
+	h := k.String()
+	return filepath.Join(s.dir, h[:2], h+".json")
+}
+
+// fileV1 is the on-disk envelope. Cell stays raw so Sum is computed
+// over the exact stored bytes: any truncation or bit-flip of the
+// payload fails the checksum and the entry reads as a miss.
+type fileV1 struct {
+	V    int             `json:"v"`
+	Key  string          `json:"key"`
+	Sum  string          `json:"sum"`
+	Cell json.RawMessage `json:"cell"`
+}
+
+// fileVersion is the store format version; unrecognised versions are
+// misses, so a future format change cannot be mis-served.
+const fileVersion = 1
+
+// cellV1 is the stored measurement: a pre-finalisation attacks.Row with
+// every float carried as its IEEE-754 bit pattern, so NaN and ±Inf
+// values (legal in raw rows) round-trip bit-exactly through JSON.
+type cellV1 struct {
+	Label        string `json:"label"`
+	CapacityBits uint64 `json:"capacity_bits"`
+	MIUniform    uint64 `json:"mi_uniform"`
+	FloorBits    uint64 `json:"floor_bits"`
+	N            int    `json:"n"`
+	Bins         int    `json:"bins"`
+	ErrRate      uint64 `json:"err_rate"`
+	SimOps       uint64 `json:"sim_ops"`
+	Extra        []kvV1 `json:"extra,omitempty"`
+}
+
+type kvV1 struct {
+	K string `json:"k"`
+	V uint64 `json:"v"`
+}
+
+// encodeRow converts a measured row to its stored form.
+func encodeRow(row attacks.Row) cellV1 {
+	c := cellV1{
+		Label:        row.Label,
+		CapacityBits: math.Float64bits(row.Est.CapacityBits),
+		MIUniform:    math.Float64bits(row.Est.MIUniform),
+		FloorBits:    math.Float64bits(row.Est.FloorBits),
+		N:            row.Est.N,
+		Bins:         row.Est.Bins,
+		ErrRate:      math.Float64bits(row.ErrRate),
+		SimOps:       row.SimOps,
+	}
+	for _, kv := range row.Extra {
+		c.Extra = append(c.Extra, kvV1{K: kv.K, V: math.Float64bits(kv.V)})
+	}
+	return c
+}
+
+// decodeRow reconstructs the measured row.
+func decodeRow(c cellV1) attacks.Row {
+	row := attacks.Row{
+		Label: c.Label,
+		Est: channel.Estimate{
+			CapacityBits: math.Float64frombits(c.CapacityBits),
+			MIUniform:    math.Float64frombits(c.MIUniform),
+			FloorBits:    math.Float64frombits(c.FloorBits),
+			N:            c.N,
+			Bins:         c.Bins,
+		},
+		ErrRate: math.Float64frombits(c.ErrRate),
+		SimOps:  c.SimOps,
+	}
+	for _, kv := range c.Extra {
+		row.Extra = append(row.Extra, attacks.KV{K: kv.K, V: math.Float64frombits(kv.V)})
+	}
+	return row
+}
+
+// Put stores a measured row under key k. The write is atomic: a temp
+// file in the destination shard directory is renamed into place, so a
+// concurrent reader sees either nothing or a complete entry, and
+// concurrent writers of the same key (which, by content addressing,
+// write identical payloads) cannot corrupt each other.
+func (s *Store) Put(k Key, row attacks.Row) error {
+	cell, err := json.Marshal(encodeRow(row))
+	if err != nil {
+		return fmt.Errorf("store: encoding cell %s: %v", k, err)
+	}
+	sum := sha256.Sum256(cell)
+	data, err := json.Marshal(fileV1{
+		V:    fileVersion,
+		Key:  k.String(),
+		Sum:  hex.EncodeToString(sum[:]),
+		Cell: cell,
+	})
+	if err != nil {
+		return fmt.Errorf("store: encoding entry %s: %v", k, err)
+	}
+	return s.writeAtomic(k, data)
+}
+
+// writeAtomic writes a complete entry file for k.
+func (s *Store) writeAtomic(k Key, data []byte) error {
+	path := s.path(k)
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %v", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("store: %v", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing %s: %v", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: closing %s: %v", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: committing %s: %v", path, err)
+	}
+	return nil
+}
+
+// Get returns the row stored under k. Every failure mode — missing
+// file, truncation, bit rot, key mismatch, unknown format version —
+// reports a miss; a corrupt entry is never served as a result.
+func (s *Store) Get(k Key) (attacks.Row, bool) {
+	data, err := os.ReadFile(s.path(k))
+	if err != nil {
+		return attacks.Row{}, false
+	}
+	row, err := decodeEntry(k, data)
+	if err != nil {
+		return attacks.Row{}, false
+	}
+	return row, true
+}
+
+// decodeEntry validates and decodes one entry file's bytes against the
+// key it is supposed to hold.
+func decodeEntry(k Key, data []byte) (attacks.Row, error) {
+	var f fileV1
+	if err := json.Unmarshal(data, &f); err != nil {
+		return attacks.Row{}, fmt.Errorf("store: entry %s: %v", k, err)
+	}
+	if f.V != fileVersion {
+		return attacks.Row{}, fmt.Errorf("store: entry %s: format version %d, want %d", k, f.V, fileVersion)
+	}
+	if f.Key != k.String() {
+		return attacks.Row{}, fmt.Errorf("store: entry %s claims key %s", k, f.Key)
+	}
+	sum := sha256.Sum256(f.Cell)
+	if hex.EncodeToString(sum[:]) != f.Sum {
+		return attacks.Row{}, fmt.Errorf("store: entry %s: checksum mismatch", k)
+	}
+	var c cellV1
+	if err := json.Unmarshal(f.Cell, &c); err != nil {
+		return attacks.Row{}, fmt.Errorf("store: entry %s cell: %v", k, err)
+	}
+	return decodeRow(c), nil
+}
+
+// Keys lists the keys of every entry file present, in sorted order.
+// Presence is by well-formed filename only; Get still validates
+// content.
+func (s *Store) Keys() ([]Key, error) {
+	shards, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %v", err)
+	}
+	var keys []Key
+	for _, sh := range shards {
+		if !sh.IsDir() || len(sh.Name()) != 2 {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, sh.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("store: %v", err)
+		}
+		for _, f := range files {
+			name := f.Name()
+			if filepath.Ext(name) != ".json" {
+				continue
+			}
+			k, err := ParseKey(name[:len(name)-len(".json")])
+			if err != nil || k.String()[:2] != sh.Name() {
+				continue
+			}
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	return keys, nil
+}
+
+// Len counts the entries present (by filename).
+func (s *Store) Len() (int, error) {
+	keys, err := s.Keys()
+	if err != nil {
+		return 0, err
+	}
+	return len(keys), nil
+}
+
+// MergeFrom copies into s every valid entry of the store rooted at src
+// that s does not already hold, returning the number added. Content
+// addressing makes merging associative and commutative — equal keys
+// hold equal payloads — so shard stores produced by independent
+// processes (or machines) combine in any order into the same store.
+// Corrupt or truncated source entries are skipped, and entries already
+// present in s are kept, never overwritten.
+func (s *Store) MergeFrom(src string) (added int, err error) {
+	srcStore := &Store{dir: src}
+	keys, err := srcStore.Keys()
+	if err != nil {
+		return 0, err
+	}
+	for _, k := range keys {
+		// "Already present" means present AND valid: a corrupt
+		// destination entry is a miss by contract, so a valid source
+		// entry must replace it rather than be skipped.
+		if existing, readErr := os.ReadFile(s.path(k)); readErr == nil {
+			if _, decErr := decodeEntry(k, existing); decErr == nil {
+				continue
+			}
+		}
+		data, readErr := os.ReadFile(srcStore.path(k))
+		if readErr != nil {
+			continue
+		}
+		if _, decErr := decodeEntry(k, data); decErr != nil {
+			continue // never propagate a corrupt entry
+		}
+		if err := s.writeAtomic(k, data); err != nil {
+			return added, err
+		}
+		added++
+	}
+	return added, nil
+}

@@ -1,0 +1,461 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"timeprot/internal/attacks"
+	"timeprot/internal/channel"
+	"timeprot/internal/core"
+)
+
+// baseSpec is the reference cell spec for the key tests.
+func baseSpec() Spec {
+	return Spec{
+		Fingerprint:     "hw/1|kernel/2|channel/1|attacks/1",
+		ScenarioID:      "T2",
+		ScenarioVersion: 1,
+		Variant:         "flush+pad (full)",
+		Config:          core.FullProtection(),
+		Rounds:          30,
+		BaseSeed:        42,
+		Trial:           0,
+		Seed:            42,
+	}
+}
+
+// goldenKey pins the key of baseSpec across processes and Go versions:
+// any map-iteration-order (or other nondeterminism) leaking into the
+// canonical encoding, and any accidental encoding change, fails this
+// test. An intentional encoding change must update the constant — which
+// is correct, because it also invalidates every existing store.
+const goldenKey = "ba8735051ca07803225992079a336861cd0ef699a4f647daf68ab50f1d943c0f"
+
+func TestKeyGolden(t *testing.T) {
+	if got := baseSpec().Key().String(); got != goldenKey {
+		t.Fatalf("baseSpec key = %s, want %s (an intentional encoding change must update goldenKey)", got, goldenKey)
+	}
+}
+
+// TestKeyStability: identical specs produce byte-identical keys, every
+// time, including when computed concurrently.
+func TestKeyStability(t *testing.T) {
+	want := baseSpec().Key()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if k := baseSpec().Key(); k != want {
+					t.Errorf("key not stable: %s != %s", k, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// scalarFieldPaths enumerates every scalar field of Spec (descending
+// into embedded structs such as core.Config) by field-index path.
+func scalarFieldPaths(t reflect.Type, idx []int) [][]int {
+	var out [][]int
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		ni := append(append([]int{}, idx...), i)
+		if f.Type.Kind() == reflect.Struct {
+			out = append(out, scalarFieldPaths(f.Type, ni)...)
+			continue
+		}
+		out = append(out, ni)
+	}
+	return out
+}
+
+// TestKeySensitivity: mutating any single field of the spec — any
+// protection-configuration flag, the seed point, rounds, the scenario
+// version, the fingerprint — must change the key.
+func TestKeySensitivity(t *testing.T) {
+	base := baseSpec()
+	k0 := base.Key()
+	paths := scalarFieldPaths(reflect.TypeOf(base), nil)
+	// Spec has 8 scalar fields of its own plus one per core.Config
+	// mechanism; a shrinking count means a field stopped being keyed.
+	if want := 8 + reflect.TypeOf(core.Config{}).NumField(); len(paths) != want {
+		t.Fatalf("spec has %d scalar fields, want %d — update the key tests with the schema", len(paths), want)
+	}
+	seen := map[Key]string{k0: "base"}
+	for _, p := range paths {
+		m := base
+		fv := reflect.ValueOf(&m).Elem().FieldByIndex(p)
+		name := fieldName(reflect.TypeOf(base), p)
+		switch fv.Kind() {
+		case reflect.String:
+			fv.SetString(fv.String() + "x")
+		case reflect.Bool:
+			fv.SetBool(!fv.Bool())
+		case reflect.Int:
+			fv.SetInt(fv.Int() + 1)
+		case reflect.Uint64:
+			fv.SetUint(fv.Uint() + 1)
+		default:
+			t.Fatalf("field %s: unhandled kind %s — extend the key tests", name, fv.Kind())
+		}
+		k := m.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("mutating %s collides with %s", name, prev)
+		}
+		seen[k] = name
+	}
+}
+
+func fieldName(t reflect.Type, path []int) string {
+	name := ""
+	for _, i := range path {
+		f := t.Field(i)
+		if name != "" {
+			name += "."
+		}
+		name += f.Name
+		t = f.Type
+	}
+	return name
+}
+
+// sampleRow exercises every representable awkwardness: NaN error rate,
+// NaN/±Inf extras, and full-precision floats.
+func sampleRow() attacks.Row {
+	return attacks.Row{
+		Label: "flush+pad (full)",
+		Est: channel.Estimate{
+			CapacityBits: 1.2345678901234567,
+			MIUniform:    0.9876543210987654,
+			FloorBits:    0.0123456789,
+			N:            144,
+			Bins:         16,
+		},
+		ErrRate: math.NaN(),
+		SimOps:  987654321,
+		Extra: []attacks.KV{
+			{K: "util", V: 0.25},
+			{K: "nan", V: math.NaN()},
+			{K: "inf", V: math.Inf(1)},
+			{K: "ninf", V: math.Inf(-1)},
+		},
+	}
+}
+
+func rowsBitIdentical(a, b attacks.Row) bool {
+	if a.Label != b.Label || a.SimOps != b.SimOps ||
+		a.Est.N != b.Est.N || a.Est.Bins != b.Est.Bins ||
+		len(a.Extra) != len(b.Extra) {
+		return false
+	}
+	f := math.Float64bits
+	if f(a.Est.CapacityBits) != f(b.Est.CapacityBits) ||
+		f(a.Est.MIUniform) != f(b.Est.MIUniform) ||
+		f(a.Est.FloorBits) != f(b.Est.FloorBits) ||
+		f(a.ErrRate) != f(b.ErrRate) {
+		return false
+	}
+	for i := range a.Extra {
+		if a.Extra[i].K != b.Extra[i].K || f(a.Extra[i].V) != f(b.Extra[i].V) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := baseSpec().Key()
+	if _, ok := s.Get(k); ok {
+		t.Fatal("empty store served a cell")
+	}
+	row := sampleRow()
+	if err := s.Put(k, row); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(k)
+	if !ok {
+		t.Fatal("stored cell not served")
+	}
+	if !rowsBitIdentical(row, got) {
+		t.Fatalf("round-trip not bit-identical:\nput: %+v\ngot: %+v", row, got)
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v", n, err)
+	}
+}
+
+// TestCorruptEntriesAreMisses: every way a store file can be damaged —
+// truncation, bit rot, wrong key, unknown version, plain garbage — must
+// read as a miss, never as a served result.
+func TestCorruptEntriesAreMisses(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := baseSpec().Key()
+	if err := s.Put(k, sampleRow()); err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := os.ReadFile(s.path(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := func() {
+		if err := os.WriteFile(s.path(k), pristine, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cases := map[string][]byte{
+		"empty":        {},
+		"garbage":      []byte("not json at all"),
+		"truncated":    pristine[:len(pristine)/2],
+		"almost-whole": pristine[:len(pristine)-2],
+	}
+	// Flip one digit inside the payload (after the "cell": marker, so
+	// the envelope still parses and the version check passes): the
+	// checksum must catch it even though the JSON stays valid.
+	flipped := append([]byte(nil), pristine...)
+	payload := bytes.Index(flipped, []byte(`"cell":`))
+	if payload < 0 {
+		t.Fatal("entry layout changed: no cell payload marker")
+	}
+	rotted := false
+	for i := payload; i < len(flipped); i++ {
+		if flipped[i] >= '1' && flipped[i] <= '8' {
+			flipped[i]++
+			rotted = true
+			break
+		}
+	}
+	if !rotted {
+		t.Fatal("found no payload digit to rot")
+	}
+	cases["bit-rot"] = flipped
+	// An entry claiming a different key (e.g. a file renamed by hand).
+	other := baseSpec()
+	other.Seed++
+	otherKey := other.Key()
+	if err := s.Put(otherKey, sampleRow()); err != nil {
+		t.Fatal(err)
+	}
+	wrongKey, err := os.ReadFile(s.path(otherKey))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases["wrong-key"] = wrongKey
+
+	for name, data := range cases {
+		restore()
+		if err := os.WriteFile(s.path(k), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get(k); ok {
+			t.Errorf("%s: corrupt entry was served", name)
+		}
+	}
+
+	// A corrupt entry behaves as a miss end to end: re-Put repairs it.
+	restore()
+	if err := os.WriteFile(s.path(k), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(k, sampleRow()); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(k); !ok || !rowsBitIdentical(got, sampleRow()) {
+		t.Fatal("re-Put did not repair a corrupt entry")
+	}
+}
+
+// TestConcurrentWriters: many goroutines hammering the same directory —
+// including the same keys, as same-store shard runs do — must lose
+// nothing and corrupt nothing.
+func TestConcurrentWriters(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, cells = 8, 24
+	specs := make([]Spec, cells)
+	rows := make([]attacks.Row, cells)
+	for i := range specs {
+		specs[i] = baseSpec()
+		specs[i].Seed = uint64(i)
+		rows[i] = sampleRow()
+		rows[i].SimOps = uint64(i * 1000)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < cells; i++ {
+				// Every writer writes every cell: maximal same-key
+				// contention with identical content, as content
+				// addressing guarantees.
+				c := (i + w) % cells
+				if err := s.Put(specs[c].Key(), rows[c]); err != nil {
+					t.Errorf("writer %d cell %d: %v", w, c, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range specs {
+		got, ok := s.Get(specs[i].Key())
+		if !ok {
+			t.Fatalf("cell %d lost", i)
+		}
+		if !rowsBitIdentical(got, rows[i]) {
+			t.Fatalf("cell %d corrupted: %+v", i, got)
+		}
+	}
+	if n, err := s.Len(); err != nil || n != cells {
+		t.Fatalf("Len = %d, %v; want %d", n, err, cells)
+	}
+	// No temp droppings left behind.
+	err = filepath.WalkDir(s.Dir(), func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(path) != ".json" {
+			t.Errorf("stray file %s", path)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeFrom: merging shard stores is associative, skips corrupt
+// source entries, and never overwrites existing cells.
+func TestMergeFrom(t *testing.T) {
+	mkStore := func(seeds ...uint64) *Store {
+		s, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seed := range seeds {
+			sp := baseSpec()
+			sp.Seed = seed
+			row := sampleRow()
+			row.SimOps = seed
+			if err := s.Put(sp.Key(), row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	keyOf := func(seed uint64) Key {
+		sp := baseSpec()
+		sp.Seed = seed
+		return sp.Key()
+	}
+
+	a := mkStore(1, 2)
+	b := mkStore(2, 3) // overlaps a on seed 2
+	// Corrupt one of b's entries: it must be skipped, not propagated.
+	if err := os.WriteFile(b.path(keyOf(3)), []byte("rotten"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := mkStore()
+	if added, err := dst.MergeFrom(a.Dir()); err != nil || added != 2 {
+		t.Fatalf("merge a: added=%d err=%v", added, err)
+	}
+	if added, err := dst.MergeFrom(b.Dir()); err != nil || added != 0 {
+		t.Fatalf("merge b: added=%d err=%v (seed 2 exists, seed 3 corrupt)", added, err)
+	}
+	for _, seed := range []uint64{1, 2} {
+		row, ok := dst.Get(keyOf(seed))
+		if !ok || row.SimOps != seed {
+			t.Fatalf("seed %d after merge: ok=%v row=%+v", seed, ok, row)
+		}
+	}
+	if _, ok := dst.Get(keyOf(3)); ok {
+		t.Fatal("corrupt source entry propagated")
+	}
+
+	// A corrupt destination entry is a miss by contract, so merging
+	// repairs it from a valid source instead of skipping it.
+	if err := os.WriteFile(dst.path(keyOf(1)), []byte("rotten"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if added, err := dst.MergeFrom(a.Dir()); err != nil || added != 1 {
+		t.Fatalf("repair merge: added=%d err=%v", added, err)
+	}
+	if row, ok := dst.Get(keyOf(1)); !ok || row.SimOps != 1 {
+		t.Fatalf("corrupt dest entry not repaired: ok=%v row=%+v", ok, row)
+	}
+
+	// Opposite merge order reaches the same store contents.
+	dst2 := mkStore()
+	if _, err := dst2.MergeFrom(b.Dir()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst2.MergeFrom(a.Dir()); err != nil {
+		t.Fatal(err)
+	}
+	k1, err := dst.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := dst2.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(k1) != fmt.Sprint(k2) {
+		t.Fatalf("merge order changed contents:\n%v\n%v", k1, k2)
+	}
+}
+
+// TestKeysIgnoresJunk: stray files and misnamed entries are invisible.
+func TestKeysIgnoresJunk(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := baseSpec().Key()
+	if err := s.Put(k, sampleRow()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(s.Dir(), "zz"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, junk := range []string{
+		filepath.Join(s.Dir(), "README"),
+		filepath.Join(s.Dir(), "zz", "nothex.json"),
+		filepath.Join(s.Dir(), k.String()[:2], "misplaced.txt"),
+	} {
+		if err := os.WriteFile(junk, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != k {
+		t.Fatalf("Keys = %v, want just %s", keys, k)
+	}
+}
+
+func TestOpenEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") succeeded")
+	}
+}

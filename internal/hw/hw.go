@@ -12,6 +12,14 @@ package hw
 
 import "fmt"
 
+// ModelVersion is the hardware layer's registered model-version string.
+// It feeds the experiment engine's fingerprint: bump it on any change to
+// the simulated hardware's semantics or latency parameters (anything
+// that could alter a measured cycle count), and every cached sweep cell
+// automatically becomes stale. Pure refactors that provably preserve
+// cycle-level behaviour do not bump it.
+const ModelVersion = "hw/1"
+
 // Addr is a virtual address within a security domain's address space.
 type Addr uint64
 

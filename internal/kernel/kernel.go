@@ -25,6 +25,15 @@ import (
 	"timeprot/internal/hw/mem"
 )
 
+// ModelVersion is the kernel layer's registered model-version string,
+// part of the experiment engine's fingerprint. Bump it whenever the
+// kernel model's observable behaviour changes (scheduling, switch
+// sequence, mechanism semantics, WCET bounds); cached sweep cells keyed
+// under the old version then read as misses. Version 2 is the
+// direct-execution program model, proven trace-identical to version 1's
+// goroutine path by the execution-model equivalence tests.
+const ModelVersion = "kernel/2"
+
 // Virtual address space layout (page numbers). Each domain has its own
 // address space; kernel mappings live in the high region of every space,
 // like a conventional kernel window.

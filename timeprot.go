@@ -34,6 +34,7 @@ import (
 	"timeprot/internal/attacks"
 	"timeprot/internal/core"
 	"timeprot/internal/experiment"
+	"timeprot/internal/experiment/store"
 	"timeprot/internal/hw/mem"
 	"timeprot/internal/hw/platform"
 	"timeprot/internal/kernel"
@@ -219,7 +220,28 @@ type (
 	SweepCell = experiment.Cell
 	// SweepCellResult is a completed cell's flattened measurement.
 	SweepCellResult = experiment.CellResult
+	// SweepStore is the content-addressed result store: cells keyed by
+	// a stable hash of everything their measurement depends on, so
+	// sweeps become incremental (cached cells are served, not re-run)
+	// and sharded stores merge associatively across machines.
+	SweepStore = store.Store
+	// SweepShard selects one shard of a matrix's deterministic
+	// partition for distributed execution.
+	SweepShard = experiment.ShardSel
+	// SweepCacheStats reports how a sweep interacted with its store.
+	SweepCacheStats = experiment.CacheStats
 )
+
+// OpenSweepStore opens (creating if needed) the content-addressed sweep
+// store rooted at dir. Pass it via SweepOptions.Store; merge shard
+// stores with its MergeFrom method.
+func OpenSweepStore(dir string) (*SweepStore, error) { return store.Open(dir) }
+
+// SweepFingerprint returns the engine fingerprint under which this
+// build keys store cells: the registered model-version strings of the
+// hardware, kernel, estimator, and attack layers. Any semantic change
+// to a layer bumps its version, so stale cells can never be served.
+func SweepFingerprint() string { return experiment.Fingerprint() }
 
 // RunSweep executes an experiment sweep on a worker pool. The report is
 // a pure function of the spec: worker count cannot change a bit of it.
