@@ -103,7 +103,7 @@ func main() {
 			fail("scenario %s needs bespoke per-variant setup and does not take a custom configuration;\nrun its canonical sweep instead (omit -protect)", s.Name)
 		}
 		label := cfg.String()
-		row := s.Custom(label, cfg, s.Rounds(*rounds), *seed)
+		row := s.RunCustom(label, cfg, s.Rounds(*rounds), *seed)
 		e := attacks.Experiment{ID: s.ID, Title: s.Title + " [custom configuration]", Rows: []attacks.Row{row}}
 		fmt.Print(e)
 		return

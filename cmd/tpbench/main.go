@@ -1,5 +1,5 @@
 // Command tpbench runs the experiment sweep engine: the full attack ×
-// mitigation × seed matrix of the paper's evaluation (T2-T14), the T1
+// mitigation × seed matrix of the paper's evaluation (T2-T17), the T1
 // proof-ablation matrix, and the aISA contract report, executed
 // concurrently on a worker pool with bit-identical results at any
 // parallelism.
@@ -7,19 +7,28 @@
 // It regenerates EXPERIMENTS.md (-md) and emits machine-readable
 // results (-out).
 //
+// With -ci it samples adaptively: each cell climbs a doubling rounds
+// ladder and stops as soon as the 95% bootstrap confidence interval on
+// its capacity is tighter than the target half-width (or the -max-rounds
+// cap is hit), so converged cells — closed channels converge almost
+// immediately — stop early and the round budget concentrates where the
+// estimator is still uncertain. The leak/blocked verdicts match the
+// fixed-rounds sweep; only the measurement effort adapts.
+//
 // With -store it becomes incremental: each cell is keyed by a content
 // address (engine fingerprint + scenario version + configuration +
-// seed point), cells already in the store are served without
-// re-execution, and the emitted reports are byte-identical either way.
-// With -shard i/n it runs one deterministic shard of the matrix, so a
-// huge sweep can spread over independent processes or machines whose
-// stores merge (-merge-from) into one. -warm-only asserts a fully
-// cached run (CI's cheap re-verification check).
+// adaptive policy + seed point), cells already in the store are served
+// without re-execution, and the emitted reports are byte-identical
+// either way. With -shard i/n it runs one deterministic shard of the
+// matrix, so a huge sweep can spread over independent processes or
+// machines whose stores merge (-merge-from) into one. -warm-only
+// asserts a fully cached run (CI's cheap re-verification check).
 //
 // Usage:
 //
 //	tpbench [-sweep all|T2,l1pp,...] [-variants "label,..."]
-//	        [-rounds N] [-seed S | -seeds S1,S2,...] [-trials K]
+//	        [-rounds N] [-ci W [-max-rounds M]]
+//	        [-seed S | -seeds S1,S2,...] [-trials K]
 //	        [-parallel P] [-proofs=false] [-cpuprofile tpbench.prof]
 //	        [-store DIR] [-shard i/n] [-merge-from DIR,...] [-warm-only]
 //	        [-out results.json] [-md EXPERIMENTS.md] [-quiet]
@@ -56,6 +65,8 @@ func main() {
 	sweep := flag.String("sweep", "all", "comma-separated scenarios by ID (T2) or name (l1pp); all = every scenario")
 	variants := flag.String("variants", "", "comma-separated exact variant labels to include (default: all)")
 	rounds := flag.Int("rounds", 60, "transmission rounds per cell (more = tighter estimates, slower)")
+	ci := flag.Float64("ci", 0, "adaptive sampling: stop a cell once its capacity 95% CI half-width falls to this many bits (0 = fixed rounds; 0.05 matches the leak margin)")
+	maxRounds := flag.Int("max-rounds", 0, "adaptive rounds-ladder cap in requested rounds (0 = 4x -rounds); requires -ci")
 	seed := flag.Uint64("seed", 42, "deterministic base seed")
 	seeds := flag.String("seeds", "", "comma-separated base seeds (overrides -seed)")
 	trials := flag.Int("trials", 1, "derived-seed repeats per base seed")
@@ -96,10 +107,15 @@ func main() {
 	}
 	defer stopProfile()
 
+	if *maxRounds > 0 && *ci <= 0 {
+		fail("-max-rounds requires -ci")
+	}
 	spec := timeprot.SweepSpec{
 		Scenarios:     splitList(*sweep),
 		Variants:      splitList(*variants),
 		Rounds:        *rounds,
+		CIHalfWidth:   *ci,
+		MaxRounds:     *maxRounds,
 		Seeds:         []uint64{*seed},
 		Trials:        *trials,
 		Proofs:        *proofs,
@@ -177,6 +193,11 @@ func main() {
 		ops := rep.TotalSimOps()
 		fmt.Printf("sweep: %d cells, %.1fM simulated ops in %.1fs (%.2fM ops/s)\n",
 			len(rep.Cells), float64(ops)/1e6, elapsed, float64(ops)/1e6/elapsed)
+		if *ci > 0 {
+			run, fixed := rep.TotalRounds()
+			fmt.Printf("adaptive: %d rounds simulated vs %d under the fixed policy (%.0f%%)\n",
+				run, fixed, 100*float64(run)/float64(fixed))
+		}
 		if *storeDir != "" {
 			fmt.Printf("store: %d/%d cells cached, %d executed, %d stored (fingerprint %s)\n",
 				stats.Hits, stats.Total, stats.Executed, stats.Stored, timeprot.SweepFingerprint())

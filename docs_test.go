@@ -1,0 +1,54 @@
+package timeprot
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"timeprot/internal/attacks"
+)
+
+// TestDocsCoverRegistry is the registry-completeness check: every
+// scenario the registry knows must be documented in EXPERIMENTS.md (a
+// result table) and DESIGN.md (the layer-3 inventory). A scenario that
+// ships without documentation — or a doc table that outlives a removed
+// scenario — fails here, so the docs pipeline cannot drift from the
+// code. The byte-level drift check (regenerating EXPERIMENTS.md from
+// the committed sweep store and comparing) runs in CI's docs job.
+func TestDocsCoverRegistry(t *testing.T) {
+	experiments := readDoc(t, "EXPERIMENTS.md")
+	design := readDoc(t, "DESIGN.md")
+	for _, s := range attacks.Scenarios() {
+		if !strings.Contains(experiments, "## "+s.ID+" — ") {
+			t.Errorf("EXPERIMENTS.md has no result table for %s (%s)", s.ID, s.Name)
+		}
+		if !strings.Contains(design, s.ID) {
+			t.Errorf("DESIGN.md does not mention %s (%s)", s.ID, s.Name)
+		}
+		for _, v := range s.Variants {
+			if !strings.Contains(experiments, "| "+v.Label+" |") {
+				t.Errorf("EXPERIMENTS.md table for %s is missing variant %q", s.ID, v.Label)
+			}
+		}
+	}
+}
+
+// TestExperimentsRegenCommand: the committed EXPERIMENTS.md must embed
+// the exact command that regenerates it — the contract the CI doc-drift
+// job replays against the committed sweep store.
+func TestExperimentsRegenCommand(t *testing.T) {
+	experiments := readDoc(t, "EXPERIMENTS.md")
+	if !strings.Contains(experiments, "go run ./cmd/tpbench") ||
+		!strings.Contains(experiments, "-md EXPERIMENTS.md") {
+		t.Error("EXPERIMENTS.md does not embed its regeneration command")
+	}
+}
+
+func readDoc(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatalf("reading %s: %v", name, err)
+	}
+	return string(b)
+}

@@ -48,6 +48,15 @@ func equivalenceCases() map[string]eqBuild {
 			flushOnly.FlushOnSwitch = true
 			return buildOverhead("flush", flushOnly, 4, o)
 		},
+		"T15/no-flush": func(o execOpt) (*kernel.System, func(kernel.Report) Row) {
+			return buildPrefetchChannel("no flush (pad+colour only)", noFlush, 8, 42, o)
+		},
+		"T16/coarse": func(o execOpt) (*kernel.System, func(kernel.Report) Row) {
+			return buildOccupancy("coarse: 2 colours, no split", 6, 42, o)
+		},
+		"T17/unprotected": func(o execOpt) (*kernel.System, func(kernel.Report) Row) {
+			return buildXCore("unprotected", core.NoProtection(), 6, 42, o)
+		},
 	}
 }
 

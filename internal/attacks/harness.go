@@ -1,17 +1,24 @@
 // Package attacks implements the covert- and side-channel attack
 // scenarios that evaluate time protection, one per experiment of
-// DESIGN.md §4: prime-and-probe on the L1 and the LLC, the flush-latency
-// channel, the kernel-image channel, the interrupt channel, the SMT
-// channel, the interconnect bandwidth channel, and the Fig.-1 downgrader.
+// DESIGN.md §4: prime-and-probe on the L1 and the LLC (T2, T3), the
+// flush-latency channel (T4), the kernel-image channel (T5), the
+// interrupt channel (T6), the SMT channel (T7), the interconnect
+// bandwidth channel (T8), the Fig.-1 downgrader (T9), padding
+// sufficiency (T11), protection overheads (T12), the branch-predictor
+// and TLB channels (T13, T14), the stride-prefetcher channel (T15), the
+// whole-LLC occupancy channel across colour-partition widths (T16), and
+// the multi-bit concurrent cross-core LLC channel (T17).
 //
-// Every scenario follows the same shape: a Trojan thread in the Hi
+// Every scenario follows the same shape: a Trojan program in the Hi
 // domain transmits a deterministic pseudo-random symbol sequence through
-// some shared hardware resource; a spy thread in the Lo domain measures
+// some shared hardware resource; a spy program in the Lo domain measures
 // its own timing; the harness labels the spy's timestamped observations
 // with the symbol the Trojan had committed most recently, and
-// internal/channel turns the labelled samples into a capacity estimate
-// with a shuffled-label noise floor. A defence works when the measured
-// capacity drops to the floor.
+// internal/channel turns the labelled samples into a capacity estimate —
+// with a shuffled-label noise floor and a bootstrap confidence interval
+// on the capacity. A defence works when the measured capacity drops to
+// the floor; the experiment engine's adaptive sampler keeps adding
+// rounds until the interval is tight enough to trust the verdict.
 //
 // Every scenario runs as a direct kernel.Program state machine — the
 // simulator's hot path, free of per-instruction goroutine handoffs —
@@ -31,6 +38,7 @@ import (
 	"sort"
 
 	"timeprot/internal/channel"
+	"timeprot/internal/hw"
 	"timeprot/internal/kernel"
 	"timeprot/internal/rng"
 )
@@ -119,14 +127,23 @@ func EstimateLabelled(labels []int, vals []float64, bins int, seed uint64) (chan
 type Row struct {
 	// Label names the configuration (e.g. "flush+pad").
 	Label string
-	// Est is the channel capacity estimate.
+	// Est is the channel capacity estimate, including its bootstrap
+	// confidence interval.
 	Est channel.Estimate
 	// ErrRate is the spy's symbol decode error rate; NaN when the
 	// scenario has no decoder.
 	ErrRate float64
+	// Rounds is the effective transmission rounds behind Est — for a
+	// fixed sweep the requested rounds after the scenario's policy, for
+	// an adaptive sweep the rounds of the ladder rung that converged.
+	Rounds int
+	// RoundsRun is the total rounds simulated to produce this row:
+	// equal to Rounds for a fixed run, the sum over all executed ladder
+	// rungs for an adaptive run. Variant.Run fills both fields.
+	RoundsRun int
 	// SimOps is the number of simulated thread operations the
-	// scenario executed — the sweep engine's per-cell throughput
-	// denominator.
+	// scenario executed (summed over adaptive ladder rungs) — the sweep
+	// engine's per-cell throughput denominator.
 	SimOps uint64
 	// Extra carries scenario-specific values (e.g. utilisation), in
 	// insertion order.
@@ -161,11 +178,16 @@ type Experiment struct {
 // String renders the experiment as an aligned text table.
 func (e Experiment) String() string {
 	out := fmt.Sprintf("%s — %s\n", e.ID, e.Title)
-	out += fmt.Sprintf("  %-28s %12s %12s %10s %8s  %s\n", "config", "capacity b/u", "floor b/u", "err-rate", "leaks", "extra")
+	out += fmt.Sprintf("  %-28s %12s %18s %12s %10s %7s %8s  %s\n",
+		"config", "capacity b/u", "95% CI", "floor b/u", "err-rate", "rounds", "leaks", "extra")
 	for _, r := range e.Rows {
 		errs := "-"
 		if !math.IsNaN(r.ErrRate) {
 			errs = fmt.Sprintf("%.3f", r.ErrRate)
+		}
+		rounds := "-"
+		if r.Rounds > 0 {
+			rounds = fmt.Sprintf("%d", r.Rounds)
 		}
 		leak := "no"
 		if r.Leaks() {
@@ -175,8 +197,9 @@ func (e Experiment) String() string {
 		for _, kv := range r.Extra {
 			extra += fmt.Sprintf("%s=%.3f ", kv.K, kv.V)
 		}
-		out += fmt.Sprintf("  %-28s %12.4f %12.4f %10s %8s  %s\n",
-			r.Label, r.Est.CapacityBits, r.Est.FloorBits, errs, leak, extra)
+		ci := fmt.Sprintf("[%.4f, %.4f]", r.Est.CILow, r.Est.CIHigh)
+		out += fmt.Sprintf("  %-28s %12.4f %18s %12.4f %10s %7s %8s  %s\n",
+			r.Label, r.Est.CapacityBits, ci, r.Est.FloorBits, errs, rounds, leak, extra)
 	}
 	return out
 }
@@ -254,6 +277,85 @@ func (sp *epochSpin) step(m *kernel.Machine) (next uint64, done bool, st kernel.
 		return 0, false, m.Epoch()
 	default:
 		panic("attacks: epochSpin.step while idle")
+	}
+}
+
+// windowedThrasher is the shared Trojan state machine of the concurrent
+// window-based channels (T16, T17): at each window start it commits the
+// window's symbol, then thrashes the symbol's page group until the
+// window deadline, checking the deadline once per page. Window
+// deadlines are absolute (start + (w+1)*windowLen), so an overrunning
+// sweep self-corrects instead of shifting later windows.
+type windowedThrasher struct {
+	windows   int
+	windowLen uint64
+	seq       []int
+	groups    [][]int // page groups by symbol
+	lineOrder []int
+	syms      *SymLog
+
+	phase      int
+	w          int
+	start, end uint64
+	gi, li     int
+}
+
+func (t *windowedThrasher) read(m *kernel.Machine) kernel.Status {
+	pg := t.groups[t.seq[t.w]][t.gi]
+	return m.ReadHeap(uint64(pg)*hw.PageSize + uint64(t.lineOrder[t.li])*hw.LineSize)
+}
+
+// nextWindow advances past an expired window; done when the stream
+// (plus its trailing slack windows) is complete.
+func (t *windowedThrasher) nextWindow(m *kernel.Machine) kernel.Status {
+	t.w++
+	if t.w == t.windows+4 {
+		return kernel.Done
+	}
+	t.phase = 2
+	return m.Now()
+}
+
+func (t *windowedThrasher) Step(m *kernel.Machine) kernel.Status {
+	switch t.phase {
+	case 0: // sample the stream's start time
+		t.phase = 1
+		return m.Now()
+	case 1:
+		t.start = m.Time()
+		t.phase = 2
+		return m.Now() // commit timestamp for window 0
+	case 2: // commit the window's symbol
+		t.syms.Commit(m.Time(), t.seq[t.w])
+		t.end = t.start + uint64(t.w+1)*t.windowLen
+		t.phase = 3
+		return m.Now() // window deadline check
+	case 3: // between sweeps: start another, or advance the window
+		if m.Time() < t.end {
+			t.gi, t.li = 0, 0
+			t.phase = 4
+			return t.read(m)
+		}
+		return t.nextWindow(m)
+	case 4: // sweeping the symbol's page group
+		t.li++
+		if t.li < len(t.lineOrder) {
+			return t.read(m)
+		}
+		t.li = 0
+		t.gi++
+		if t.gi == len(t.groups[t.seq[t.w]]) {
+			t.phase = 3
+			return m.Now()
+		}
+		t.phase = 5
+		return m.Now() // mid-sweep deadline check, once per page
+	default: // 5: mid-sweep deadline arrived?
+		if m.Time() < t.end {
+			t.phase = 4
+			return t.read(m)
+		}
+		return t.nextWindow(m)
 	}
 }
 

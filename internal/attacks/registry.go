@@ -31,8 +31,15 @@ type Variant struct {
 
 // Run executes the variant and returns its measured row. Each call
 // constructs a fresh simulated system, so concurrent calls are safe and
-// results depend only on (rounds, seed).
-func (v Variant) Run(rounds int, seed uint64) Row { return v.run(rounds, seed) }
+// results depend only on (rounds, seed). Run stamps the row with the
+// rounds it measured; adaptive callers that re-run a variant across a
+// rounds ladder overwrite RoundsRun with the ladder's total.
+func (v Variant) Run(rounds int, seed uint64) Row {
+	row := v.run(rounds, seed)
+	row.Rounds = rounds
+	row.RoundsRun = rounds
+	return row
+}
 
 // Scenario is one attack scenario: identity, canonical variants, rounds
 // policy, and (when the underlying runner is configuration-shaped) a
@@ -66,6 +73,17 @@ type Scenario struct {
 	finalize func(rows []Row) []Row
 }
 
+// RunCustom runs the scenario under an arbitrary protection
+// configuration via its Custom entry point, stamping the row's rounds
+// metadata exactly as Variant.Run does. It panics if the scenario has
+// no Custom runner; callers gate on s.Custom != nil.
+func (s Scenario) RunCustom(label string, prot core.Config, rounds int, seed uint64) Row {
+	row := s.Custom(label, prot, rounds, seed)
+	row.Rounds = rounds
+	row.RoundsRun = rounds
+	return row
+}
+
 // VariantByLabel returns the variant with the exact label.
 func (s Scenario) VariantByLabel(label string) (Variant, bool) {
 	for _, v := range s.Variants {
@@ -92,7 +110,7 @@ func (s Scenario) Finalize(rows []Row) []Row {
 func (s Scenario) Experiment(rounds int, seed uint64) Experiment {
 	rows := make([]Row, 0, len(s.Variants))
 	for _, v := range s.Variants {
-		rows = append(rows, v.run(rounds, seed))
+		rows = append(rows, v.Run(rounds, seed))
 	}
 	return Experiment{ID: s.ID, Title: s.Title, Rows: s.Finalize(rows)}
 }
@@ -416,4 +434,55 @@ var scenarios = []Scenario{
 		},
 		Custom: runTLBChannel,
 	},
+	{
+		ID: "T15", Name: "prefetch", Version: 1,
+		Title:  "stride-prefetcher channel: speculative fills on a fixed footprint (§4.1)",
+		Rounds: minRounds(30),
+		Variants: []Variant{
+			variant("no flush (pad+colour only)", fullWithout(func(c *core.Config) { c.FlushOnSwitch = false }), runPrefetchChannel),
+			variant("flush (full)", core.FullProtection(), runPrefetchChannel),
+		},
+		Custom: runPrefetchChannel,
+	},
+	{
+		ID: "T16", Name: "occupancy", Version: 1,
+		Title:    "whole-LLC occupancy channel across colour-partition widths (§4.1)",
+		Rounds:   minRounds(30),
+		Variants: t16Variants(),
+	},
+	{
+		ID: "T17", Name: "xcore", Version: 1,
+		Title:  "multi-bit concurrent cross-core LLC channel (§4.1)",
+		Rounds: minRounds(30),
+		Variants: []Variant{
+			variant("unprotected", core.NoProtection(), runXCore),
+			variant("flush+pad (no colour)", flushPadConfig(), runXCore),
+			variant("coloured (full)", core.FullProtection(), runXCore),
+		},
+		Custom: runXCore,
+	},
+}
+
+// t16Variants builds T16's colour-partition-width sweep: each variant
+// carries its own domain colour layout, so the distinguishing knob is
+// the t16Spec table rather than a core.Config field.
+func t16Variants() []Variant {
+	labels := []string{
+		"no colouring (8 colours)",
+		"coarse: 2 colours, no split",
+		"split: 4 colours (1+2)",
+		"split: 8 colours (full)",
+	}
+	out := make([]Variant, 0, len(labels))
+	for _, label := range labels {
+		label := label
+		out = append(out, Variant{
+			Label: label,
+			Prot:  t16Spec(label).prot,
+			run: func(rounds int, seed uint64) Row {
+				return runOccupancy(label, rounds, seed)
+			},
+		})
+	}
+	return out
 }

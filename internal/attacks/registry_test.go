@@ -15,7 +15,7 @@ func TestScenarioLookup(t *testing.T) {
 }
 
 func TestRegistryShape(t *testing.T) {
-	wantIDs := []string{"T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T11", "T12", "T13", "T14"}
+	wantIDs := []string{"T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T11", "T12", "T13", "T14", "T15", "T16", "T17"}
 	ids := ScenarioIDs()
 	if len(ids) != len(wantIDs) {
 		t.Fatalf("registry has %d scenarios, want %d", len(ids), len(wantIDs))

@@ -1,0 +1,159 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"timeprot/internal/rng"
+)
+
+// Bootstrap-CI tests on synthetic channels with known capacity: the
+// interval must be deterministic, tight and correctly placed on clean
+// channels, and must narrow as the sample grows on noisy ones.
+
+// perfectPairs builds n noiseless binary transmissions.
+func perfectPairs(n int) (syms, outs []int) {
+	for i := 0; i < n; i++ {
+		syms = append(syms, i%2)
+		outs = append(outs, i%2)
+	}
+	return syms, outs
+}
+
+func TestBootstrapCIPerfectChannel(t *testing.T) {
+	syms, outs := perfectPairs(120)
+	est, err := EstimatePairs(syms, outs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A noiseless binary channel resamples to capacity 1 every time
+	// (both symbols present in essentially every resample), so the
+	// interval collapses onto the point estimate.
+	if est.CapacityBits < 0.999 {
+		t.Fatalf("perfect channel capacity %f, want ~1", est.CapacityBits)
+	}
+	if est.CILow > est.CapacityBits || est.CIHigh < est.CapacityBits {
+		t.Errorf("CI [%f, %f] does not contain the capacity %f", est.CILow, est.CIHigh, est.CapacityBits)
+	}
+	if est.CIHalfWidth() > 0.05 {
+		t.Errorf("perfect channel CI too wide: [%f, %f]", est.CILow, est.CIHigh)
+	}
+}
+
+func TestBootstrapCICleanScalarChannel(t *testing.T) {
+	// Two symbols with fully separated scalar observations: capacity 1,
+	// tight interval containing it.
+	s := NewSamples()
+	for i := 0; i < 60; i++ {
+		s.Add(0, 100)
+		s.Add(1, 200)
+	}
+	est, err := EstimateScalar(s, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.CapacityBits < 0.999 {
+		t.Fatalf("separated scalar channel capacity %f, want ~1", est.CapacityBits)
+	}
+	if est.CILow > est.CapacityBits || est.CIHigh < est.CapacityBits {
+		t.Errorf("CI [%f, %f] does not contain the capacity %f", est.CILow, est.CIHigh, est.CapacityBits)
+	}
+	if est.CIHalfWidth() > 0.05 {
+		t.Errorf("clean channel CI too wide: [%f, %f]", est.CILow, est.CIHigh)
+	}
+}
+
+// bscPairs builds a binary symmetric channel with crossover p —
+// capacity 1 - H(p), known in closed form.
+func bscPairs(n int, p float64, seed uint64) (syms, outs []int) {
+	r := rng.New(seed)
+	for i := 0; i < n; i++ {
+		sym := i % 2
+		out := sym
+		if r.Float64() < p {
+			out = 1 - sym
+		}
+		syms = append(syms, sym)
+		outs = append(outs, out)
+	}
+	return syms, outs
+}
+
+func TestBootstrapCINarrowsWithSamples(t *testing.T) {
+	small, smallOut := bscPairs(40, 0.25, 3)
+	large, largeOut := bscPairs(640, 0.25, 3)
+	se, err := EstimatePairs(small, smallOut, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	le, err := EstimatePairs(large, largeOut, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if le.CIHalfWidth() >= se.CIHalfWidth() {
+		t.Errorf("CI did not narrow with sample size: n=40 half-width %f, n=640 half-width %f",
+			se.CIHalfWidth(), le.CIHalfWidth())
+	}
+	// At 640 samples the interval must bracket the analytic capacity
+	// 1 - H(0.25) ~ 0.1887 within the estimator's small-sample bias.
+	h := func(p float64) float64 { return -p*math.Log2(p) - (1-p)*math.Log2(1-p) }
+	want := 1 - h(0.25)
+	if le.CIHigh < want-0.1 || le.CILow > want+0.1 {
+		t.Errorf("large-sample CI [%f, %f] far from analytic capacity %f", le.CILow, le.CIHigh, want)
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	syms, outs := bscPairs(100, 0.2, 9)
+	a, err := EstimatePairs(syms, outs, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimatePairs(syms, outs, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("estimate not deterministic:\n%+v\n%+v", a, b)
+	}
+	s := NewSamples()
+	for i := range syms {
+		s.Add(syms[i], float64(outs[i]))
+	}
+	c, err := EstimateScalar(s, 4, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := EstimateScalar(s, 4, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != d {
+		t.Errorf("scalar estimate not deterministic:\n%+v\n%+v", c, d)
+	}
+	if c.CILow > c.CIHigh {
+		t.Errorf("inverted interval: [%f, %f]", c.CILow, c.CIHigh)
+	}
+}
+
+// TestBootstrapDidNotPerturbEstimates pins the estimator-compatibility
+// guarantee of channel/2: adding the interval must not have changed any
+// pre-existing field, because the bootstrap draws from its own
+// decorrelated RNG stream.
+func TestBootstrapDidNotPerturbEstimates(t *testing.T) {
+	syms, outs := bscPairs(200, 0.1, 5)
+	est, err := EstimatePairs(syms, outs, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := FromPairs(syms, outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Capacity(baIterations, baTolerance); got != est.CapacityBits {
+		t.Errorf("capacity perturbed: %f vs %f", got, est.CapacityBits)
+	}
+	if got := m.MutualInformation(nil); got != est.MIUniform {
+		t.Errorf("MI perturbed: %f vs %f", got, est.MIUniform)
+	}
+}

@@ -5,6 +5,16 @@
 // capacity with the Blahut–Arimoto algorithm, alongside a shuffled-label
 // noise floor that calibrates the estimator's small-sample bias. A
 // channel counts as closed when its capacity does not exceed the floor.
+//
+// Every estimate also carries a 95% bootstrap confidence interval on the
+// capacity (CILow, CIHigh): the observation pairs are resampled with
+// replacement bootTrials times and the capacity re-estimated on each
+// resample; the interval's percentile bounds quantify how settled the
+// point estimate is at the current sample size. The experiment engine's
+// adaptive sampler (internal/experiment) keeps adding measurement rounds
+// to a cell until this interval's half-width falls under its target.
+// Everything — including the bootstrap resampling — is deterministically
+// seeded, so an estimate is a pure function of (samples, seed).
 package channel
 
 import (
@@ -18,8 +28,9 @@ import (
 // EstimatorVersion is the capacity estimator's registered model-version
 // string, part of the experiment engine's fingerprint. Bump it when the
 // estimate a given sample set produces can change (binning, iteration
-// count, floor construction, shuffle derivation).
-const EstimatorVersion = "channel/1"
+// count, floor construction, shuffle derivation, bootstrap design).
+// channel/2 added the bootstrap confidence interval to every estimate.
+const EstimatorVersion = "channel/2"
 
 // Samples accumulates scalar observations per input symbol.
 type Samples struct {
@@ -289,11 +300,21 @@ type Estimate struct {
 	// symbol association. Capacities at or below the floor mean "no
 	// channel demonstrated".
 	FloorBits float64
+	// CILow and CIHigh bound the 95% bootstrap confidence interval on
+	// CapacityBits: bootTrials resamples-with-replacement of the
+	// observation pairs, capacity re-estimated per resample, percentile
+	// bounds taken. The interval quantifies sampling uncertainty only —
+	// estimator bias is what FloorBits calibrates.
+	CILow, CIHigh float64
 	// N is the number of samples.
 	N int
 	// Bins is the number of output bins used.
 	Bins int
 }
+
+// CIHalfWidth returns half the width of the capacity confidence
+// interval — the adaptive sampler's convergence measure.
+func (e Estimate) CIHalfWidth() float64 { return (e.CIHigh - e.CILow) / 2 }
 
 // Leaks reports whether the estimate demonstrates a channel: capacity
 // strictly above the noise floor by the given margin (in bits).
@@ -303,14 +324,18 @@ func (e Estimate) Leaks(margin float64) bool {
 
 // String renders the estimate compactly.
 func (e Estimate) String() string {
-	return fmt.Sprintf("capacity %.4f b/use (MI %.4f, floor %.4f, n=%d, bins=%d)",
-		e.CapacityBits, e.MIUniform, e.FloorBits, e.N, e.Bins)
+	return fmt.Sprintf("capacity %.4f b/use [%.4f, %.4f] (MI %.4f, floor %.4f, n=%d, bins=%d)",
+		e.CapacityBits, e.CILow, e.CIHigh, e.MIUniform, e.FloorBits, e.N, e.Bins)
 }
 
 const (
 	baIterations = 300
 	baTolerance  = 1e-4
 	floorTrials  = 10
+	// bootTrials is the bootstrap resample count behind CILow/CIHigh.
+	// With the 95% order statistics below, the bounds are the 2nd and
+	// 39th of 40 sorted resample capacities.
+	bootTrials = 40
 )
 
 // EstimateScalar measures the channel from scalar observations.
@@ -324,10 +349,13 @@ func EstimateScalar(s *Samples, maxBins int, seed uint64) (Estimate, error) {
 	if err != nil {
 		return Estimate{}, err
 	}
+	lo, hi := bootstrapScalarCI(syms, vals, maxBins, seed)
 	return Estimate{
 		CapacityBits: m.Capacity(baIterations, baTolerance),
 		MIUniform:    m.MutualInformation(nil),
 		FloorBits:    floor,
+		CILow:        lo,
+		CIHigh:       hi,
 		N:            s.Len(),
 		Bins:         m.Outputs,
 	}, nil
@@ -350,13 +378,69 @@ func EstimatePairs(syms, outs []int, seed uint64) (Estimate, error) {
 		}
 		floor += fm.Capacity(baIterations, baTolerance)
 	}
+	lo, hi := bootstrapPairsCI(syms, outs, seed)
 	return Estimate{
 		CapacityBits: m.Capacity(baIterations, baTolerance),
 		MIUniform:    m.MutualInformation(nil),
 		FloorBits:    floor / floorTrials,
+		CILow:        lo,
+		CIHigh:       hi,
 		N:            len(syms),
 		Bins:         m.Outputs,
 	}, nil
+}
+
+// bootSeed decorrelates the bootstrap's RNG stream from the floor's, so
+// adding the interval left every pre-existing estimate field unchanged.
+func bootSeed(seed uint64) uint64 { return seed ^ 0xB007_57A9 }
+
+// ciBounds converts sorted resample capacities into the 95% percentile
+// interval.
+func ciBounds(caps []float64) (lo, hi float64) {
+	sort.Float64s(caps)
+	n := len(caps)
+	return caps[n/40], caps[n-1-n/40]
+}
+
+// bootstrapScalarCI resamples (symbol, value) pairs with replacement and
+// re-estimates capacity on each resample.
+func bootstrapScalarCI(syms []int, vals []float64, maxBins int, seed uint64) (lo, hi float64) {
+	r := rng.New(bootSeed(seed))
+	caps := make([]float64, 0, bootTrials)
+	for trial := 0; trial < bootTrials; trial++ {
+		s := NewSamples()
+		for i := 0; i < len(syms); i++ {
+			j := r.Intn(len(syms))
+			s.Add(syms[j], vals[j])
+		}
+		m, err := FromScalar(s, maxBins)
+		if err != nil {
+			caps = append(caps, 0)
+			continue
+		}
+		caps = append(caps, m.Capacity(baIterations, baTolerance))
+	}
+	return ciBounds(caps)
+}
+
+// bootstrapPairsCI is the discrete-pairs analogue of bootstrapScalarCI.
+func bootstrapPairsCI(syms, outs []int, seed uint64) (lo, hi float64) {
+	r := rng.New(bootSeed(seed))
+	caps := make([]float64, 0, bootTrials)
+	bs, bo := make([]int, len(syms)), make([]int, len(outs))
+	for trial := 0; trial < bootTrials; trial++ {
+		for i := range syms {
+			j := r.Intn(len(syms))
+			bs[i], bo[i] = syms[j], outs[j]
+		}
+		m, err := FromPairs(bs, bo)
+		if err != nil {
+			caps = append(caps, 0)
+			continue
+		}
+		caps = append(caps, m.Capacity(baIterations, baTolerance))
+	}
+	return ciBounds(caps)
 }
 
 func scalarFloor(syms []int, vals []float64, maxBins int, seed uint64) (float64, error) {

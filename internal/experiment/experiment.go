@@ -45,6 +45,17 @@ type Spec struct {
 	// trial). Trial 0 uses the base seed itself, so a single-trial
 	// sweep reproduces the canonical tables.
 	Trials int
+	// CIHalfWidth, when positive, arms adaptive sampling: each cell
+	// climbs a deterministic rounds ladder (half the requested rounds,
+	// then doubling) and stops as soon as the 95% bootstrap confidence
+	// interval on its capacity has half-width at or below this target
+	// (in bits), or the ladder reaches MaxRounds. Zero runs the classic
+	// fixed-rounds sweep. DefaultCIHalfWidth is the recommended target.
+	CIHalfWidth float64
+	// MaxRounds caps the adaptive ladder, in requested-rounds space
+	// (each rung still passes through the scenario's rounds policy).
+	// 0 = DefaultMaxRoundsFactor x Rounds. Ignored for fixed sweeps.
+	MaxRounds int
 	// Proofs includes the T1 proof-ablation matrix in the run.
 	Proofs bool
 	// ProofFamilies and ProofRandom size the prover's sampling (0 =
@@ -54,6 +65,16 @@ type Spec struct {
 
 // DefaultRounds is the rounds used when Spec.Rounds is unset.
 const DefaultRounds = 60
+
+// DefaultCIHalfWidth is the recommended adaptive tolerance: the same
+// 0.05 bits as the leak-verdict margin (attacks.LeakMargin), so a cell
+// stops sampling once its capacity is pinned down to the resolution the
+// verdict actually uses.
+const DefaultCIHalfWidth = 0.05
+
+// DefaultMaxRoundsFactor scales Spec.Rounds into the default adaptive
+// rounds cap.
+const DefaultMaxRoundsFactor = 4
 
 // normalized returns the spec with defaults applied.
 func (s Spec) normalized() Spec {
@@ -65,6 +86,16 @@ func (s Spec) normalized() Spec {
 	}
 	if s.Trials <= 1 {
 		s.Trials = 1
+	}
+	if s.CIHalfWidth > 0 {
+		if s.MaxRounds <= 0 {
+			s.MaxRounds = DefaultMaxRoundsFactor * s.Rounds
+		}
+	} else {
+		// Canonical zeros: a fixed sweep's cells (and store keys) are
+		// independent of any adaptive knob left set by the caller.
+		s.CIHalfWidth = 0
+		s.MaxRounds = 0
 	}
 	if s.ProofFamilies <= 0 {
 		s.ProofFamilies = 5
@@ -93,9 +124,20 @@ type Cell struct {
 	BaseSeed uint64
 	Trial    int
 	Seed     uint64
-	// Rounds is the effective rounds after the scenario's policy.
+	// Rounds is the effective rounds after the scenario's policy — the
+	// fixed-sweep rounds, and the adaptive ladder's reference point.
 	Rounds int
+	// ReqRounds, CIHalfWidth, and MaxRounds carry the sweep's adaptive
+	// policy into the cell (and its store key): the requested rounds
+	// the ladder derives from, the CI half-width target, and the ladder
+	// cap. All three are zero in a fixed sweep.
+	ReqRounds   int     `json:",omitempty"`
+	CIHalfWidth float64 `json:",omitempty"`
+	MaxRounds   int     `json:",omitempty"`
 }
+
+// Adaptive reports whether the cell runs under the adaptive policy.
+func (c Cell) Adaptive() bool { return c.CIHalfWidth > 0 }
 
 // trialSeed derives the seed for one trial of a base seed. Trial 0 is
 // the base seed itself; later trials decorrelate through a splitmix64
@@ -165,7 +207,7 @@ func (s Spec) Cells() ([]Cell, error) {
 						continue
 					}
 					matched[v.Label] = true
-					cells = append(cells, Cell{
+					c := Cell{
 						Index:        len(cells),
 						ScenarioID:   sc.ID,
 						ScenarioName: sc.Name,
@@ -176,7 +218,13 @@ func (s Spec) Cells() ([]Cell, error) {
 						Trial:        trial,
 						Seed:         trialSeed(base, trial),
 						Rounds:       rounds,
-					})
+					}
+					if spec.CIHalfWidth > 0 {
+						c.ReqRounds = spec.Rounds
+						c.CIHalfWidth = spec.CIHalfWidth
+						c.MaxRounds = spec.MaxRounds
+					}
+					cells = append(cells, c)
 				}
 			}
 		}

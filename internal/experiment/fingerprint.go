@@ -46,6 +46,9 @@ func cellKey(c Cell) (store.Key, bool) {
 		Variant:         v.Label,
 		Config:          v.Prot,
 		Rounds:          c.Rounds,
+		ReqRounds:       c.ReqRounds,
+		CIHalfWidth:     c.CIHalfWidth,
+		MaxRounds:       c.MaxRounds,
 		BaseSeed:        c.BaseSeed,
 		Trial:           c.Trial,
 		Seed:            c.Seed,

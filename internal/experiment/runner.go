@@ -113,6 +113,13 @@ type CellResult struct {
 	CapacityBits float64
 	FloorBits    float64
 	MIUniform    float64
+	// CILow and CIHigh bound the 95% bootstrap confidence interval on
+	// CapacityBits — the adaptive sampler's convergence measure.
+	CILow, CIHigh float64
+	// EffRounds is the effective rounds behind the estimate (the
+	// converged adaptive rung, or the fixed rounds). RoundsRun is the
+	// total rounds simulated to get there, summed over adaptive rungs.
+	EffRounds, RoundsRun int
 	// N and Bins describe the estimate's sample set.
 	N, Bins int
 	// SimOps is the number of simulated thread operations the cell
@@ -144,6 +151,10 @@ func (c *CellResult) fillFromRow(row attacks.Row) {
 	c.CapacityBits = row.Est.CapacityBits
 	c.FloorBits = row.Est.FloorBits
 	c.MIUniform = row.Est.MIUniform
+	c.CILow = row.Est.CILow
+	c.CIHigh = row.Est.CIHigh
+	c.EffRounds = row.Rounds
+	c.RoundsRun = row.RoundsRun
 	c.N = row.Est.N
 	c.Bins = row.Est.Bins
 	c.SimOps = row.SimOps
@@ -187,6 +198,22 @@ func (r *Report) TotalSimOps() uint64 {
 		total += c.SimOps
 	}
 	return total
+}
+
+// TotalRounds sums the rounds the sweep actually simulated (RoundsRun,
+// including discarded adaptive rungs) and the rounds the same matrix
+// would simulate under the fixed policy — the adaptive sampler's
+// savings. Failed cells count as their fixed rounds on both sides.
+func (r *Report) TotalRounds() (run, fixed int) {
+	for _, c := range r.Cells {
+		fixed += c.Cell.Rounds
+		if c.Err != "" || c.RoundsRun == 0 {
+			run += c.Cell.Rounds
+			continue
+		}
+		run += c.RoundsRun
+	}
+	return run, fixed
 }
 
 // Run executes the sweep. The report depends only on the spec (and, for
@@ -348,7 +375,7 @@ func runCell(c Cell) (res CellResult) {
 		res.Err = fmt.Sprintf("variant %q not in scenario %s", c.Variant, s.ID)
 		return res
 	}
-	res.fillFromRow(v.Run(c.Rounds, c.Seed))
+	res.fillFromRow(runVariant(s, v, c))
 	return res
 }
 

@@ -55,6 +55,13 @@ type Spec struct {
 	// Rounds is the cell's effective rounds (after the scenario's
 	// rounds policy).
 	Rounds int
+	// ReqRounds, CIHalfWidth, and MaxRounds key the adaptive sampling
+	// policy: an adaptive cell's row is a function of its whole rounds
+	// ladder, so cells measured under different policies — or under the
+	// fixed policy, where all three are zero — must never alias.
+	ReqRounds   int
+	CIHalfWidth float64
+	MaxRounds   int
 	// BaseSeed, Trial, and Seed locate the cell's seed point. Seed is
 	// derived from (BaseSeed, Trial); all three are keyed so the stored
 	// cell round-trips into identical report coordinates.

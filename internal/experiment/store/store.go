@@ -54,8 +54,10 @@ type fileV1 struct {
 }
 
 // fileVersion is the store format version; unrecognised versions are
-// misses, so a future format change cannot be mis-served.
-const fileVersion = 1
+// misses, so a future format change cannot be mis-served. Version 2
+// added the capacity confidence interval and the effective/total rounds
+// of the adaptive sampler to the stored cell.
+const fileVersion = 2
 
 // cellV1 is the stored measurement: a pre-finalisation attacks.Row with
 // every float carried as its IEEE-754 bit pattern, so NaN and ±Inf
@@ -65,9 +67,13 @@ type cellV1 struct {
 	CapacityBits uint64 `json:"capacity_bits"`
 	MIUniform    uint64 `json:"mi_uniform"`
 	FloorBits    uint64 `json:"floor_bits"`
+	CILow        uint64 `json:"ci_lo"`
+	CIHigh       uint64 `json:"ci_hi"`
 	N            int    `json:"n"`
 	Bins         int    `json:"bins"`
 	ErrRate      uint64 `json:"err_rate"`
+	Rounds       int    `json:"rounds"`
+	RoundsRun    int    `json:"rounds_run"`
 	SimOps       uint64 `json:"sim_ops"`
 	Extra        []kvV1 `json:"extra,omitempty"`
 }
@@ -84,9 +90,13 @@ func encodeRow(row attacks.Row) cellV1 {
 		CapacityBits: math.Float64bits(row.Est.CapacityBits),
 		MIUniform:    math.Float64bits(row.Est.MIUniform),
 		FloorBits:    math.Float64bits(row.Est.FloorBits),
+		CILow:        math.Float64bits(row.Est.CILow),
+		CIHigh:       math.Float64bits(row.Est.CIHigh),
 		N:            row.Est.N,
 		Bins:         row.Est.Bins,
 		ErrRate:      math.Float64bits(row.ErrRate),
+		Rounds:       row.Rounds,
+		RoundsRun:    row.RoundsRun,
 		SimOps:       row.SimOps,
 	}
 	for _, kv := range row.Extra {
@@ -103,11 +113,15 @@ func decodeRow(c cellV1) attacks.Row {
 			CapacityBits: math.Float64frombits(c.CapacityBits),
 			MIUniform:    math.Float64frombits(c.MIUniform),
 			FloorBits:    math.Float64frombits(c.FloorBits),
+			CILow:        math.Float64frombits(c.CILow),
+			CIHigh:       math.Float64frombits(c.CIHigh),
 			N:            c.N,
 			Bins:         c.Bins,
 		},
-		ErrRate: math.Float64frombits(c.ErrRate),
-		SimOps:  c.SimOps,
+		ErrRate:   math.Float64frombits(c.ErrRate),
+		Rounds:    c.Rounds,
+		RoundsRun: c.RoundsRun,
+		SimOps:    c.SimOps,
 	}
 	for _, kv := range c.Extra {
 		row.Extra = append(row.Extra, attacks.KV{K: kv.K, V: math.Float64frombits(kv.V)})

@@ -18,12 +18,15 @@ import (
 // baseSpec is the reference cell spec for the key tests.
 func baseSpec() Spec {
 	return Spec{
-		Fingerprint:     "hw/1|kernel/2|channel/1|attacks/1",
+		Fingerprint:     "hw/1|kernel/2|channel/2|attacks/1",
 		ScenarioID:      "T2",
 		ScenarioVersion: 1,
 		Variant:         "flush+pad (full)",
 		Config:          core.FullProtection(),
 		Rounds:          30,
+		ReqRounds:       0,
+		CIHalfWidth:     0,
+		MaxRounds:       0,
 		BaseSeed:        42,
 		Trial:           0,
 		Seed:            42,
@@ -35,7 +38,7 @@ func baseSpec() Spec {
 // canonical encoding, and any accidental encoding change, fails this
 // test. An intentional encoding change must update the constant — which
 // is correct, because it also invalidates every existing store.
-const goldenKey = "ba8735051ca07803225992079a336861cd0ef699a4f647daf68ab50f1d943c0f"
+const goldenKey = "2cff56c0558a1cd9da5369bc194230346848b1dd323a3cefe4f80e4f047eb3a2"
 
 func TestKeyGolden(t *testing.T) {
 	if got := baseSpec().Key().String(); got != goldenKey {
@@ -86,9 +89,9 @@ func TestKeySensitivity(t *testing.T) {
 	base := baseSpec()
 	k0 := base.Key()
 	paths := scalarFieldPaths(reflect.TypeOf(base), nil)
-	// Spec has 8 scalar fields of its own plus one per core.Config
+	// Spec has 11 scalar fields of its own plus one per core.Config
 	// mechanism; a shrinking count means a field stopped being keyed.
-	if want := 8 + reflect.TypeOf(core.Config{}).NumField(); len(paths) != want {
+	if want := 11 + reflect.TypeOf(core.Config{}).NumField(); len(paths) != want {
 		t.Fatalf("spec has %d scalar fields, want %d — update the key tests with the schema", len(paths), want)
 	}
 	seen := map[Key]string{k0: "base"}
@@ -105,6 +108,8 @@ func TestKeySensitivity(t *testing.T) {
 			fv.SetInt(fv.Int() + 1)
 		case reflect.Uint64:
 			fv.SetUint(fv.Uint() + 1)
+		case reflect.Float64:
+			fv.SetFloat(fv.Float() + 0.25)
 		default:
 			t.Fatalf("field %s: unhandled kind %s — extend the key tests", name, fv.Kind())
 		}
@@ -138,11 +143,15 @@ func sampleRow() attacks.Row {
 			CapacityBits: 1.2345678901234567,
 			MIUniform:    0.9876543210987654,
 			FloorBits:    0.0123456789,
+			CILow:        1.1111111111111112,
+			CIHigh:       1.3333333333333333,
 			N:            144,
 			Bins:         16,
 		},
-		ErrRate: math.NaN(),
-		SimOps:  987654321,
+		ErrRate:   math.NaN(),
+		Rounds:    240,
+		RoundsRun: 450,
+		SimOps:    987654321,
 		Extra: []attacks.KV{
 			{K: "util", V: 0.25},
 			{K: "nan", V: math.NaN()},
@@ -154,6 +163,7 @@ func sampleRow() attacks.Row {
 
 func rowsBitIdentical(a, b attacks.Row) bool {
 	if a.Label != b.Label || a.SimOps != b.SimOps ||
+		a.Rounds != b.Rounds || a.RoundsRun != b.RoundsRun ||
 		a.Est.N != b.Est.N || a.Est.Bins != b.Est.Bins ||
 		len(a.Extra) != len(b.Extra) {
 		return false
@@ -162,6 +172,8 @@ func rowsBitIdentical(a, b attacks.Row) bool {
 	if f(a.Est.CapacityBits) != f(b.Est.CapacityBits) ||
 		f(a.Est.MIUniform) != f(b.Est.MIUniform) ||
 		f(a.Est.FloorBits) != f(b.Est.FloorBits) ||
+		f(a.Est.CILow) != f(b.Est.CILow) ||
+		f(a.Est.CIHigh) != f(b.Est.CIHigh) ||
 		f(a.ErrRate) != f(b.ErrRate) {
 		return false
 	}

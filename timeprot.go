@@ -15,8 +15,11 @@
 //     interrupt partitioning, and deterministic minimum-time IPC,
 //   - attack harnesses and channel-capacity estimation reproducing the
 //     timing channels the paper discusses (prime-and-probe, flush
-//     latency, kernel image, interrupts, SMT, interconnect, and the
-//     Fig. 1 downgrader),
+//     latency, kernel image, interrupts, SMT, interconnect, the Fig. 1
+//     downgrader, the stride prefetcher, whole-LLC occupancy, and a
+//     multi-bit cross-core channel), with bootstrap confidence
+//     intervals on every capacity estimate and an adaptive sweep mode
+//     that samples each cell only until its verdict is settled,
 //   - a prover over the paper's abstract model: unwinding lemmas for the
 //     §5.2 case analysis plus exhaustive bounded noninterference
 //     checking, quantified over sampled "deterministic yet unspecified"
@@ -231,6 +234,13 @@ type (
 	// SweepCacheStats reports how a sweep interacted with its store.
 	SweepCacheStats = experiment.CacheStats
 )
+
+// Adaptive-sampling defaults, re-exported from the experiment engine:
+// set SweepSpec.CIHalfWidth to DefaultSweepCIHalfWidth to stop each
+// cell as soon as its capacity's 95% bootstrap confidence interval is
+// tight enough (or its leak verdict certain), instead of burning the
+// fixed round budget everywhere.
+const DefaultSweepCIHalfWidth = experiment.DefaultCIHalfWidth
 
 // OpenSweepStore opens (creating if needed) the content-addressed sweep
 // store rooted at dir. Pass it via SweepOptions.Store; merge shard
