@@ -201,6 +201,10 @@ func main() {
 		if *storeDir != "" {
 			fmt.Printf("store: %d/%d cells cached, %d executed, %d stored (fingerprint %s)\n",
 				stats.Hits, stats.Total, stats.Executed, stats.Stored, timeprot.SweepFingerprint())
+			if stats.ProofTotal > 0 {
+				fmt.Printf("store: %d/%d proof cells cached, %d executed, %d stored (prover %s)\n",
+					stats.ProofHits, stats.ProofTotal, stats.ProofExecuted, stats.ProofStored, timeprot.ProverFingerprint())
+			}
 		}
 	}
 	if stats.FailedPuts > 0 {
@@ -209,6 +213,9 @@ func main() {
 	}
 	if *warmOnly && stats.Executed > 0 {
 		fail("-warm-only: %d of %d cells were not served from the store", stats.Executed, stats.Total)
+	}
+	if *warmOnly && stats.ProofExecuted > 0 {
+		fail("-warm-only: %d of %d proof cells were not served from the store", stats.ProofExecuted, stats.ProofTotal)
 	}
 	failures := 0
 	for _, c := range rep.Cells {

@@ -1,43 +1,227 @@
-// Command tpprove runs the paper's headline result (experiment T1): the
-// machine-checked proof of time protection over the abstract
-// partitionable/flushable hardware model, and its refutation under every
-// single-mechanism ablation.
+// Command tpprove runs the proof-matrix engine: the paper's headline
+// result (experiment T1) — the machine-checked proof of time protection
+// over the abstract partitionable/flushable hardware model and its
+// refutation under every single-mechanism ablation — expanded into an
+// ablation × model-variant × family-count × seed grid executed on the
+// experiment engine's deterministic worker pool.
 //
-// For each configuration it reports the §5.2 case-analysis verdicts
-// (Case 1: user steps; Case 2a: kernel entries; Case 2b: the padded
-// switch; plus interrupt partitioning and SMT), and the exhaustive
-// bounded noninterference check over sampled time-function families.
+// For each cell it reports the §5.2 case-analysis verdicts (Case 1:
+// user steps; Case 2a: kernel entries; Case 2b: the padded switch; plus
+// interrupt partitioning and SMT) and the exhaustive bounded
+// noninterference check over sampled time-function families. Every
+// refuted cell carries a MINIMAL counterexample witness: a divergent Hi
+// program pair shrunk until each remaining action is load-bearing, with
+// the diverging Lo observation traces as evidence.
+//
+// With -store it is incremental: proof cells are keyed by a content
+// address (prover fingerprint + ablation + model configuration +
+// sampling point), cached cells are served without re-proving, and the
+// emitted reports are byte-identical either way. With -shard i/n it
+// runs one deterministic shard of the grid (the JSON report is then
+// partial; -md is rejected, since the document embeds its full-matrix
+// regeneration command); shard stores merge (-merge-from) into one.
+// -warm-only asserts a fully cached run — CI's cheap re-verification
+// check for the committed PROOFS.md.
+//
+// All timing goes to stderr; stdout and every report file are pure
+// functions of the matrix spec, so documents regenerate byte-stably.
 //
 // Usage:
 //
-//	tpprove [-families N] [-random N] [-seed S]
+//	tpprove [-ablations all|"no flush,..."] [-models all|base,...]
+//	        [-families 5] [-random N] [-seed S | -seeds S1,S2,...]
+//	        [-parallel P] [-store DIR] [-shard i/n] [-merge-from DIR,...]
+//	        [-warm-only] [-out proofs.json] [-md PROOFS.md] [-quiet]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"timeprot"
 )
 
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tpprove: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
 func main() {
-	families := flag.Int("families", 5, "sampled time-function families per configuration")
-	random := flag.Int("random", 200, "extra random Hi programs beyond the exhaustive slice set")
-	seed := flag.Uint64("seed", 2026, "base seed for function-family sampling")
+	ablations := flag.String("ablations", "all", `comma-separated ablation rows by name ("no flush"); all = every canonical row`)
+	models := flag.String("models", "all", "comma-separated abstract-model variants by name; all = every registered variant")
+	families := flag.String("families", "5", "comma-separated sampled time-function family counts per cell")
+	random := flag.Int("random", 200, "extra random Hi programs beyond the exhaustive slice set (0 = exhaustive only)")
+	seed := flag.Uint64("seed", 42, "base seed for function-family sampling")
+	seeds := flag.String("seeds", "", "comma-separated base seeds (overrides -seed)")
+	parallel := flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS); never affects results")
+	storeDir := flag.String("store", "", "content-addressed result store directory; cached proof cells are served without re-proving")
+	shard := flag.String("shard", "", "run only shard i/n of the matrix (e.g. 0/4); the report is then partial")
+	mergeFrom := flag.String("merge-from", "", "comma-separated store directories to merge into -store before the run")
+	warmOnly := flag.Bool("warm-only", false, "fail unless every proof cell is served from -store (zero executions)")
+	out := flag.String("out", "", "write JSON results to this path")
+	md := flag.String("md", "", "write the Markdown report (PROOFS.md format) to this path")
+	quiet := flag.Bool("quiet", false, "suppress progress and text report on stdout")
 	flag.Parse()
 
-	fmt.Println("T1 — proving time protection over the abstract model (§5)")
-	fmt.Printf("    %d function families, exhaustive slice programs + %d random programs\n\n", *families, *random)
+	if *random < 0 {
+		fail("bad -random %d: must be >= 0", *random)
+	}
+	spec := timeprot.ProofMatrixSpec{
+		Ablations: splitList(*ablations),
+		Models:    splitList(*models),
+		Random:    *random,
+		Seeds:     []uint64{*seed},
+	}
+	for _, tok := range splitList(*families) {
+		v, err := strconv.Atoi(tok)
+		if err != nil || v <= 0 {
+			fail("bad -families entry %q", tok)
+		}
+		spec.Families = append(spec.Families, v)
+	}
+	if *seeds != "" {
+		spec.Seeds = nil
+		for _, tok := range splitList(*seeds) {
+			v, err := strconv.ParseUint(tok, 10, 64)
+			if err != nil {
+				fail("bad -seeds entry %q: %v", tok, err)
+			}
+			spec.Seeds = append(spec.Seeds, v)
+		}
+	}
+
+	var stats timeprot.SweepCacheStats
+	opt := timeprot.ProofMatrixOptions{Parallelism: *parallel, Stats: &stats}
+
+	if *storeDir != "" {
+		st, err := timeprot.OpenSweepStore(*storeDir)
+		if err != nil {
+			fail("%v", err)
+		}
+		opt.Store = st
+		for _, src := range splitList(*mergeFrom) {
+			added, err := st.MergeFrom(src)
+			if err != nil {
+				fail("merging %s: %v", src, err)
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "merged %d entries from %s\n", added, src)
+			}
+		}
+	} else if *mergeFrom != "" {
+		fail("-merge-from requires -store")
+	} else if *warmOnly {
+		fail("-warm-only requires -store")
+	}
+
+	if *shard != "" {
+		is, ns, ok := strings.Cut(*shard, "/")
+		i, erri := strconv.Atoi(is)
+		n, errn := strconv.Atoi(ns)
+		if !ok || erri != nil || errn != nil || n < 1 || i < 0 || i >= n {
+			fail("bad -shard %q: want i/n with 0 <= i < n", *shard)
+		}
+		if n > 1 && *md != "" {
+			// A sharded matrix is partial, but the Markdown document
+			// embeds the full-matrix regeneration command: emitting it
+			// here would commit a document that its own command cannot
+			// reproduce. Merge the shard stores and regenerate warm.
+			fail("-md requires the full matrix: run the shards with -store, then regenerate with -merge-from/-warm-only")
+		}
+		opt.Shard = timeprot.SweepShard{Index: i, Count: n}
+	}
+
+	if !*quiet {
+		fmt.Println("T1 — proving time protection over the abstract model (§5)")
+		fmt.Printf("prover fingerprint %s\n\n", timeprot.ProverFingerprint())
+		opt.Progress = func(done, total int, c timeprot.ProofMatrixCell) {
+			fmt.Fprintf(os.Stderr, "\r[%3d/%3d] %s / %s (families %d, seed %d)\x1b[K",
+				done, total, c.Model, c.Ablation, c.Families, c.Seed)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 
 	start := time.Now()
-	matrix := timeprot.ProofMatrix(*families, *random, *seed)
-	for _, row := range matrix {
-		verdict := "PROVED"
-		if !row.Report.Proved() {
-			verdict = "refuted"
-		}
-		fmt.Printf("%-18s -> %s\n%s\n", row.Name, verdict, row.Report)
+	rep, err := timeprot.RunProofMatrix(spec, opt)
+	if err != nil {
+		fail("%v", err)
 	}
-	fmt.Printf("completed in %.1fs\n", time.Since(start).Seconds())
+
+	if !*quiet {
+		if err := timeprot.WriteProofsText(os.Stdout, rep); err != nil {
+			fail("%v", err)
+		}
+		// Timing is diagnostic only and must never enter a report
+		// stream: stdout stays a pure function of the spec.
+		fmt.Fprintf(os.Stderr, "proved %d cells in %.1fs\n", len(rep.Cells), time.Since(start).Seconds())
+		if *storeDir != "" {
+			fmt.Fprintf(os.Stderr, "store: %d/%d cells cached, %d executed, %d stored\n",
+				stats.Hits, stats.Total, stats.Executed, stats.Stored)
+		}
+	}
+	if stats.FailedPuts > 0 {
+		fmt.Fprintf(os.Stderr, "tpprove: warning: %d store write-backs failed (will re-prove next run): %s\n",
+			stats.FailedPuts, stats.FailedPut)
+	}
+	if *warmOnly && stats.Executed > 0 {
+		fail("-warm-only: %d of %d proof cells were not served from the store", stats.Executed, stats.Total)
+	}
+	failures := 0
+	for _, c := range rep.Cells {
+		if c.Err != "" {
+			failures++
+			fmt.Fprintf(os.Stderr, "tpprove: cell %s/%s (families %d, seed %d) failed: %s\n",
+				c.Model, c.Ablation, c.Families, c.Seed, c.Err)
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := timeprot.WriteProofsJSON(f, rep); err != nil {
+			fail("writing %s: %v", *out, err)
+		}
+		if err := f.Close(); err != nil {
+			fail("closing %s: %v", *out, err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+		}
+	}
+	if *md != "" {
+		f, err := os.Create(*md)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := timeprot.WriteProofsMarkdown(f, rep); err != nil {
+			fail("writing %s: %v", *md, err)
+		}
+		if err := f.Close(); err != nil {
+			fail("closing %s: %v", *md, err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *md)
+		}
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"timeprot/internal/attacks"
+	"timeprot/internal/experiment"
 )
 
 // TestDocsCoverRegistry is the registry-completeness check: every
@@ -41,6 +42,63 @@ func TestExperimentsRegenCommand(t *testing.T) {
 	if !strings.Contains(experiments, "go run ./cmd/tpbench") ||
 		!strings.Contains(experiments, "-md EXPERIMENTS.md") {
 		t.Error("EXPERIMENTS.md does not embed its regeneration command")
+	}
+}
+
+// TestDocsCoverProofRegistry is the proof-side completeness check:
+// every registered ablation row must appear as a table row of PROOFS.md
+// and be named in DESIGN.md, every registered model variant must head a
+// PROOFS.md section, and every refuted PROOFS.md row must carry a
+// witness listing. A proof configuration that ships without
+// documentation — or a doc that outlives a removed one — fails here.
+func TestDocsCoverProofRegistry(t *testing.T) {
+	proofs := readDoc(t, "PROOFS.md")
+	design := readDoc(t, "DESIGN.md")
+	for _, a := range experiment.ProofAblations() {
+		if !strings.Contains(proofs, "| "+a.Name+" |") {
+			t.Errorf("PROOFS.md has no table row for ablation %q", a.Name)
+		}
+		if !strings.Contains(design, a.Name) {
+			t.Errorf("DESIGN.md does not mention ablation %q", a.Name)
+		}
+		if a.Name != "full protection" && !strings.Contains(proofs, "#### "+a.Name) {
+			t.Errorf("PROOFS.md has no witness listing for refuted ablation %q", a.Name)
+		}
+	}
+	for _, m := range experiment.ProofModels() {
+		if !strings.Contains(proofs, "## Model `"+m.Name+"`") {
+			t.Errorf("PROOFS.md has no section for model variant %q", m.Name)
+		}
+		if !strings.Contains(design, m.Name) {
+			t.Errorf("DESIGN.md does not mention model variant %q", m.Name)
+		}
+	}
+	if !strings.Contains(proofs, experiment.ProverFingerprint()) {
+		t.Error("PROOFS.md does not embed the prover fingerprint")
+	}
+}
+
+// TestProofsRegenCommand: PROOFS.md must embed the exact tpprove
+// command that regenerates it, and EXPERIMENTS.md's T1 section must
+// cross-reference PROOFS.md (the two documents are two renderings of
+// one committed store).
+func TestProofsRegenCommand(t *testing.T) {
+	proofs := readDoc(t, "PROOFS.md")
+	if !strings.Contains(proofs, "go run ./cmd/tpprove") ||
+		!strings.Contains(proofs, "-md PROOFS.md") {
+		t.Error("PROOFS.md does not embed its regeneration command")
+	}
+	experiments := readDoc(t, "EXPERIMENTS.md")
+	start := strings.Index(experiments, "## T1")
+	if start < 0 {
+		t.Fatal("EXPERIMENTS.md has no §T1 section")
+	}
+	t1 := experiments[start:]
+	if i := strings.Index(t1[3:], "## "); i >= 0 {
+		t1 = t1[:i+3]
+	}
+	if !strings.Contains(t1, "PROOFS.md") {
+		t.Error("EXPERIMENTS.md §T1 does not cross-reference PROOFS.md")
 	}
 }
 

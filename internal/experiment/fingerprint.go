@@ -8,6 +8,9 @@ import (
 	"timeprot/internal/experiment/store"
 	"timeprot/internal/hw"
 	"timeprot/internal/kernel"
+	"timeprot/internal/prove/absmodel"
+	"timeprot/internal/prove/invariant"
+	"timeprot/internal/prove/nonintf"
 )
 
 // Fingerprint returns the engine fingerprint: the registered
@@ -25,6 +28,34 @@ func Fingerprint() string {
 		channel.EstimatorVersion,
 		attacks.HarnessVersion,
 	}, "|")
+}
+
+// ProverFingerprint returns the prover fingerprint: the registered
+// model-version string of every layer a proof cell's verdict passes
+// through — the abstract model, the noninterference checker, and the
+// concrete invariant checkers. It is part of every proof cell's store
+// key, the same re-verification discipline Fingerprint applies to
+// measured cells: bump any prover layer's version and every cached
+// proof becomes a structural miss.
+func ProverFingerprint() string {
+	return strings.Join([]string{
+		absmodel.ModelVersion,
+		nonintf.ModelVersion,
+		invariant.ModelVersion,
+	}, "|")
+}
+
+// proofCellKey derives the store key for one proof cell.
+func proofCellKey(c ProofCell) store.Key {
+	return store.ProofSpec{
+		Fingerprint: ProverFingerprint(),
+		Ablation:    c.Ablation,
+		Model:       c.Model,
+		Cfg:         c.Cfg,
+		Families:    c.Families,
+		Random:      c.Random,
+		Seed:        c.Seed,
+	}.Key()
 }
 
 // cellKey derives the store key for one cell of the matrix. It reports

@@ -1,28 +1,40 @@
 package experiment
 
 import (
+	"fmt"
+	"runtime"
+	"strings"
 	"sync"
 
+	"timeprot/internal/experiment/store"
 	"timeprot/internal/prove/absmodel"
 	"timeprot/internal/prove/nonintf"
 )
 
-// ProofVariant is one configuration of the T1 proof-ablation matrix:
-// the full-protection proof plus one ablation per mechanism, each
+// This file is the proof-matrix engine: the prover-side analogue of the
+// attack sweep in runner.go. A declarative ProofSpec expands into an
+// ablation × model-variant × family-count × seed grid of proof cells,
+// each cell invokes nonintf.Prove, cells execute on the same
+// deterministic worker-pool pattern as attack cells, and results are
+// cached in the content-addressed store under the prover fingerprint —
+// so the T1 matrix becomes incremental, sharded, and warm-reproducible
+// exactly like the measurement matrix.
+
+// ProofAblation is one configuration row of the proof matrix: the
+// full-protection proof or one named single-mechanism ablation, each
 // expected to fail in exactly its case.
-type ProofVariant struct {
-	// Name labels the configuration (e.g. "full", "no flush").
+type ProofAblation struct {
+	// Name labels the row (e.g. "full protection", "no flush").
 	Name string
-	// Cfg is the abstract-model instance to prove.
-	Cfg absmodel.Config
+	// Apply mutates a model configuration into the ablated one; the
+	// full-protection row applies the identity.
+	Apply func(*absmodel.Config)
 }
 
-// ProofVariants returns the canonical T1 matrix in presentation order.
-func ProofVariants() []ProofVariant {
-	rows := []struct {
-		name string
-		mut  func(*absmodel.Config)
-	}{
+// ProofAblations returns the canonical T1 ablation rows in presentation
+// order.
+func ProofAblations() []ProofAblation {
+	return []ProofAblation{
 		{"full protection", func(*absmodel.Config) {}},
 		{"no flush", func(c *absmodel.Config) { c.Flush = false }},
 		{"no pad", func(c *absmodel.Config) { c.Pad = false }},
@@ -31,11 +43,206 @@ func ProofVariants() []ProofVariant {
 		{"no IRQ partition", func(c *absmodel.Config) { c.PartitionIRQ = false }},
 		{"SMT co-residency", func(c *absmodel.Config) { c.SMT = true }},
 	}
-	out := make([]ProofVariant, 0, len(rows))
-	for _, r := range rows {
-		cfg := absmodel.DefaultConfig()
-		r.mut(&cfg)
-		out = append(out, ProofVariant{Name: r.name, Cfg: cfg})
+}
+
+// ProofModel is one abstract-model platform variant the matrix proves
+// over: the §5.1 model at a different instantiation point, so each
+// verdict is checked beyond the single default geometry.
+type ProofModel struct {
+	// Name labels the variant (e.g. "base").
+	Name string
+	// Title is a one-line description for the reports.
+	Title string
+	// Cfg is the fully protected configuration of the variant;
+	// ablations mutate copies of it.
+	Cfg absmodel.Config
+}
+
+// ProofModels returns the registered model variants in presentation
+// order. Every variant must prove under full protection and refute
+// under every ablation; the proof-matrix tests pin this.
+func ProofModels() []ProofModel {
+	base := absmodel.DefaultConfig()
+
+	wide := absmodel.DefaultConfig()
+	wide.Alphabet = 3 // richer Hi action space: 125 exhaustive slice programs
+
+	deep := absmodel.DefaultConfig()
+	deep.StepsPerSlice = 4 // longer slices and schedule: 256 slice programs,
+	deep.Slices = 8        // eight switches per run
+
+	return []ProofModel{
+		{Name: "base", Title: "the default §5.1 instantiation", Cfg: base},
+		{Name: "wide-alphabet", Title: "a wider Hi input alphabet (3 symbols)", Cfg: wide},
+		{Name: "deep-schedule", Title: "longer slices and more switches (4×8)", Cfg: deep},
+	}
+}
+
+// proofModelByName resolves a model variant name.
+func proofModelByName(name string) (ProofModel, bool) {
+	for _, m := range ProofModels() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return ProofModel{}, false
+}
+
+// proofAblationByName resolves an ablation name.
+func proofAblationByName(name string) (ProofAblation, bool) {
+	for _, a := range ProofAblations() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return ProofAblation{}, false
+}
+
+// Proof-matrix defaults: the canonical PROOFS.md matrix runs every
+// ablation over every model variant at these sampling parameters.
+const (
+	// DefaultProofFamilies is the sampled time-function families per
+	// proof cell when unset.
+	DefaultProofFamilies = 5
+	// DefaultProofRandom is the extra random Hi programs per proof cell
+	// when the spec leaves Random negative (0 is meaningful: exhaustive
+	// slice programs only).
+	DefaultProofRandom = 200
+	// DefaultProofSeed seeds family sampling when no seed is given,
+	// matching the sweep engine's default base seed.
+	DefaultProofSeed = 42
+)
+
+// ProofSpec declares a proof matrix: which ablation rows and model
+// variants to prove, at which family counts, over which seeds.
+type ProofSpec struct {
+	// Ablations selects ablation rows by exact name; empty, or the
+	// single entry "all", selects every canonical row.
+	Ablations []string
+	// Models selects model variants by exact name; empty, or the
+	// single entry "all", selects every registered variant.
+	Models []string
+	// Families are the family-count grid points (<=0 entries are
+	// dropped); empty = {DefaultProofFamilies}.
+	Families []int
+	// Random is the extra random Hi programs per cell: 0 runs the
+	// exhaustive slice set only, negative selects DefaultProofRandom.
+	Random int
+	// Seeds are the base seeds of the family sampling (empty =
+	// {DefaultProofSeed}).
+	Seeds []uint64
+}
+
+// normalized returns the spec with defaults applied.
+func (s ProofSpec) normalized() ProofSpec {
+	if isAll(s.Ablations) {
+		s.Ablations = nil
+		for _, a := range ProofAblations() {
+			s.Ablations = append(s.Ablations, a.Name)
+		}
+	}
+	if isAll(s.Models) {
+		s.Models = nil
+		for _, m := range ProofModels() {
+			s.Models = append(s.Models, m.Name)
+		}
+	}
+	var fams []int
+	for _, f := range s.Families {
+		if f > 0 {
+			fams = append(fams, f)
+		}
+	}
+	if len(fams) == 0 {
+		fams = []int{DefaultProofFamilies}
+	}
+	s.Families = fams
+	if s.Random < 0 {
+		s.Random = DefaultProofRandom
+	}
+	if len(s.Seeds) == 0 {
+		s.Seeds = []uint64{DefaultProofSeed}
+	}
+	return s
+}
+
+// isAll reports whether a selector list means "everything".
+func isAll(keys []string) bool {
+	return len(keys) == 0 || (len(keys) == 1 && strings.EqualFold(strings.TrimSpace(keys[0]), "all"))
+}
+
+// ProofCell is one point of the proof matrix: an (ablation, model,
+// families, seed) tuple with its resolved configuration.
+type ProofCell struct {
+	// Index is the cell's position in the expanded matrix.
+	Index int
+	// Ablation and Model name the grid point.
+	Ablation, Model string
+	// Cfg is the resolved abstract-model configuration (the model
+	// variant with the ablation applied).
+	Cfg absmodel.Config
+	// Families is the number of sampled time-function families.
+	Families int
+	// Random is the number of extra random Hi programs.
+	Random int
+	// Seed is the base seed of the family sampling.
+	Seed uint64
+}
+
+// Cells expands the spec into its ordered cell matrix: model-major,
+// then family count, then seed, then ablation — so every (model,
+// families, seed) group of ablation rows is contiguous for the
+// reporters' per-table grouping.
+func (s ProofSpec) Cells() ([]ProofCell, error) {
+	spec := s.normalized()
+	var cells []ProofCell
+	for _, mname := range spec.Models {
+		model, ok := proofModelByName(strings.TrimSpace(mname))
+		if !ok {
+			return nil, fmt.Errorf("experiment: unknown proof model %q (have %s)",
+				mname, strings.Join(proofModelNames(), ", "))
+		}
+		for _, fam := range spec.Families {
+			for _, seed := range spec.Seeds {
+				for _, aname := range spec.Ablations {
+					abl, ok := proofAblationByName(strings.TrimSpace(aname))
+					if !ok {
+						return nil, fmt.Errorf("experiment: unknown proof ablation %q (have %s)",
+							aname, strings.Join(proofAblationNames(), ", "))
+					}
+					cfg := model.Cfg
+					abl.Apply(&cfg)
+					cells = append(cells, ProofCell{
+						Index:    len(cells),
+						Ablation: abl.Name,
+						Model:    model.Name,
+						Cfg:      cfg,
+						Families: fam,
+						Random:   spec.Random,
+						Seed:     seed,
+					})
+				}
+			}
+		}
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("experiment: empty proof matrix")
+	}
+	return cells, nil
+}
+
+func proofModelNames() []string {
+	var out []string
+	for _, m := range ProofModels() {
+		out = append(out, m.Name)
+	}
+	return out
+}
+
+func proofAblationNames() []string {
+	var out []string
+	for _, a := range ProofAblations() {
+		out = append(out, a.Name)
 	}
 	return out
 }
@@ -48,11 +255,322 @@ type ProofCase struct {
 	Holds bool
 	// Checked counts the assignments examined.
 	Checked int
+	// Witness describes the first violating assignment when the lemma
+	// fails.
+	Witness string `json:",omitempty"`
 }
 
-// ProofResult is one row of the T1 matrix.
+// ProofCellResult is one completed proof cell: its coordinates plus the
+// flattened verdict and, when refuted, the minimal counterexample
+// witness.
+type ProofCellResult struct {
+	ProofCell
+	// Proved is the overall verdict: all lemmas hold and the bounded
+	// check passed without padding overruns.
+	Proved bool
+	// Cases are the unwinding-lemma verdicts.
+	Cases []ProofCase
+	// BoundedProved is the end-to-end enumeration verdict.
+	BoundedProved bool
+	// BoundedRuns counts the complete machine executions compared.
+	BoundedRuns int
+	// PadOverruns counts runs whose switch work exceeded the pad.
+	PadOverruns int
+	// Witness is the minimal counterexample with its Lo observation
+	// traces; nil when the bounded check proved.
+	Witness *nonintf.Witness `json:",omitempty"`
+	// Err records a prover failure (the cell's row is then zero).
+	Err string `json:",omitempty"`
+}
+
+// Report reconstructs the full prover report from the flattened cell —
+// identical whether the cell executed or was served from the store.
+func (c ProofCellResult) Report() nonintf.ProofReport {
+	rep := nonintf.ProofReport{Cfg: c.Cfg, Witness: c.Witness}
+	for _, cs := range c.Cases {
+		rep.Cases = append(rep.Cases, nonintf.CaseReport{
+			Name: cs.Name, Holds: cs.Holds, Checked: cs.Checked, Witness: cs.Witness,
+		})
+	}
+	rep.Bounded = nonintf.Verdict{
+		Proved:      c.BoundedProved,
+		Runs:        c.BoundedRuns,
+		Families:    c.Families,
+		PadOverruns: c.PadOverruns,
+	}
+	if c.Witness != nil {
+		rep.Bounded.Counterexample = c.Witness.Counterexample()
+	}
+	return rep
+}
+
+// fillFromReport flattens a prover report into the result.
+func (c *ProofCellResult) fillFromReport(rep nonintf.ProofReport) {
+	c.Proved = rep.Proved()
+	c.Cases = nil
+	for _, cs := range rep.Cases {
+		c.Cases = append(c.Cases, ProofCase{
+			Name: cs.Name, Holds: cs.Holds, Checked: cs.Checked, Witness: cs.Witness,
+		})
+	}
+	c.BoundedProved = rep.Bounded.Proved
+	c.BoundedRuns = rep.Bounded.Runs
+	c.PadOverruns = rep.Bounded.PadOverruns
+	c.Witness = rep.Witness
+}
+
+// ProofMatrix is a completed proof matrix: the spec and every cell in
+// matrix order. Like the sweep Report, it is a pure function of its
+// spec — worker count and cache state cannot change a bit of it.
+type ProofMatrix struct {
+	// Spec is the normalised specification that produced the matrix.
+	Spec ProofSpec
+	// Cells are the results in matrix order. In a sharded run this is
+	// the shard's subset, with full-matrix indices.
+	Cells []ProofCellResult
+}
+
+// ProofOptions tunes a proof-matrix run. As with sweep Options,
+// Parallelism, Store, Progress, and Stats never affect the matrix's
+// bytes; Shard restricts the run to a subset and therefore produces a
+// partial matrix.
+type ProofOptions struct {
+	// Parallelism is the worker count (<=0 = GOMAXPROCS).
+	Parallelism int
+	// Progress, when non-nil, is called after each completed cell.
+	Progress func(done, total int, c ProofCell)
+	// Store, when non-nil, serves cached proof cells and receives
+	// fresh non-failed verdicts.
+	Store *store.Store
+	// Shard restricts the run to one shard of the matrix's
+	// deterministic partition (unit: single cell — proof cells have no
+	// cross-row post-processing). The zero value runs everything.
+	Shard ShardSel
+	// Stats, when non-nil, receives the run's cache statistics.
+	Stats *CacheStats
+}
+
+// shardProofCells returns the cells of one shard, preserving
+// full-matrix indices.
+func shardProofCells(cells []ProofCell, sh ShardSel) ([]ProofCell, error) {
+	if sh.Count <= 0 {
+		return cells, nil
+	}
+	if sh.Index < 0 || sh.Index >= sh.Count {
+		return nil, fmt.Errorf("experiment: proof shard index %d out of range [0,%d)", sh.Index, sh.Count)
+	}
+	var out []ProofCell
+	for _, c := range cells {
+		if c.Index%sh.Count == sh.Index {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// RunProofMatrix executes a proof matrix. The result depends only on
+// the spec (and, for sharded runs, the shard selection); the store only
+// decides which cells re-execute.
+func RunProofMatrix(spec ProofSpec, opt ProofOptions) (*ProofMatrix, error) {
+	spec = spec.normalized()
+	cells, err := spec.Cells()
+	if err != nil {
+		return nil, err
+	}
+	cells, err = shardProofCells(cells, opt.Shard)
+	if err != nil {
+		return nil, err
+	}
+
+	stats := CacheStats{Total: len(cells)}
+	results := make([]ProofCellResult, len(cells))
+	keys := make([]store.Key, len(cells))
+
+	par := opt.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+
+	// Probe the store concurrently, then fill hits in matrix order so
+	// Progress and pending stay deterministic (same structure as the
+	// attack-cell runner).
+	hits := make([]*store.ProofV1, len(cells))
+	if opt.Store != nil {
+		probe := make(chan int)
+		var pwg sync.WaitGroup
+		for w := 0; w < par; w++ {
+			pwg.Add(1)
+			go func() {
+				defer pwg.Done()
+				for i := range probe {
+					keys[i] = proofCellKey(cells[i])
+					if p, ok := opt.Store.GetProof(keys[i]); ok {
+						pc := p
+						hits[i] = &pc
+					}
+				}
+			}()
+		}
+		for i := range cells {
+			probe <- i
+		}
+		close(probe)
+		pwg.Wait()
+	}
+
+	done := 0
+	var pending []int
+	for i, c := range cells {
+		if hits[i] != nil {
+			results[i] = decodeProofCell(c, *hits[i])
+			stats.Hits++
+			done++
+			if opt.Progress != nil {
+				opt.Progress(done, len(cells), c)
+			}
+			continue
+		}
+		pending = append(pending, i)
+	}
+	stats.Executed = len(pending)
+
+	if par > len(pending) {
+		par = len(pending)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = runProofCell(cells[i])
+				var stored bool
+				var err error
+				if opt.Store != nil && results[i].Err == "" {
+					err = opt.Store.PutProof(keys[i], encodeProofCell(results[i]))
+					stored = err == nil
+				}
+				mu.Lock()
+				if err != nil {
+					stats.FailedPuts++
+					if stats.FailedPut == "" {
+						stats.FailedPut = err.Error()
+					}
+				}
+				if stored {
+					stats.Stored++
+				}
+				done++
+				if opt.Progress != nil {
+					opt.Progress(done, len(cells), cells[i])
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, i := range pending {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	if opt.Stats != nil {
+		*opt.Stats = stats
+	}
+	return &ProofMatrix{Spec: spec, Cells: results}, nil
+}
+
+// runProofCell executes one proof cell, converting prover panics (e.g.
+// an invalid resolved configuration) into per-cell errors.
+func runProofCell(c ProofCell) (res ProofCellResult) {
+	res.ProofCell = c
+	defer func() {
+		if p := recover(); p != nil {
+			res = ProofCellResult{ProofCell: c, Err: fmt.Sprint(p)}
+		}
+	}()
+	rep := nonintf.Prove(c.Cfg, c.Families, c.Random, c.Seed)
+	res.fillFromReport(rep)
+	return res
+}
+
+// encodeProofCell converts a completed cell to its stored form.
+func encodeProofCell(r ProofCellResult) store.ProofV1 {
+	p := store.ProofV1{
+		BoundedProved:   r.BoundedProved,
+		BoundedRuns:     r.BoundedRuns,
+		BoundedFamilies: r.Families,
+		PadOverruns:     r.PadOverruns,
+	}
+	for _, c := range r.Cases {
+		p.Cases = append(p.Cases, store.ProofCaseV1{
+			Name: c.Name, Holds: c.Holds, Checked: c.Checked, Witness: c.Witness,
+		})
+	}
+	if w := r.Witness; w != nil {
+		sw := &store.ProofWitnessV1{
+			FamilySeed: w.FamilySeed,
+			Index:      w.Index,
+			ShrinkRuns: w.ShrinkRuns,
+		}
+		for _, a := range w.HiA {
+			sw.HiA = append(sw.HiA, int(a))
+		}
+		for _, a := range w.HiB {
+			sw.HiB = append(sw.HiB, int(a))
+		}
+		for _, o := range w.ObsA {
+			sw.ObsA = append(sw.ObsA, store.ProofObsV1{Clock: o.Clock, IRQ: o.IRQ})
+		}
+		for _, o := range w.ObsB {
+			sw.ObsB = append(sw.ObsB, store.ProofObsV1{Clock: o.Clock, IRQ: o.IRQ})
+		}
+		p.Witness = sw
+	}
+	return p
+}
+
+// decodeProofCell reconstructs a cell result from its stored form.
+func decodeProofCell(c ProofCell, p store.ProofV1) ProofCellResult {
+	res := ProofCellResult{ProofCell: c}
+	for _, cs := range p.Cases {
+		res.Cases = append(res.Cases, ProofCase{
+			Name: cs.Name, Holds: cs.Holds, Checked: cs.Checked, Witness: cs.Witness,
+		})
+	}
+	res.BoundedProved = p.BoundedProved
+	res.BoundedRuns = p.BoundedRuns
+	res.PadOverruns = p.PadOverruns
+	if sw := p.Witness; sw != nil {
+		w := &nonintf.Witness{
+			FamilySeed: sw.FamilySeed,
+			Index:      sw.Index,
+			ShrinkRuns: sw.ShrinkRuns,
+		}
+		for _, a := range sw.HiA {
+			w.HiA = append(w.HiA, absmodel.Action(a))
+		}
+		for _, a := range sw.HiB {
+			w.HiB = append(w.HiB, absmodel.Action(a))
+		}
+		for _, o := range sw.ObsA {
+			w.ObsA = append(w.ObsA, nonintf.Observation{Clock: o.Clock, IRQ: o.IRQ})
+		}
+		for _, o := range sw.ObsB {
+			w.ObsB = append(w.ObsB, nonintf.Observation{Clock: o.Clock, IRQ: o.IRQ})
+		}
+		res.Witness = w
+	}
+	res.Proved = res.Report().Proved()
+	return res
+}
+
+// ProofResult is one row of the sweep's T1 matrix — the legacy flat
+// shape the sweep Report embeds and EXPERIMENTS.md renders.
 type ProofResult struct {
-	// Name labels the configuration.
+	// Name labels the configuration (the ablation name).
 	Name string
 	// Proved is the overall verdict: all lemmas hold and the bounded
 	// check passed without padding overruns.
@@ -65,42 +583,55 @@ type ProofResult struct {
 	BoundedRuns int
 	// PadOverruns counts runs whose switch work exceeded the pad.
 	PadOverruns int
+	// Witness is the minimal counterexample witness when refuted.
+	Witness *nonintf.Witness `json:",omitempty"`
 	// Report is the full prover output (not serialised to JSON).
 	Report nonintf.ProofReport `json:"-"`
 }
 
-// RunProofs runs the T1 proof-ablation matrix, at most parallelism
-// configurations concurrently (<=0 runs them sequentially). Results are
-// in canonical order regardless of scheduling.
+// sweepProofSpec is the proof matrix a sweep runs for its T1 section:
+// every ablation over the base model at the sweep's sampling point.
+func sweepProofSpec(families, extraRandom int, seed uint64) ProofSpec {
+	return ProofSpec{
+		Models:   []string{ProofModels()[0].Name},
+		Families: []int{families},
+		Random:   extraRandom,
+		Seeds:    []uint64{seed},
+	}
+}
+
+// legacyProofResults flattens proof cells into the sweep Report's T1
+// rows.
+func legacyProofResults(m *ProofMatrix) []ProofResult {
+	out := make([]ProofResult, 0, len(m.Cells))
+	for _, c := range m.Cells {
+		out = append(out, ProofResult{
+			Name:          c.Ablation,
+			Proved:        c.Proved,
+			Cases:         c.Cases,
+			BoundedProved: c.BoundedProved,
+			BoundedRuns:   c.BoundedRuns,
+			PadOverruns:   c.PadOverruns,
+			Witness:       c.Witness,
+			Report:        c.Report(),
+		})
+	}
+	return out
+}
+
+// RunProofs runs the T1 proof-ablation matrix over the base model, at
+// most parallelism configurations concurrently (<=0 runs sequentially).
+// Results are in canonical order regardless of scheduling. It is the
+// uncached entry point behind timeprot.ProofMatrix; store-backed runs
+// go through RunProofMatrix.
 func RunProofs(families, extraRandom int, seed uint64, parallelism int) []ProofResult {
-	variants := ProofVariants()
-	out := make([]ProofResult, len(variants))
 	if parallelism <= 0 {
 		parallelism = 1
 	}
-	sem := make(chan struct{}, parallelism)
-	var wg sync.WaitGroup
-	for i, v := range variants {
-		wg.Add(1)
-		go func(i int, v ProofVariant) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rep := nonintf.Prove(v.Cfg, families, extraRandom, seed)
-			res := ProofResult{
-				Name:          v.Name,
-				Proved:        rep.Proved(),
-				BoundedProved: rep.Bounded.Proved,
-				BoundedRuns:   rep.Bounded.Runs,
-				PadOverruns:   rep.Bounded.PadOverruns,
-				Report:        rep,
-			}
-			for _, c := range rep.Cases {
-				res.Cases = append(res.Cases, ProofCase{Name: c.Name, Holds: c.Holds, Checked: c.Checked})
-			}
-			out[i] = res
-		}(i, v)
+	m, err := RunProofMatrix(sweepProofSpec(families, extraRandom, seed),
+		ProofOptions{Parallelism: parallelism})
+	if err != nil {
+		panic(err) // unreachable: the canonical spec always expands
 	}
-	wg.Wait()
-	return out
+	return legacyProofResults(m)
 }

@@ -53,6 +53,14 @@ type CacheStats struct {
 	Executed int
 	// Stored is how many fresh results were written back to the store.
 	Stored int
+	// ProofTotal, ProofHits, ProofExecuted, and ProofStored are the
+	// same counters for the run's proof cells (a sweep with
+	// Spec.Proofs, or a RunProofMatrix call). Proof cells are counted
+	// separately so -warm-only can assert both matrices independently.
+	ProofTotal    int
+	ProofHits     int
+	ProofExecuted int
+	ProofStored   int
 	// FailedPuts counts write-backs that failed (e.g. a full disk).
 	// A store write failure never fails the run — the report does not
 	// need the store — but the affected cells will re-execute next
@@ -344,11 +352,28 @@ func Run(spec Spec, opt Options) (*Report, error) {
 		Cells:    results,
 		Contract: defaultContract(),
 	}
-	// In a sharded run only shard 0 carries the proof matrix: the
-	// matrix is not cell-keyed, so recomputing it per shard would
-	// duplicate identical work Count times.
+	// In a sharded run only shard 0 carries the proof matrix (shards
+	// partition the attack matrix; recomputing proofs per shard would
+	// duplicate identical work Count times). Proof cells ARE
+	// content-keyed, so the run's store serves and receives them like
+	// attack cells — a warm sweep executes zero proofs too.
 	if spec.Proofs && (opt.Shard.Count <= 1 || opt.Shard.Index == 0) {
-		rep.Proofs = RunProofs(spec.ProofFamilies, spec.ProofRandom, firstSeed(spec), proofPar)
+		var pstats CacheStats
+		pm, err := RunProofMatrix(
+			sweepProofSpec(spec.ProofFamilies, spec.ProofRandom, firstSeed(spec)),
+			ProofOptions{Parallelism: proofPar, Store: opt.Store, Stats: &pstats})
+		if err != nil {
+			return nil, err
+		}
+		rep.Proofs = legacyProofResults(pm)
+		stats.ProofTotal = pstats.Total
+		stats.ProofHits = pstats.Hits
+		stats.ProofExecuted = pstats.Executed
+		stats.ProofStored = pstats.Stored
+		stats.FailedPuts += pstats.FailedPuts
+		if stats.FailedPut == "" {
+			stats.FailedPut = pstats.FailedPut
+		}
 	}
 	if opt.Stats != nil {
 		*opt.Stats = stats

@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"timeprot/internal/core"
+	"timeprot/internal/prove/absmodel"
 )
 
 // Spec identifies one cell execution for keying: every input that can
@@ -68,6 +69,44 @@ type Spec struct {
 	BaseSeed uint64
 	Trial    int
 	Seed     uint64
+}
+
+// ProofSpec identifies one proof-matrix cell for keying: every input
+// that can influence the prover's verdict and witness. It plays the
+// role Spec plays for attack cells; the two key spaces cannot collide
+// because each canonical encoding is prefixed with its kind.
+type ProofSpec struct {
+	// Fingerprint is the prover fingerprint: the joined model-version
+	// strings of the proving layers (absmodel, nonintf, invariant).
+	// Any layer bump invalidates every cached proof cell.
+	Fingerprint string
+	// Ablation is the ablation row's registered name (e.g. "full
+	// protection", "no flush").
+	Ablation string
+	// Model is the abstract-model platform variant's registered name
+	// (e.g. "base", "wide-alphabet").
+	Model string
+	// Cfg is the resolved abstract-model configuration the cell proves.
+	// It is encoded field by field, so flipping any mechanism or sizing
+	// parameter changes the key.
+	Cfg absmodel.Config
+	// Families is the number of sampled time-function families.
+	Families int
+	// Random is the number of extra random Hi programs beyond the
+	// exhaustive slice set.
+	Random int
+	// Seed is the base seed of the family sampling.
+	Seed uint64
+}
+
+// Key derives the ProofSpec's content address, using the same canonical
+// field-by-field encoding as Spec.Key under a distinguishing kind
+// prefix.
+func (s ProofSpec) Key() Key {
+	var b strings.Builder
+	b.WriteString("kind=\"proof\"\n")
+	writeCanonical(&b, reflect.ValueOf(s), "")
+	return sha256.Sum256([]byte(b.String()))
 }
 
 // Key is a cell's content address: SHA-256 over the Spec's canonical

@@ -1,0 +1,234 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"testing"
+
+	"timeprot/internal/prove/absmodel"
+)
+
+// baseProofSpec is the reference proof-cell spec for the key tests.
+func baseProofSpec() ProofSpec {
+	return ProofSpec{
+		Fingerprint: "prove/absmodel/1|prove/nonintf/1|prove/invariant/1",
+		Ablation:    "no flush",
+		Model:       "base",
+		Cfg:         absmodel.DefaultConfig(),
+		Families:    5,
+		Random:      200,
+		Seed:        42,
+	}
+}
+
+// sampleProof is a representative stored verdict with a witness.
+func sampleProof() ProofV1 {
+	return ProofV1{
+		Cases: []ProofCaseV1{
+			{Name: "Case1-user", Holds: true, Checked: 354294},
+			{Name: "Case2b-switch", Holds: false, Checked: 17, Witness: "pad overrun: ..."},
+		},
+		BoundedProved:   false,
+		BoundedRuns:     2,
+		BoundedFamilies: 5,
+		PadOverruns:     0,
+		Witness: &ProofWitnessV1{
+			FamilySeed: 42,
+			HiA:        []int{1, -1, 0},
+			HiB:        []int{1, -2, 0},
+			Index:      4,
+			ObsA:       []ProofObsV1{{Clock: 10}, {Clock: 20}, {Clock: 31}, {Clock: 44}, {Clock: 60}},
+			ObsB:       []ProofObsV1{{Clock: 10}, {Clock: 20}, {Clock: 31}, {Clock: 44}, {Clock: 61, IRQ: true}},
+			ShrinkRuns: 38,
+		},
+	}
+}
+
+func TestProofKeySensitivity(t *testing.T) {
+	base := baseProofSpec().Key()
+	muts := []func(*ProofSpec){
+		func(s *ProofSpec) { s.Fingerprint = "prove/absmodel/2|prove/nonintf/1|prove/invariant/1" },
+		func(s *ProofSpec) { s.Ablation = "no pad" },
+		func(s *ProofSpec) { s.Model = "wide-alphabet" },
+		func(s *ProofSpec) { s.Cfg.Flush = false },
+		func(s *ProofSpec) { s.Cfg.StepsPerSlice++ },
+		func(s *ProofSpec) { s.Cfg.PadBudget++ },
+		func(s *ProofSpec) { s.Families++ },
+		func(s *ProofSpec) { s.Random++ },
+		func(s *ProofSpec) { s.Seed++ },
+	}
+	for i, mut := range muts {
+		s := baseProofSpec()
+		mut(&s)
+		if s.Key() == base {
+			t.Errorf("mutation %d does not change the proof key", i)
+		}
+	}
+	if baseProofSpec().Key() != base {
+		t.Error("proof key not stable")
+	}
+}
+
+// TestProofKeySpaceDisjoint: a ProofSpec can never alias a cell Spec —
+// the proof encoding is kind-prefixed.
+func TestProofKeySpaceDisjoint(t *testing.T) {
+	// Same nominal field content in both shapes must still give
+	// different keys.
+	if baseProofSpec().Key() == baseSpec().Key() {
+		t.Fatal("proof and cell key spaces collide")
+	}
+}
+
+func TestProofPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := baseProofSpec().Key()
+	if _, ok := s.GetProof(k); ok {
+		t.Fatal("hit on empty store")
+	}
+	want := sampleProof()
+	if err := s.PutProof(k, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.GetProof(k)
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip changed the proof:\ngot  %+v\nwant %+v", got, want)
+	}
+	// A proof entry must never be served as a cell.
+	if _, ok := s.Get(k); ok {
+		t.Fatal("proof entry served as a cell")
+	}
+	// And a cell entry must never be served as a proof.
+	ck := baseSpec().Key()
+	if err := s.Put(ck, sampleRow()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetProof(ck); ok {
+		t.Fatal("cell entry served as a proof")
+	}
+}
+
+func TestCorruptProofEntriesAreMisses(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := baseProofSpec().Key()
+	if err := s.PutProof(k, sampleProof()); err != nil {
+		t.Fatal(err)
+	}
+	path := s.path(k)
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := func() {
+		if err := os.WriteFile(path, pristine, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	corruptions := map[string]func() []byte{
+		"truncated": func() []byte { return pristine[:len(pristine)/2] },
+		"bit-flip": func() []byte {
+			b := append([]byte(nil), pristine...)
+			b[len(b)/2] ^= 0x40
+			return b
+		},
+		"not-json": func() []byte { return []byte("junk") },
+		"bad-version": func() []byte {
+			var f proofFileV1
+			if err := json.Unmarshal(pristine, &f); err != nil {
+				t.Fatal(err)
+			}
+			f.V = 99
+			b, _ := json.Marshal(f)
+			return b
+		},
+		"wrong-key": func() []byte {
+			var f proofFileV1
+			if err := json.Unmarshal(pristine, &f); err != nil {
+				t.Fatal(err)
+			}
+			other := baseProofSpec()
+			other.Seed++
+			f.Key = other.Key().String()
+			b, _ := json.Marshal(f)
+			return b
+		},
+	}
+	for name, corrupt := range corruptions {
+		if err := os.WriteFile(path, corrupt(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.GetProof(k); ok {
+			t.Errorf("%s: corrupt proof entry served", name)
+		}
+		restore()
+	}
+	if _, ok := s.GetProof(k); !ok {
+		t.Fatal("pristine entry no longer served after restore")
+	}
+}
+
+// TestMergeFromCarriesProofs: merging moves both entry kinds, skips
+// corrupt proof entries, and is idempotent.
+func TestMergeFromCarriesProofs(t *testing.T) {
+	src, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := baseProofSpec().Key()
+	if err := src.PutProof(pk, sampleProof()); err != nil {
+		t.Fatal(err)
+	}
+	ck := baseSpec().Key()
+	if err := src.Put(ck, sampleRow()); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupt proof entry in the source must be skipped.
+	bad := baseProofSpec()
+	bad.Ablation = "no pad"
+	bk := bad.Key()
+	if err := src.PutProof(bk, sampleProof()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(src.path(bk), 10); err != nil {
+		t.Fatal(err)
+	}
+
+	dst, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, err := dst.MergeFrom(src.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 2 {
+		t.Fatalf("merged %d entries, want 2 (corrupt one skipped)", added)
+	}
+	if got, ok := dst.GetProof(pk); !ok || !reflect.DeepEqual(got, sampleProof()) {
+		t.Fatal("proof entry did not survive the merge")
+	}
+	if _, ok := dst.Get(ck); !ok {
+		t.Fatal("cell entry did not survive the merge")
+	}
+	if _, ok := dst.GetProof(bk); ok {
+		t.Fatal("corrupt proof entry propagated")
+	}
+	// Idempotent: a second merge adds nothing.
+	added, err = dst.MergeFrom(src.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 {
+		t.Fatalf("re-merge added %d entries, want 0", added)
+	}
+}

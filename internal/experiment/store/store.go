@@ -261,7 +261,8 @@ func (s *Store) Len() (int, error) {
 }
 
 // MergeFrom copies into s every valid entry of the store rooted at src
-// that s does not already hold, returning the number added. Content
+// that s does not already hold, returning the number added. Both entry
+// kinds — measured cells and proof verdicts — merge. Content
 // addressing makes merging associative and commutative — equal keys
 // hold equal payloads — so shard stores produced by independent
 // processes (or machines) combine in any order into the same store.
@@ -278,7 +279,7 @@ func (s *Store) MergeFrom(src string) (added int, err error) {
 		// destination entry is a miss by contract, so a valid source
 		// entry must replace it rather than be skipped.
 		if existing, readErr := os.ReadFile(s.path(k)); readErr == nil {
-			if _, decErr := decodeEntry(k, existing); decErr == nil {
+			if validateEntry(k, existing) == nil {
 				continue
 			}
 		}
@@ -286,7 +287,7 @@ func (s *Store) MergeFrom(src string) (added int, err error) {
 		if readErr != nil {
 			continue
 		}
-		if _, decErr := decodeEntry(k, data); decErr != nil {
+		if validateEntry(k, data) != nil {
 			continue // never propagate a corrupt entry
 		}
 		if err := s.writeAtomic(k, data); err != nil {

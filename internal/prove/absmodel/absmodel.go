@@ -25,6 +25,15 @@ import (
 	"timeprot/internal/rng"
 )
 
+// ModelVersion is the abstract model's registered model-version string.
+// It feeds the proof engine's prover fingerprint (every proof cell's
+// store key embeds it): bump it on any change to the model's semantics —
+// the resource taxonomy, the action set, what state each action may
+// read or write, the switch protocol, or the sampled function families —
+// and every cached proof cell automatically becomes stale. Pure
+// refactors that provably preserve machine behaviour do not bump it.
+const ModelVersion = "prove/absmodel/1"
+
 // Action is one abstract step of a domain's program.
 type Action int
 

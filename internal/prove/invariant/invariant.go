@@ -23,6 +23,15 @@ import (
 	"timeprot/internal/trace"
 )
 
+// ModelVersion is the invariant checker's registered model-version
+// string. It completes the prover fingerprint (absmodel, nonintf,
+// invariant) the experiment engine keys proof cells under: the concrete
+// functional-property checkers are the refinement side of the same
+// proof, so a semantic change here — what a finding checks, which events
+// it consumes — invalidates cached proof cells exactly like a change to
+// the abstract checkers. Pure refactors do not bump it.
+const ModelVersion = "prove/invariant/1"
+
 // maxViolations caps recorded violation details per finding.
 const maxViolations = 8
 

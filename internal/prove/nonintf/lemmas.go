@@ -275,8 +275,12 @@ type ProofReport struct {
 	Cfg absmodel.Config
 	// Cases are the unwinding-lemma verdicts.
 	Cases []CaseReport
-	// Bounded is the end-to-end enumeration verdict.
+	// Bounded is the end-to-end enumeration verdict. When it refutes,
+	// its Counterexample is the MINIMAL pair (see Witness).
 	Bounded Verdict
+	// Witness is the minimal counterexample with its Lo observation
+	// traces; nil when the bounded check proved.
+	Witness *Witness
 }
 
 // Proved reports whether every lemma holds and the bounded check passed
@@ -307,12 +311,18 @@ func (r ProofReport) String() string {
 // Prove runs the full §5.2 proof obligations for a configuration over
 // `families` sampled function families (the lemmas use the first family;
 // their verdicts are structural and family-independent, which the tests
-// verify separately).
+// verify separately). When the bounded check refutes, the raw
+// counterexample is shrunk to a minimal Witness, which also replaces
+// Bounded.Counterexample — every refutation carries minimal evidence.
 func Prove(cfg absmodel.Config, families, extraRandom int, seed uint64) ProofReport {
 	m := absmodel.NewMachine(cfg, absmodel.SampleFuncs(seed, cfg.DigestMod))
 	rep := ProofReport{Cfg: cfg}
 	rep.Cases = CheckHiStepLemma(m)
 	rep.Cases = append(rep.Cases, CheckSwitchLemma(m))
 	rep.Bounded = CheckBounded(cfg, families, extraRandom, seed)
+	if rep.Bounded.Counterexample != nil {
+		rep.Witness = Minimize(cfg, rep.Bounded.Counterexample)
+		rep.Bounded.Counterexample = rep.Witness.Counterexample()
+	}
 	return rep
 }

@@ -31,6 +31,15 @@ import (
 	"timeprot/internal/prove/absmodel"
 )
 
+// ModelVersion is the noninterference checker's registered model-version
+// string, part of the prover fingerprint under which the experiment
+// engine keys proof cells. Bump it whenever a verdict could change for
+// the same absmodel instance — the Lo/bystander reference programs, the
+// program enumeration, the lemma case analysis, or the witness
+// extraction; cached proof cells then become structural misses. Pure
+// refactors do not bump it.
+const ModelVersion = "prove/nonintf/1"
+
 // Observation is Lo's complete view of one of its steps.
 type Observation struct {
 	// Clock is the hardware clock after the step.

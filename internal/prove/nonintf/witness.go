@@ -1,0 +1,159 @@
+package nonintf
+
+import (
+	"fmt"
+	"strings"
+
+	"timeprot/internal/prove/absmodel"
+)
+
+// Witness is a MINIMAL counterexample to bounded noninterference: a
+// locally minimal pair of Hi programs whose Lo observation traces
+// diverge, together with the traces themselves — the evidence a refuted
+// proof row carries. Minimality is the shrink fixpoint of Minimize: the
+// pair still diverges, and applying any single further shrink step
+// (dropping a trailing action, or making one more position agree) yields
+// identical Lo traces. Every action kept is therefore load-bearing.
+type Witness struct {
+	// FamilySeed identifies the sampled time-function family the
+	// divergence occurs under.
+	FamilySeed uint64
+	// HiA and HiB are the minimal divergent Hi program pair.
+	HiA, HiB []absmodel.Action
+	// Index is the first diverging position of the Lo traces.
+	Index int
+	// ObsA and ObsB are Lo's observation traces under HiA and HiB,
+	// truncated just past the divergence (Index+1 entries): the
+	// serialised evidence of interference.
+	ObsA, ObsB []Observation
+	// ShrinkRuns counts the machine executions the minimisation spent;
+	// it is diagnostic only and never part of a verdict.
+	ShrinkRuns int
+}
+
+// String renders the witness on one line.
+func (w *Witness) String() string {
+	return fmt.Sprintf("family %d: minimal Hi %v vs %v -> Lo obs[%d] %+v vs %+v",
+		w.FamilySeed, w.HiA, w.HiB, w.Index, w.ObsA[w.Index], w.ObsB[w.Index])
+}
+
+// Counterexample converts the witness back into the Counterexample
+// shape, so one evidence value serves both reporting paths.
+func (w *Witness) Counterexample() *Counterexample {
+	return &Counterexample{
+		FamilySeed: w.FamilySeed,
+		HiA:        w.HiA,
+		HiB:        w.HiB,
+		Index:      w.Index,
+		A:          w.ObsA[w.Index],
+		B:          w.ObsB[w.Index],
+	}
+}
+
+// FormatActions renders an action list compactly: user inputs as their
+// alphabet value, syscalls as "sys", device programming as "io".
+func FormatActions(prog []absmodel.Action) string {
+	parts := make([]string, len(prog))
+	for i, a := range prog {
+		switch a {
+		case absmodel.ActSyscall:
+			parts[i] = "sys"
+		case absmodel.ActStartIO:
+			parts[i] = "io"
+		default:
+			parts[i] = fmt.Sprint(int(a))
+		}
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// shrinkPair is one candidate shrink of a program pair.
+type shrinkPair struct {
+	a, b []absmodel.Action
+}
+
+// shrinkCandidates enumerates every single shrink step of the pair, in
+// fixed order: drop the trailing action of both programs, of one
+// program, then unify each differing position (either direction). Each
+// candidate is strictly smaller under the lexicographic measure
+// (total length, differing positions), so greedy shrinking terminates.
+func shrinkCandidates(a, b []absmodel.Action) []shrinkPair {
+	clone := func(p []absmodel.Action) []absmodel.Action {
+		return append([]absmodel.Action(nil), p...)
+	}
+	var out []shrinkPair
+	if len(a) > 1 && len(b) > 1 {
+		out = append(out, shrinkPair{a: clone(a[:len(a)-1]), b: clone(b[:len(b)-1])})
+	}
+	if len(a) > 1 {
+		out = append(out, shrinkPair{a: clone(a[:len(a)-1]), b: clone(b)})
+	}
+	if len(b) > 1 {
+		out = append(out, shrinkPair{a: clone(a), b: clone(b[:len(b)-1])})
+	}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] == b[i] {
+			continue
+		}
+		ca := clone(a)
+		ca[i] = b[i]
+		out = append(out, shrinkPair{a: ca, b: clone(b)})
+		cb := clone(b)
+		cb[i] = a[i]
+		out = append(out, shrinkPair{a: clone(a), b: cb})
+	}
+	return out
+}
+
+// Minimize shrinks a bounded-NI counterexample to a locally minimal
+// witness: greedily apply the first shrink step that preserves
+// divergence until none does, then record the divergent Lo traces. The
+// result is deterministic — candidate order is fixed and the machine is
+// deterministic — so minimisation is safe inside store-cached proof
+// cells. Minimisation re-executes the machine but never touches the
+// originating Verdict's counts.
+func Minimize(cfg absmodel.Config, c *Counterexample) *Witness {
+	m := absmodel.NewMachine(cfg, absmodel.SampleFuncs(c.FamilySeed, cfg.DigestMod))
+	runs := 0
+	diverges := func(a, b []absmodel.Action) bool {
+		runs += 2
+		oa, _ := RunTrace(m, a)
+		ob, _ := RunTrace(m, b)
+		_, _, _, d := firstDivergence(oa, ob)
+		return d
+	}
+	a := append([]absmodel.Action(nil), c.HiA...)
+	b := append([]absmodel.Action(nil), c.HiB...)
+	for changed := true; changed; {
+		changed = false
+		for _, cand := range shrinkCandidates(a, b) {
+			if diverges(cand.a, cand.b) {
+				a, b = cand.a, cand.b
+				changed = true
+				break
+			}
+		}
+	}
+	oa, _ := RunTrace(m, a)
+	ob, _ := RunTrace(m, b)
+	idx, _, _, _ := firstDivergence(oa, ob)
+	cut := func(obs []Observation) []Observation {
+		if idx+1 < len(obs) {
+			return obs[:idx+1]
+		}
+		return obs
+	}
+	return &Witness{
+		FamilySeed: c.FamilySeed,
+		HiA:        a,
+		HiB:        b,
+		Index:      idx,
+		ObsA:       cut(oa),
+		ObsB:       cut(ob),
+		ShrinkRuns: runs,
+	}
+}

@@ -208,6 +208,69 @@ func ProofMatrix(families, extraRandom int, seed uint64) []NamedProof {
 	return out
 }
 
+// Proof-matrix engine types, re-exported from the experiment engine:
+// the public API for running the ablation × model-variant × families ×
+// seed proof grid through the deterministic worker pool and the
+// content-addressed store.
+type (
+	// ProofMatrixSpec declares a proof matrix (ablations × model
+	// variants × family counts × seeds).
+	ProofMatrixSpec = experiment.ProofSpec
+	// ProofMatrixOptions tunes parallelism, caching, and sharding; it
+	// never affects results.
+	ProofMatrixOptions = experiment.ProofOptions
+	// ProofMatrixReport is a completed proof matrix with per-cell
+	// verdicts and witnesses.
+	ProofMatrixReport = experiment.ProofMatrix
+	// ProofMatrixCell is one (ablation, model, families, seed) point.
+	ProofMatrixCell = experiment.ProofCell
+	// ProofMatrixCellResult is a completed cell's flattened verdict.
+	ProofMatrixCellResult = experiment.ProofCellResult
+	// ProofWitness is a minimal counterexample witness: a locally
+	// minimal divergent Hi program pair with the diverging Lo
+	// observation traces as evidence.
+	ProofWitness = nonintf.Witness
+)
+
+// ProofAblations lists the canonical T1 ablation rows in presentation
+// order; ProofModels lists the registered abstract-model variants.
+func ProofAblations() []experiment.ProofAblation { return experiment.ProofAblations() }
+
+// ProofModels lists the registered abstract-model platform variants the
+// proof matrix quantifies over.
+func ProofModels() []experiment.ProofModel { return experiment.ProofModels() }
+
+// ProverFingerprint returns the prover fingerprint under which proof
+// cells are keyed in the sweep store: the registered model-version
+// strings of the absmodel, nonintf, and invariant layers. Bumping any
+// of them turns every cached proof cell into a structural miss.
+func ProverFingerprint() string { return experiment.ProverFingerprint() }
+
+// RunProofMatrix executes a proof matrix on a worker pool, serving
+// cached cells from the store when one is given. The report is a pure
+// function of the spec; worker count and cache state cannot change a
+// bit of it.
+func RunProofMatrix(spec ProofMatrixSpec, opt ProofMatrixOptions) (*ProofMatrixReport, error) {
+	return experiment.RunProofMatrix(spec, opt)
+}
+
+// WriteProofsJSON serialises a proof matrix as indented JSON.
+func WriteProofsJSON(w io.Writer, m *ProofMatrixReport) error {
+	return experiment.WriteProofsJSON(w, m)
+}
+
+// WriteProofsMarkdown renders a proof matrix as the PROOFS.md document
+// (regeneration command, one verdict table per model variant, and the
+// minimal counterexample witness behind every refuted row).
+func WriteProofsMarkdown(w io.Writer, m *ProofMatrixReport) error {
+	return experiment.WriteProofsMarkdown(w, m)
+}
+
+// WriteProofsText renders a proof matrix as aligned text.
+func WriteProofsText(w io.Writer, m *ProofMatrixReport) error {
+	return experiment.WriteProofsText(w, m)
+}
+
 // Sweep types re-exported from the experiment engine: the public API for
 // running the full attack × mitigation × seed matrix concurrently.
 type (
