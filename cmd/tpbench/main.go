@@ -40,10 +40,10 @@ import (
 	"os"
 	"runtime/pprof"
 	"strconv"
-	"strings"
 	"time"
 
 	"timeprot"
+	"timeprot/internal/cliutil"
 )
 
 func fail(format string, args ...any) {
@@ -51,15 +51,7 @@ func fail(format string, args ...any) {
 	os.Exit(1)
 }
 
-func splitList(s string) []string {
-	var out []string
-	for _, tok := range strings.Split(s, ",") {
-		if tok = strings.TrimSpace(tok); tok != "" {
-			out = append(out, tok)
-		}
-	}
-	return out
-}
+func splitList(s string) []string { return cliutil.SplitList(s) }
 
 func main() {
 	sweep := flag.String("sweep", "all", "comma-separated scenarios by ID (T2) or name (l1pp); all = every scenario")
@@ -74,10 +66,7 @@ func main() {
 	proofs := flag.Bool("proofs", true, "include the T1 proof-ablation matrix")
 	families := flag.Int("families", 5, "sampled time-function families per proof configuration")
 	random := flag.Int("random", 200, "extra random Hi programs in the bounded proof check")
-	storeDir := flag.String("store", "", "content-addressed result store directory; cached cells are served without re-execution")
-	shard := flag.String("shard", "", "run only shard i/n of the matrix (e.g. 0/4); the report is then partial")
-	mergeFrom := flag.String("merge-from", "", "comma-separated store directories to merge into -store before the sweep")
-	warmOnly := flag.Bool("warm-only", false, "fail unless every cell is served from -store (zero executions)")
+	sf := cliutil.RegisterStore(flag.CommandLine, "cell")
 	out := flag.String("out", "", "write JSON results to this path")
 	md := flag.String("md", "", "write the Markdown report (EXPERIMENTS.md format) to this path")
 	quiet := flag.Bool("quiet", false, "suppress progress and text tables on stdout")
@@ -136,36 +125,18 @@ func main() {
 	var stats timeprot.SweepCacheStats
 	opt := timeprot.SweepOptions{Parallelism: *parallel, Stats: &stats}
 
-	if *storeDir != "" {
-		st, err := timeprot.OpenSweepStore(*storeDir)
-		if err != nil {
-			fail("%v", err)
+	// Merge chatter goes to stdout here (tpbench's progress stream);
+	// the report files stay pure functions of the spec regardless.
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Printf(format+"\n", args...)
 		}
-		opt.Store = st
-		for _, src := range splitList(*mergeFrom) {
-			added, err := st.MergeFrom(src)
-			if err != nil {
-				fail("merging %s: %v", src, err)
-			}
-			if !*quiet {
-				fmt.Printf("merged %d cells from %s\n", added, src)
-			}
-		}
-	} else if *mergeFrom != "" {
-		fail("-merge-from requires -store")
-	} else if *warmOnly {
-		fail("-warm-only requires -store")
 	}
-
-	if *shard != "" {
-		is, ns, ok := strings.Cut(*shard, "/")
-		i, erri := strconv.Atoi(is)
-		n, errn := strconv.Atoi(ns)
-		if !ok || erri != nil || errn != nil || n < 1 || i < 0 || i >= n {
-			fail("bad -shard %q: want i/n with 0 <= i < n", *shard)
-		}
-		opt.Shard = timeprot.SweepShard{Index: i, Count: n}
+	st, sel, err := sf.Resolve(logf)
+	if err != nil {
+		fail("%v", err)
 	}
+	opt.Store, opt.Shard = st, sel
 
 	if !*quiet {
 		fmt.Println("timeprot experiment sweep — reproducing the evaluation of")
@@ -198,7 +169,7 @@ func main() {
 			fmt.Printf("adaptive: %d rounds simulated vs %d under the fixed policy (%.0f%%)\n",
 				run, fixed, 100*float64(run)/float64(fixed))
 		}
-		if *storeDir != "" {
+		if sf.Dir != "" {
 			fmt.Printf("store: %d/%d cells cached, %d executed, %d stored (fingerprint %s)\n",
 				stats.Hits, stats.Total, stats.Executed, stats.Stored, timeprot.SweepFingerprint())
 			if stats.ProofTotal > 0 {
@@ -211,10 +182,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tpbench: warning: %d store write-backs failed (will re-execute next run): %s\n",
 			stats.FailedPuts, stats.FailedPut)
 	}
-	if *warmOnly && stats.Executed > 0 {
+	if sf.WarmOnly && stats.Executed > 0 {
 		fail("-warm-only: %d of %d cells were not served from the store", stats.Executed, stats.Total)
 	}
-	if *warmOnly && stats.ProofExecuted > 0 {
+	if sf.WarmOnly && stats.ProofExecuted > 0 {
 		fail("-warm-only: %d of %d proof cells were not served from the store", stats.ProofExecuted, stats.ProofTotal)
 	}
 	failures := 0

@@ -1,0 +1,170 @@
+// Command tpconform runs the model-conformance harness: property-based
+// cross-checking of the abstract prover model against the concrete
+// simulator. Each cell of the model-variant × ablation × pair × seed
+// matrix generates a random Hi program pair, runs it through BOTH the
+// abstract prover (bounded noninterference over sampled time-function
+// families) and the concrete simulator (a compiled trojan/spy
+// measurement with CI-backed capacity estimates on every observation
+// stream), and classifies the cross-check:
+//
+//   - sound: the sides agree (prover accepts + no leak, or prover
+//     refutes + demonstrated leak);
+//   - conservative: the prover refutes but the simulator measures no
+//     leak — allowed, a refutation is a refusal to certify;
+//   - violation: the prover accepts while the simulator measures a
+//     replicated leak above the noise floor — fatal, the abstract model
+//     fails to over-approximate a concrete channel. The pair is shrunk
+//     to a minimal witness and the run exits non-zero.
+//
+// With -store it is incremental: conformance cells are keyed by a
+// content address over BOTH sides' model versions, so any layer bump
+// re-certifies soundness cold. -shard/-merge-from/-warm-only have the
+// tpbench/tpprove semantics (the three CLIs share the flag wiring).
+//
+// All timing goes to stderr; stdout and the -out file are pure
+// functions of the matrix spec, so outputs regenerate byte-stably.
+//
+// Usage:
+//
+//	tpconform [-models all|base,...] [-ablations all|"no flush,..."]
+//	          [-pairs N] [-rounds R] [-families F]
+//	          [-seed S | -seeds S1,S2,...] [-parallel P]
+//	          [-store DIR] [-shard i/n] [-merge-from DIR,...]
+//	          [-warm-only] [-out conform.json] [-quiet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"timeprot"
+	"timeprot/internal/cliutil"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tpconform: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	models := flag.String("models", "all", "comma-separated abstract-model variants by name; all = every registered variant")
+	ablations := flag.String("ablations", "all", `comma-separated ablation rows by name ("no flush"); all = every conformance row`)
+	pairs := flag.Int("pairs", 0, "generated program pairs per (model, seed) block (0 = engine default)")
+	rounds := flag.Int("rounds", 0, "concrete transmission rounds per cell (0 = engine default)")
+	families := flag.Int("families", 0, "sampled time-function families on the abstract side (0 = engine default)")
+	seed := flag.Uint64("seed", 42, "base seed for pair generation and family sampling")
+	seeds := flag.String("seeds", "", "comma-separated base seeds (overrides -seed)")
+	parallel := flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS); never affects results")
+	sf := cliutil.RegisterStore(flag.CommandLine, "conformance cell")
+	out := flag.String("out", "", "write JSON results to this path")
+	quiet := flag.Bool("quiet", false, "suppress progress and text report on stdout")
+	flag.Parse()
+
+	spec := timeprot.ConformanceSpec{
+		Models:    cliutil.SplitList(*models),
+		Ablations: cliutil.SplitList(*ablations),
+		Pairs:     *pairs,
+		Rounds:    *rounds,
+		Families:  *families,
+		Seeds:     []uint64{*seed},
+	}
+	if *seeds != "" {
+		spec.Seeds = nil
+		for _, tok := range cliutil.SplitList(*seeds) {
+			v, err := strconv.ParseUint(tok, 10, 64)
+			if err != nil {
+				fail("bad -seeds entry %q: %v", tok, err)
+			}
+			spec.Seeds = append(spec.Seeds, v)
+		}
+	}
+
+	var stats timeprot.SweepCacheStats
+	opt := timeprot.ConformanceOptions{Parallelism: *parallel, Stats: &stats}
+
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	st, sel, err := sf.Resolve(logf)
+	if err != nil {
+		fail("%v", err)
+	}
+	opt.Store, opt.Shard = st, sel
+
+	if !*quiet {
+		fmt.Println("conformance — cross-checking the abstract prover model against the concrete simulator")
+		fmt.Printf("conformance fingerprint %s\n\n", timeprot.ConformFingerprint())
+		opt.Progress = func(done, total int, c timeprot.ConformanceCell) {
+			fmt.Fprintf(os.Stderr, "\r[%3d/%3d] %s / %s (pair %d, seed %d)\x1b[K",
+				done, total, c.Model, c.Ablation, c.Pair, c.Seed)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	start := time.Now()
+	rep, err := timeprot.RunConformance(spec, opt)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	if !*quiet {
+		if err := timeprot.WriteConformanceText(os.Stdout, rep); err != nil {
+			fail("%v", err)
+		}
+		// Timing is diagnostic only and must never enter a report
+		// stream: stdout stays a pure function of the spec.
+		fmt.Fprintf(os.Stderr, "checked %d cells in %.1fs\n", len(rep.Cells), time.Since(start).Seconds())
+		if sf.Dir != "" {
+			fmt.Fprintf(os.Stderr, "store: %d/%d cells cached, %d executed, %d stored\n",
+				stats.Hits, stats.Total, stats.Executed, stats.Stored)
+		}
+	}
+	if stats.FailedPuts > 0 {
+		fmt.Fprintf(os.Stderr, "tpconform: warning: %d store write-backs failed (will re-check next run): %s\n",
+			stats.FailedPuts, stats.FailedPut)
+	}
+	if sf.WarmOnly && stats.Executed > 0 {
+		fail("-warm-only: %d of %d conformance cells were not served from the store", stats.Executed, stats.Total)
+	}
+	failures := 0
+	for _, c := range rep.Cells {
+		if c.Err != "" {
+			failures++
+			fmt.Fprintf(os.Stderr, "tpconform: cell %s/%s (pair %d, seed %d) failed: %s\n",
+				c.Model, c.Ablation, c.Pair, c.Seed, c.Err)
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := timeprot.WriteConformanceJSON(f, rep); err != nil {
+			fail("writing %s: %v", *out, err)
+		}
+		if err := f.Close(); err != nil {
+			fail("closing %s: %v", *out, err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+		}
+	}
+	if v := rep.Violations(); len(v) > 0 {
+		for _, c := range v {
+			fmt.Fprintf(os.Stderr, "tpconform: SOUNDNESS VIOLATION: cell %s/%s (pair %d, seed %d)\n",
+				c.Model, c.Ablation, c.Pair, c.Seed)
+		}
+		os.Exit(1)
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -39,10 +39,10 @@ import (
 	"fmt"
 	"os"
 	"strconv"
-	"strings"
 	"time"
 
 	"timeprot"
+	"timeprot/internal/cliutil"
 )
 
 func fail(format string, args ...any) {
@@ -50,15 +50,7 @@ func fail(format string, args ...any) {
 	os.Exit(1)
 }
 
-func splitList(s string) []string {
-	var out []string
-	for _, tok := range strings.Split(s, ",") {
-		if tok = strings.TrimSpace(tok); tok != "" {
-			out = append(out, tok)
-		}
-	}
-	return out
-}
+func splitList(s string) []string { return cliutil.SplitList(s) }
 
 func main() {
 	ablations := flag.String("ablations", "all", `comma-separated ablation rows by name ("no flush"); all = every canonical row`)
@@ -68,10 +60,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "base seed for function-family sampling")
 	seeds := flag.String("seeds", "", "comma-separated base seeds (overrides -seed)")
 	parallel := flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS); never affects results")
-	storeDir := flag.String("store", "", "content-addressed result store directory; cached proof cells are served without re-proving")
-	shard := flag.String("shard", "", "run only shard i/n of the matrix (e.g. 0/4); the report is then partial")
-	mergeFrom := flag.String("merge-from", "", "comma-separated store directories to merge into -store before the run")
-	warmOnly := flag.Bool("warm-only", false, "fail unless every proof cell is served from -store (zero executions)")
+	sf := cliutil.RegisterStore(flag.CommandLine, "proof cell")
 	out := flag.String("out", "", "write JSON results to this path")
 	md := flag.String("md", "", "write the Markdown report (PROOFS.md format) to this path")
 	quiet := flag.Bool("quiet", false, "suppress progress and text report on stdout")
@@ -107,42 +96,22 @@ func main() {
 	var stats timeprot.SweepCacheStats
 	opt := timeprot.ProofMatrixOptions{Parallelism: *parallel, Stats: &stats}
 
-	if *storeDir != "" {
-		st, err := timeprot.OpenSweepStore(*storeDir)
-		if err != nil {
-			fail("%v", err)
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
-		opt.Store = st
-		for _, src := range splitList(*mergeFrom) {
-			added, err := st.MergeFrom(src)
-			if err != nil {
-				fail("merging %s: %v", src, err)
-			}
-			if !*quiet {
-				fmt.Fprintf(os.Stderr, "merged %d entries from %s\n", added, src)
-			}
-		}
-	} else if *mergeFrom != "" {
-		fail("-merge-from requires -store")
-	} else if *warmOnly {
-		fail("-warm-only requires -store")
 	}
-
-	if *shard != "" {
-		is, ns, ok := strings.Cut(*shard, "/")
-		i, erri := strconv.Atoi(is)
-		n, errn := strconv.Atoi(ns)
-		if !ok || erri != nil || errn != nil || n < 1 || i < 0 || i >= n {
-			fail("bad -shard %q: want i/n with 0 <= i < n", *shard)
-		}
-		if n > 1 && *md != "" {
-			// A sharded matrix is partial, but the Markdown document
-			// embeds the full-matrix regeneration command: emitting it
-			// here would commit a document that its own command cannot
-			// reproduce. Merge the shard stores and regenerate warm.
-			fail("-md requires the full matrix: run the shards with -store, then regenerate with -merge-from/-warm-only")
-		}
-		opt.Shard = timeprot.SweepShard{Index: i, Count: n}
+	st, sel, err := sf.Resolve(logf)
+	if err != nil {
+		fail("%v", err)
+	}
+	opt.Store, opt.Shard = st, sel
+	if sel.Count > 1 && *md != "" {
+		// A sharded matrix is partial, but the Markdown document
+		// embeds the full-matrix regeneration command: emitting it
+		// here would commit a document that its own command cannot
+		// reproduce. Merge the shard stores and regenerate warm.
+		fail("-md requires the full matrix: run the shards with -store, then regenerate with -merge-from/-warm-only")
 	}
 
 	if !*quiet {
@@ -170,7 +139,7 @@ func main() {
 		// Timing is diagnostic only and must never enter a report
 		// stream: stdout stays a pure function of the spec.
 		fmt.Fprintf(os.Stderr, "proved %d cells in %.1fs\n", len(rep.Cells), time.Since(start).Seconds())
-		if *storeDir != "" {
+		if sf.Dir != "" {
 			fmt.Fprintf(os.Stderr, "store: %d/%d cells cached, %d executed, %d stored\n",
 				stats.Hits, stats.Total, stats.Executed, stats.Stored)
 		}
@@ -179,7 +148,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tpprove: warning: %d store write-backs failed (will re-prove next run): %s\n",
 			stats.FailedPuts, stats.FailedPut)
 	}
-	if *warmOnly && stats.Executed > 0 {
+	if sf.WarmOnly && stats.Executed > 0 {
 		fail("-warm-only: %d of %d proof cells were not served from the store", stats.Executed, stats.Total)
 	}
 	failures := 0

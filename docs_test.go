@@ -102,6 +102,44 @@ func TestProofsRegenCommand(t *testing.T) {
 	}
 }
 
+// TestDocsCoverConformance is the conformance-side completeness check:
+// DESIGN.md must document the conformance layer, README.md must carry
+// the tpconform quickstart, every conformance ablation and model
+// variant must be named in DESIGN.md, and both docs must name the
+// three-way verdict taxonomy. A conformance configuration that ships
+// without documentation fails here, exactly like a scenario or proof
+// row would.
+func TestDocsCoverConformance(t *testing.T) {
+	design := readDoc(t, "DESIGN.md")
+	readme := readDoc(t, "README.md")
+	for _, doc := range []struct{ name, body string }{
+		{"DESIGN.md", design},
+		{"README.md", readme},
+	} {
+		for _, want := range []string{"internal/conform", "cmd/tpconform", "sound", "conservative", "soundness violation"} {
+			if !strings.Contains(doc.body, want) {
+				t.Errorf("%s does not mention %q", doc.name, want)
+			}
+		}
+	}
+	for _, a := range experiment.ConformAblations() {
+		if !strings.Contains(design, a.Name) {
+			t.Errorf("DESIGN.md does not mention conformance ablation %q", a.Name)
+		}
+	}
+	for _, m := range experiment.ProofModels() {
+		if !strings.Contains(design, m.Name) {
+			t.Errorf("DESIGN.md does not mention model variant %q (conformance runs all variants)", m.Name)
+		}
+	}
+	if !strings.Contains(design, experiment.ConformFingerprint()) {
+		t.Error("DESIGN.md does not embed the conformance fingerprint")
+	}
+	if !strings.Contains(readme, "RunConformance") {
+		t.Error("README.md does not name the RunConformance entry point")
+	}
+}
+
 func readDoc(t *testing.T, name string) string {
 	t.Helper()
 	b, err := os.ReadFile(name)

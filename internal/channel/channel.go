@@ -50,14 +50,28 @@ func (s *Samples) Add(sym int, v float64) {
 	s.n++
 }
 
+// Reset empties the sample set while retaining allocated capacity, so
+// hot loops (the bootstrap's resamples, the floor's shuffles) can reuse
+// one set instead of allocating per trial.
+func (s *Samples) Reset() {
+	for k := range s.bySym {
+		s.bySym[k] = s.bySym[k][:0]
+	}
+	s.n = 0
+}
+
 // Len returns the total number of observations.
 func (s *Samples) Len() int { return s.n }
 
-// Symbols returns the distinct symbols in ascending order.
+// Symbols returns the distinct symbols with observations in ascending
+// order. (A Reset set retains its map keys with empty slices; those
+// carry no observations and are not distinct symbols.)
 func (s *Samples) Symbols() []int {
 	syms := make([]int, 0, len(s.bySym))
-	for k := range s.bySym {
-		syms = append(syms, k)
+	for k, vs := range s.bySym {
+		if len(vs) > 0 {
+			syms = append(syms, k)
+		}
 	}
 	sort.Ints(syms)
 	return syms
@@ -66,6 +80,8 @@ func (s *Samples) Symbols() []int {
 // Pairs flattens the samples into parallel symbol/value slices in
 // deterministic order.
 func (s *Samples) Pairs() (syms []int, vals []float64) {
+	syms = make([]int, 0, s.n)
+	vals = make([]float64, 0, s.n)
 	for _, sym := range s.Symbols() {
 		for _, v := range s.bySym[sym] {
 			syms = append(syms, sym)
@@ -407,8 +423,9 @@ func ciBounds(caps []float64) (lo, hi float64) {
 func bootstrapScalarCI(syms []int, vals []float64, maxBins int, seed uint64) (lo, hi float64) {
 	r := rng.New(bootSeed(seed))
 	caps := make([]float64, 0, bootTrials)
+	s := NewSamples()
 	for trial := 0; trial < bootTrials; trial++ {
-		s := NewSamples()
+		s.Reset()
 		for i := 0; i < len(syms); i++ {
 			j := r.Intn(len(syms))
 			s.Add(syms[j], vals[j])
@@ -447,9 +464,10 @@ func scalarFloor(syms []int, vals []float64, maxBins int, seed uint64) (float64,
 	r := rng.New(seed)
 	shuffled := append([]int(nil), syms...)
 	floor := 0.0
+	s := NewSamples()
 	for trial := 0; trial < floorTrials; trial++ {
 		permute(r, shuffled)
-		s := NewSamples()
+		s.Reset()
 		for i := range shuffled {
 			s.Add(shuffled[i], vals[i])
 		}

@@ -1,0 +1,93 @@
+// Package cliutil holds the flag wiring shared by the matrix CLIs
+// (tpbench, tpprove, tpconform). All three drive an incremental matrix
+// through the same content-addressed store, so they must expose the
+// same option shape — one -store/-shard/-merge-from/-warm-only quartet
+// with identical semantics and validation — and the only way to keep
+// three copies identical is to have one.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"timeprot/internal/experiment"
+	"timeprot/internal/experiment/store"
+)
+
+// SplitList splits a comma-separated flag value, trimming blanks.
+func SplitList(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// StoreFlags is the store/shard/merge-from/warm-only flag quartet.
+type StoreFlags struct {
+	// Dir is -store: the content-addressed result store directory.
+	Dir string
+	// Shard is -shard: an "i/n" deterministic matrix partition.
+	Shard string
+	// MergeFrom is -merge-from: source stores folded into -store.
+	MergeFrom string
+	// WarmOnly is -warm-only: fail unless every cell was cached.
+	WarmOnly bool
+}
+
+// RegisterStore registers the quartet on fs. The noun names what the
+// store caches in this CLI's help text ("cell", "proof cell",
+// "conformance cell").
+func RegisterStore(fs *flag.FlagSet, noun string) *StoreFlags {
+	f := &StoreFlags{}
+	fs.StringVar(&f.Dir, "store", "", "content-addressed result store directory; cached "+noun+"s are served without re-execution")
+	fs.StringVar(&f.Shard, "shard", "", "run only shard i/n of the matrix (e.g. 0/4); the report is then partial")
+	fs.StringVar(&f.MergeFrom, "merge-from", "", "comma-separated store directories to merge into -store before the run")
+	fs.BoolVar(&f.WarmOnly, "warm-only", false, "fail unless every "+noun+" is served from -store (zero executions)")
+	return f
+}
+
+// Resolve validates the parsed quartet, opens the store (when -store
+// was given), folds in every -merge-from source, and parses -shard.
+// Each merge is reported through logf when it is non-nil (the CLIs
+// disagree on where merge chatter belongs — tpbench's stdout, the
+// others' stderr — so the destination stays theirs). A zero ShardSel
+// means the full matrix.
+func (f *StoreFlags) Resolve(logf func(format string, args ...any)) (*store.Store, experiment.ShardSel, error) {
+	var st *store.Store
+	if f.Dir != "" {
+		var err error
+		if st, err = store.Open(f.Dir); err != nil {
+			return nil, experiment.ShardSel{}, err
+		}
+		for _, src := range SplitList(f.MergeFrom) {
+			added, err := st.MergeFrom(src)
+			if err != nil {
+				return nil, experiment.ShardSel{}, fmt.Errorf("merging %s: %v", src, err)
+			}
+			if logf != nil {
+				logf("merged %d entries from %s", added, src)
+			}
+		}
+	} else if f.MergeFrom != "" {
+		return nil, experiment.ShardSel{}, fmt.Errorf("-merge-from requires -store")
+	} else if f.WarmOnly {
+		return nil, experiment.ShardSel{}, fmt.Errorf("-warm-only requires -store")
+	}
+
+	var sel experiment.ShardSel
+	if f.Shard != "" {
+		is, ns, ok := strings.Cut(f.Shard, "/")
+		i, erri := strconv.Atoi(is)
+		n, errn := strconv.Atoi(ns)
+		if !ok || erri != nil || errn != nil || n < 1 || i < 0 || i >= n {
+			return nil, experiment.ShardSel{}, fmt.Errorf("bad -shard %q: want i/n with 0 <= i < n", f.Shard)
+		}
+		sel = experiment.ShardSel{Index: i, Count: n}
+	}
+	return st, sel, nil
+}

@@ -1,0 +1,112 @@
+package cliutil
+
+import (
+	"flag"
+	"io"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"timeprot/internal/experiment"
+	"timeprot/internal/experiment/store"
+)
+
+// parse registers the quartet on a fresh FlagSet and parses args, the
+// way each CLI does.
+func parse(t *testing.T, args ...string) *StoreFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f := RegisterStore(fs, "cell")
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parsing %v: %v", args, err)
+	}
+	return f
+}
+
+func TestSplitList(t *testing.T) {
+	if got := SplitList(" a, ,b ,,c"); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("SplitList = %v", got)
+	}
+	if got := SplitList(""); got != nil {
+		t.Fatalf("SplitList(\"\") = %v, want nil", got)
+	}
+}
+
+func TestResolveNoStore(t *testing.T) {
+	st, sel, err := parse(t).Resolve(nil)
+	if st != nil || sel != (experiment.ShardSel{}) || err != nil {
+		t.Fatalf("bare resolve = %v, %v, %v", st, sel, err)
+	}
+}
+
+func TestResolveOpensStore(t *testing.T) {
+	dir := t.TempDir()
+	st, sel, err := parse(t, "-store", dir).Resolve(nil)
+	if err != nil || st == nil {
+		t.Fatalf("resolve with -store: %v, %v", st, err)
+	}
+	if sel != (experiment.ShardSel{}) {
+		t.Fatalf("unexpected shard %v", sel)
+	}
+}
+
+func TestResolveShard(t *testing.T) {
+	st, sel, err := parse(t, "-shard", "2/4").Resolve(nil)
+	if err != nil || st != nil {
+		t.Fatalf("resolve with -shard: %v, %v", st, err)
+	}
+	if sel != (experiment.ShardSel{Index: 2, Count: 4}) {
+		t.Fatalf("shard = %v", sel)
+	}
+	for _, bad := range []string{"4/4", "-1/4", "0/0", "1", "a/b", "1/2/3"} {
+		if _, _, err := parse(t, "-shard", bad).Resolve(nil); err == nil ||
+			!strings.Contains(err.Error(), "-shard") {
+			t.Errorf("-shard %q not rejected usefully: %v", bad, err)
+		}
+	}
+}
+
+func TestResolveRequiresStore(t *testing.T) {
+	if _, _, err := parse(t, "-merge-from", t.TempDir()).Resolve(nil); err == nil ||
+		!strings.Contains(err.Error(), "-merge-from requires -store") {
+		t.Errorf("-merge-from without -store: %v", err)
+	}
+	if _, _, err := parse(t, "-warm-only").Resolve(nil); err == nil ||
+		!strings.Contains(err.Error(), "-warm-only requires -store") {
+		t.Errorf("-warm-only without -store: %v", err)
+	}
+}
+
+func TestResolveMerges(t *testing.T) {
+	src := t.TempDir()
+	ss, err := store.Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := store.ProofSpec{Fingerprint: "f", Ablation: "a"}.Key()
+	if err := ss.PutProof(k, store.ProofV1{BoundedProved: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	var logged []string
+	logf := func(format string, args ...any) {
+		logged = append(logged, format)
+	}
+	dst := t.TempDir()
+	st, _, err := parse(t, "-store", dst, "-merge-from", src).Resolve(logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.GetProof(k); !ok {
+		t.Fatal("merged entry not served from the destination store")
+	}
+	if len(logged) != 1 {
+		t.Fatalf("merge logged %d times, want 1", len(logged))
+	}
+
+	if _, _, err := parse(t, "-store", t.TempDir(), "-merge-from", filepath.Join(src, "missing")).Resolve(nil); err == nil {
+		t.Fatal("missing merge source accepted")
+	}
+}

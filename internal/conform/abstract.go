@@ -1,0 +1,76 @@
+package conform
+
+import (
+	"timeprot/internal/prove/absmodel"
+	"timeprot/internal/prove/nonintf"
+)
+
+// AbstractVerdict is the prover side of one conformance cell: does the
+// abstract model distinguish the pair's two Hi programs in any sampled
+// time-function family?
+type AbstractVerdict struct {
+	// Accepts is true when Lo's observation traces agree under both
+	// programs for every family and no run overran its pad budget —
+	// the abstract model claims the pair is indistinguishable.
+	Accepts bool
+	// Families is the number of sampled function families checked.
+	Families int
+	// Runs is the number of complete machine executions.
+	Runs int
+	// Overruns counts runs whose switch work exceeded the pad budget;
+	// any overrun invalidates the padding assumption, so the model
+	// refuses to accept the pair.
+	Overruns int
+	// DivergeFamily and DivergeIndex locate the first divergence when
+	// the pair is refuted (zero-valued otherwise).
+	DivergeFamily uint64
+	DivergeIndex  int
+}
+
+// CheckAbstract runs the pair through the abstract machine under every
+// sampled time-function family, using the same per-family seed schedule
+// as the prover's bounded check, and compares Lo's observation traces.
+// The model accepts the pair only if the traces are identical in every
+// family and no pad budget overran — the claim the concrete simulator
+// then attempts to falsify.
+func CheckAbstract(cfg absmodel.Config, p Pair, families int, baseSeed uint64) AbstractVerdict {
+	if families < 1 {
+		families = 1
+	}
+	v := AbstractVerdict{Accepts: true, Families: families}
+	for fam := 0; fam < families; fam++ {
+		seed := baseSeed + uint64(fam)*0x9E37
+		m := absmodel.NewMachine(cfg, absmodel.SampleFuncs(seed, cfg.DigestMod))
+		oa, ova := nonintf.RunTrace(m, p.HiA)
+		ob, ovb := nonintf.RunTrace(m, p.HiB)
+		v.Runs += 2
+		v.Overruns += ova + ovb
+		if idx, diff := firstObsDivergence(oa, ob); diff && v.Accepts {
+			v.Accepts = false
+			v.DivergeFamily = seed
+			v.DivergeIndex = idx
+		}
+	}
+	if v.Overruns > 0 {
+		v.Accepts = false
+	}
+	return v
+}
+
+// firstObsDivergence finds the first position where two Lo observation
+// traces differ (length divergence counts at the shorter length).
+func firstObsDivergence(a, b []nonintf.Observation) (int, bool) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i, true
+		}
+	}
+	if len(a) != len(b) {
+		return n, true
+	}
+	return 0, false
+}

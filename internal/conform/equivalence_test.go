@@ -1,0 +1,63 @@
+package conform
+
+import (
+	"reflect"
+	"testing"
+
+	"timeprot/internal/core"
+	"timeprot/internal/kernel"
+	"timeprot/internal/prove/absmodel"
+)
+
+// TestGeneratedProgramEquivalence extends the execution-model
+// equivalence suite from hand-written scenarios to GENERATED programs:
+// each generated pair's concrete run is built twice — spawning the
+// Trojan and spy directly, and replaying the identical Programs through
+// the legacy goroutine adapter via kernel.ReplayProgram — and the
+// complete kernel event logs, run reports, and per-stream capacity
+// estimates must be bit-identical. (Worker-count invariance of the
+// surrounding matrix is pinned separately by the experiment engine's
+// conformance parallelism test; the kernel itself is a deterministic
+// lockstep event loop.)
+func TestGeneratedProgramEquivalence(t *testing.T) {
+	cfg := absmodel.DefaultConfig()
+	prot := core.FullProtection()
+	prot.FlushOnSwitch = false // ablated: richer cache dynamics to replay
+	for seed := uint64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			pair := Generate(cfg, seed)
+			run := func(o BuildOpts) (*kernel.System, kernel.Report, ConcreteResult) {
+				sys, finish := BuildConcrete(prot, pair, DefaultParams(8), seed, o)
+				rep, err := sys.Run()
+				if err != nil {
+					t.Fatalf("run (legacy=%v): %v", o.Legacy, err)
+				}
+				if len(rep.Errors) > 0 {
+					t.Fatalf("thread errors (legacy=%v): %v", o.Legacy, rep.Errors)
+				}
+				return sys, rep, finish(rep)
+			}
+			dsys, drep, dres := run(BuildOpts{Trace: true})
+			lsys, lrep, lres := run(BuildOpts{Trace: true, Legacy: true})
+
+			dev, lev := dsys.Trace().Events(), lsys.Trace().Events()
+			if len(dev) != len(lev) {
+				t.Fatalf("trace length differs: direct %d vs legacy %d", len(dev), len(lev))
+			}
+			for i := range dev {
+				if dev[i] != lev[i] {
+					t.Fatalf("trace diverges at event %d:\n direct: %+v\n legacy: %+v", i, dev[i], lev[i])
+				}
+			}
+			if drep.Ops != lrep.Ops || drep.Switches != lrep.Switches {
+				t.Errorf("report differs: ops %d vs %d, switches %d vs %d",
+					drep.Ops, lrep.Ops, drep.Switches, lrep.Switches)
+			}
+			if !reflect.DeepEqual(dres, lres) {
+				t.Errorf("results differ:\n direct: %+v\n legacy: %+v", dres, lres)
+			}
+		})
+	}
+}

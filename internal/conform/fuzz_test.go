@@ -1,0 +1,79 @@
+package conform
+
+import (
+	"reflect"
+	"testing"
+
+	"timeprot/internal/hw"
+	"timeprot/internal/prove/absmodel"
+)
+
+// fuzzConfig derives a model configuration from the fuzzer's choice:
+// one of the three prover model variants (base, wide-alphabet,
+// deep-schedule — mirroring the experiment engine's registry), with the
+// ablation bits of ablSel cleared.
+func fuzzConfig(modelSel, ablSel uint64) absmodel.Config {
+	cfg := absmodel.DefaultConfig()
+	switch modelSel % 3 {
+	case 1:
+		cfg.Alphabet = 3
+	case 2:
+		cfg.StepsPerSlice = 4
+		cfg.Slices = 8
+	}
+	cfg.Flush = ablSel&1 == 0
+	cfg.Pad = ablSel&2 == 0
+	cfg.Color = ablSel&4 == 0
+	cfg.Clone = ablSel&8 == 0
+	cfg.PartitionIRQ = ablSel&16 == 0
+	return cfg
+}
+
+// FuzzProgramPair fuzzes the conformance generator across the model
+// variant and ablation surface: generation must be deterministic, stay
+// inside the Hi action space at the prover's program length, compile to
+// in-bounds concrete ops, and never panic the abstract driver.
+func FuzzProgramPair(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(42), uint64(1), uint64(3))
+	f.Add(uint64(7), uint64(2), uint64(31))
+	f.Add(uint64(0xDEADBEEF), uint64(1), uint64(5))
+	f.Fuzz(func(t *testing.T, seed, modelSel, ablSel uint64) {
+		cfg := fuzzConfig(modelSel, ablSel)
+		p := Generate(cfg, seed)
+		if !reflect.DeepEqual(p, Generate(cfg, seed)) {
+			t.Fatalf("generation is not deterministic for seed %d", seed)
+		}
+		want := progLen(cfg)
+		if len(p.HiA) != want || len(p.HiB) != want {
+			t.Fatalf("lengths %d/%d, want %d", len(p.HiA), len(p.HiB), want)
+		}
+		for _, prog := range [][]absmodel.Action{p.HiA, p.HiB} {
+			for _, a := range prog {
+				if a != absmodel.ActSyscall && a != absmodel.ActStartIO &&
+					(a < 0 || int(a) >= cfg.Alphabet) {
+					t.Fatalf("action %d outside the Hi action space", a)
+				}
+			}
+		}
+
+		// The abstract driver accepts any generated pair without
+		// panicking, and an identical pair is always accepted.
+		v := CheckAbstract(cfg, p, 1, seed)
+		if reflect.DeepEqual(p.HiA, p.HiB) && v.Overruns == 0 && !v.Accepts {
+			t.Fatalf("identical pair refuted: %+v", v)
+		}
+
+		// Compiled ops stay inside the Trojan's heap.
+		params := DefaultParams(8)
+		setOrder := shuffledSets(params.SetsPerGroup, seed)
+		heap := uint64(16) * hw.PageSize
+		for _, prog := range [][]absmodel.Action{p.HiA, p.HiB} {
+			for _, op := range compile(params, prog, setOrder) {
+				if (op.kind == opRead || op.kind == opWrite) && op.addr+hw.LineSize > heap {
+					t.Fatalf("compiled op addr %#x outside the %d-page heap", op.addr, 16)
+				}
+			}
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 
 	"timeprot/internal/attacks"
 	"timeprot/internal/channel"
+	"timeprot/internal/conform"
 	"timeprot/internal/experiment/store"
 	"timeprot/internal/hw"
 	"timeprot/internal/kernel"
@@ -43,6 +44,40 @@ func ProverFingerprint() string {
 		nonintf.ModelVersion,
 		invariant.ModelVersion,
 	}, "|")
+}
+
+// ConformFingerprint returns the conformance fingerprint: the
+// registered model-version strings of BOTH sides a conformance verdict
+// passes through — the abstract prover layers, the concrete simulator
+// layers, and the conformance harness itself. Bumping any of them turns
+// every cached conformance cell into a structural miss, so CI
+// re-certifies abstraction soundness cold exactly when a model changed.
+func ConformFingerprint() string {
+	return strings.Join([]string{
+		absmodel.ModelVersion,
+		nonintf.ModelVersion,
+		hw.ModelVersion,
+		kernel.ModelVersion,
+		channel.EstimatorVersion,
+		attacks.HarnessVersion,
+		conform.HarnessVersion,
+	}, "|")
+}
+
+// conformCellKey derives the store key for one conformance cell.
+func conformCellKey(c ConformanceCell) store.Key {
+	return store.ConformSpec{
+		Fingerprint: ConformFingerprint(),
+		Model:       c.Model,
+		Ablation:    c.Ablation,
+		Cfg:         c.Cfg,
+		Prot:        c.Prot,
+		Pair:        c.Pair,
+		PairSeed:    c.PairSeed,
+		Rounds:      c.Rounds,
+		Families:    c.Families,
+		Seed:        c.Seed,
+	}.Key()
 }
 
 // proofCellKey derives the store key for one proof cell.

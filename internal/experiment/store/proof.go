@@ -135,9 +135,9 @@ func decodeProofEntry(k Key, data []byte) (ProofV1, error) {
 	return p, nil
 }
 
-// validateEntry decodes an entry file of either kind, for the merge
-// path: cell entries (no kind tag) and proof entries are both valid
-// merge sources; anything else is corrupt.
+// validateEntry decodes an entry file of any kind, for the merge path:
+// cell entries (no kind tag), proof entries, and conformance entries
+// are all valid merge sources; anything else is corrupt.
 func validateEntry(k Key, data []byte) error {
 	var probe struct {
 		Kind string `json:"kind"`
@@ -145,8 +145,12 @@ func validateEntry(k Key, data []byte) error {
 	if err := json.Unmarshal(data, &probe); err != nil {
 		return fmt.Errorf("store: entry %s: %v", k, err)
 	}
-	if probe.Kind == proofKind {
+	switch probe.Kind {
+	case proofKind:
 		_, err := decodeProofEntry(k, data)
+		return err
+	case conformKind:
+		_, err := decodeConformEntry(k, data)
 		return err
 	}
 	_, err := decodeEntry(k, data)

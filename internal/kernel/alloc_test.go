@@ -1,0 +1,58 @@
+package kernel
+
+import "testing"
+
+// Allocation gates on the simulator's hot path: the kernel step loop
+// must not allocate per simulated operation. Fixed setup cost (system
+// construction, page tables, thread state) is allowed; anything that
+// scales with the operation count turns long sweeps into GC churn, so
+// the gate compares two run lengths and bounds the MARGINAL
+// allocations per op.
+
+// stepLoopAllocs measures the allocations of building and running one
+// single-domain system that executes n operations of the given stream
+// kind through the direct Program path.
+func stepLoopAllocs(t *testing.T, kind streamKind, n int) float64 {
+	t.Helper()
+	return testing.AllocsPerRun(3, func() {
+		sys := streamSystem(t, n)
+		if _, err := sys.SpawnProgram(0, "stream", 0, &streamProgram{kind: kind, n: n}); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Errors) > 0 {
+			t.Fatal(rep.Errors)
+		}
+		if rep.HitMaxCycles {
+			t.Fatal("alloc gate hit the cycle cap")
+		}
+	})
+}
+
+func TestStepLoopAllocFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	const small, big = 2_000, 20_000
+	for _, tc := range []struct {
+		name string
+		kind streamKind
+	}{
+		{"read", streamRead},
+		{"compute", streamCompute},
+		{"now", streamNow},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := stepLoopAllocs(t, tc.kind, small)
+			b := stepLoopAllocs(t, tc.kind, big)
+			perOp := (b - a) / float64(big-small)
+			t.Logf("setup %.0f allocs, marginal %.4f allocs/op", a, perOp)
+			if perOp > 0.01 {
+				t.Errorf("kernel step loop allocates %.4f times per op (want < 0.01): the hot path regressed", perOp)
+			}
+		})
+	}
+}

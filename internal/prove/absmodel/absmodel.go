@@ -32,7 +32,16 @@ import (
 // read or write, the switch protocol, or the sampled function families —
 // and every cached proof cell automatically becomes stale. Pure
 // refactors that provably preserve machine behaviour do not bump it.
-const ModelVersion = "prove/absmodel/1"
+//
+// v2: device-completion interrupts fire a fixed delay after StartIO
+// (inheriting the possibly secret-dependent programming time) and
+// delivery latency is a function of the fire time, so a victim's
+// observed gap reflects when the completion landed in its window. The
+// v1 model pinned the fire time to slice geometry alone, which the
+// conformance harness refuted: the concrete device fires at
+// issue-time + delay, so a trojan can encode a secret in WHERE within
+// its slice it programs the device — a channel v1 certified away.
+const ModelVersion = "prove/absmodel/2"
 
 // Action is one abstract step of a domain's program.
 type Action int
@@ -44,7 +53,8 @@ const (
 	// ActSyscall traps into the kernel (§5.2 Case 2a).
 	ActSyscall = -1
 	// ActStartIO programs the domain's device to raise its completion
-	// interrupt mid-way through the NEXT slice (the §4.2 interrupt
+	// interrupt a fixed delay later — during the NEXT slice, at an
+	// offset inherited from the programming time (the §4.2 interrupt
 	// channel).
 	ActStartIO = -2
 )
@@ -292,7 +302,11 @@ func (m *Machine) Step(s *State, act Action) StepEvent {
 			continue // stays masked and pending
 		}
 		kt := m.ktextDigest(s, cur)
-		s.Clock += f.Time(*kt, s.KGlobal)
+		// The fire time participates in the visible latency: concretely,
+		// WHEN the completion preempts the victim's window shifts every
+		// subsequent observation, and the step-granular model folds that
+		// skid into the handler's clock contribution.
+		s.Clock += f.Time(*kt, s.KGlobal, q.fireAt)
 		*kt = f.Update(*kt, 11)
 		s.KGlobal = f.Update(0, 0) // fixed pattern -> history-independent warm state
 		ev.IRQDelivered = true
@@ -323,10 +337,15 @@ func (m *Machine) Step(s *State, act Action) StepEvent {
 		dt := f.Time(*kt, s.KGlobal)
 		s.Clock += dt
 		s.KGlobal = f.Update(0, 0)
-		// Completion fires a few steps into the next domain's slice:
-		// past the padded dispatch point, within the victim's
-		// step window.
-		fire := s.SliceStart + m.SliceLen() + m.padAmount() + uint64(m.Cfg.StepsPerSlice)*4
+		// Completion fires a fixed device delay after programming — one
+		// slice plus pad, landing in the next domain's window at the
+		// same offset the StartIO had in this one. The fire time
+		// inherits the issue clock: the concrete device fires at
+		// issue-time + delay, so a secret-dependent programming time
+		// yields a secret-dependent fire time, and pinning it to slice
+		// geometry instead (as this model once did) certifies away a
+		// real channel.
+		fire := s.Clock + m.SliceLen() + m.padAmount()
 		s.irqs = append(s.irqs, irq{fireAt: fire, owner: cur})
 
 	default:

@@ -109,6 +109,34 @@ func shrinkCandidates(a, b []absmodel.Action) []shrinkPair {
 	return out
 }
 
+// MinimizeWith greedily shrinks a program pair to a local minimum of an
+// arbitrary divergence predicate: apply the first shrink step that
+// preserves the predicate until none does. The result pair still
+// satisfies the predicate (assuming the input did), and no single
+// further shrink step does — every remaining action is load-bearing.
+// The fixed candidate order makes minimisation deterministic whenever
+// the predicate is. It returns the minimal pair and the number of
+// predicate evaluations spent. The conformance harness minimises
+// against a concrete-simulator leak predicate through this entry point;
+// Minimize is the abstract-trace instantiation.
+func MinimizeWith(hiA, hiB []absmodel.Action, diverges func(a, b []absmodel.Action) bool) ([]absmodel.Action, []absmodel.Action, int) {
+	a := append([]absmodel.Action(nil), hiA...)
+	b := append([]absmodel.Action(nil), hiB...)
+	evals := 0
+	for changed := true; changed; {
+		changed = false
+		for _, cand := range shrinkCandidates(a, b) {
+			evals++
+			if diverges(cand.a, cand.b) {
+				a, b = cand.a, cand.b
+				changed = true
+				break
+			}
+		}
+	}
+	return a, b, evals
+}
+
 // Minimize shrinks a bounded-NI counterexample to a locally minimal
 // witness: greedily apply the first shrink step that preserves
 // divergence until none does, then record the divergent Lo traces. The
@@ -126,18 +154,7 @@ func Minimize(cfg absmodel.Config, c *Counterexample) *Witness {
 		_, _, _, d := firstDivergence(oa, ob)
 		return d
 	}
-	a := append([]absmodel.Action(nil), c.HiA...)
-	b := append([]absmodel.Action(nil), c.HiB...)
-	for changed := true; changed; {
-		changed = false
-		for _, cand := range shrinkCandidates(a, b) {
-			if diverges(cand.a, cand.b) {
-				a, b = cand.a, cand.b
-				changed = true
-				break
-			}
-		}
-	}
+	a, b, _ := MinimizeWith(c.HiA, c.HiB, diverges)
 	oa, _ := RunTrace(m, a)
 	ob, _ := RunTrace(m, b)
 	idx, _, _, _ := firstDivergence(oa, ob)

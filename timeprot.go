@@ -4,7 +4,7 @@
 // central claim that it can be formally verified by reasoning about an
 // abstract partitionable/flushable model of the microarchitecture.
 //
-// The library stacks four layers:
+// The library stacks five layers:
 //
 //   - a deterministic cycle-accounted hardware simulator (caches with
 //     page colours, TLB, branch predictor, prefetcher, shared bus,
@@ -23,7 +23,11 @@
 //   - a prover over the paper's abstract model: unwinding lemmas for the
 //     §5.2 case analysis plus exhaustive bounded noninterference
 //     checking, quantified over sampled "deterministic yet unspecified"
-//     time functions.
+//     time functions,
+//   - a conformance harness cross-checking the two: randomly generated
+//     Hi program pairs run through BOTH the abstract prover and the
+//     concrete simulator, with any prover-accepts/simulator-leaks
+//     disagreement minimised into a soundness-violation witness.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduced results.
@@ -35,6 +39,7 @@ import (
 	"runtime"
 
 	"timeprot/internal/attacks"
+	"timeprot/internal/conform"
 	"timeprot/internal/core"
 	"timeprot/internal/experiment"
 	"timeprot/internal/experiment/store"
@@ -269,6 +274,68 @@ func WriteProofsMarkdown(w io.Writer, m *ProofMatrixReport) error {
 // WriteProofsText renders a proof matrix as aligned text.
 func WriteProofsText(w io.Writer, m *ProofMatrixReport) error {
 	return experiment.WriteProofsText(w, m)
+}
+
+// Conformance-harness types, re-exported from the experiment engine:
+// the public API for property-based cross-checking of the abstract
+// prover model against the concrete simulator. Each cell generates a
+// random Hi program pair, runs it through the abstract prover (bounded
+// noninterference over sampled time-function families) AND the
+// concrete simulator (a compiled trojan/spy measurement with CI-backed
+// capacity estimates), and classifies the disagreement: a cell where
+// the prover accepts while the simulator measures a replicated leak is
+// a soundness violation — the abstract model fails to over-approximate
+// a concrete channel — and is minimised into a witness.
+type (
+	// ConformanceSpec declares a conformance matrix (model variants ×
+	// ablations × generated pairs × seeds).
+	ConformanceSpec = experiment.ConformanceSpec
+	// ConformanceOptions tunes parallelism, caching, and sharding; it
+	// never affects results.
+	ConformanceOptions = experiment.ConformanceOptions
+	// ConformanceReport is a completed conformance matrix with
+	// per-cell dual-driver results and verdicts.
+	ConformanceReport = experiment.ConformanceMatrix
+	// ConformanceCell is one (model, ablation, pair, seed) point.
+	ConformanceCell = experiment.ConformanceCell
+	// ConformanceCellResult is a completed cell's cross-check outcome.
+	ConformanceCellResult = experiment.ConformanceCellResult
+	// ConformanceWitness is a minimised soundness violation: the
+	// smallest program pair the prover still accepts while the
+	// simulator still measures a leak.
+	ConformanceWitness = conform.ViolationWitness
+)
+
+// ConformAblations lists the conformance ablation rows: the proof
+// ablation rows both drivers can realise (SMT excluded — the concrete
+// conformance driver time-shares one core).
+func ConformAblations() []experiment.ConformAblation { return experiment.ConformAblations() }
+
+// ConformFingerprint returns the conformance fingerprint under which
+// conformance cells are keyed in the sweep store: the model versions of
+// BOTH sides (abstract prover layers and concrete simulator layers)
+// plus the harness's own version. Bumping any of them turns every
+// cached conformance cell into a structural miss, so soundness is
+// re-certified cold exactly when a model changed.
+func ConformFingerprint() string { return experiment.ConformFingerprint() }
+
+// RunConformance executes a conformance matrix on a worker pool,
+// serving cached cells from the store when one is given. The report is
+// a pure function of the spec; worker count and cache state cannot
+// change a bit of it.
+func RunConformance(spec ConformanceSpec, opt ConformanceOptions) (*ConformanceReport, error) {
+	return experiment.RunConformance(spec, opt)
+}
+
+// WriteConformanceJSON serialises a conformance matrix as indented JSON.
+func WriteConformanceJSON(w io.Writer, m *ConformanceReport) error {
+	return experiment.WriteConformanceJSON(w, m)
+}
+
+// WriteConformanceText renders a conformance matrix as an aligned
+// verdict table plus a detail line per soundness violation.
+func WriteConformanceText(w io.Writer, m *ConformanceReport) error {
+	return experiment.WriteConformanceText(w, m)
 }
 
 // Sweep types re-exported from the experiment engine: the public API for
