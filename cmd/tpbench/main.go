@@ -32,6 +32,7 @@
 //	        [-parallel P] [-proofs=false] [-cpuprofile tpbench.prof]
 //	        [-store DIR] [-shard i/n] [-merge-from DIR,...] [-warm-only]
 //	        [-out results.json] [-md EXPERIMENTS.md] [-quiet]
+//	        [-bench-cells [-bench-reps N]]
 package main
 
 import (
@@ -40,9 +41,11 @@ import (
 	"os"
 	"runtime/pprof"
 	"strconv"
+	"testing"
 	"time"
 
 	"timeprot"
+	"timeprot/internal/attacks"
 	"timeprot/internal/cliutil"
 )
 
@@ -52,6 +55,80 @@ func fail(format string, args ...any) {
 }
 
 func splitList(s string) []string { return cliutil.SplitList(s) }
+
+// benchCell is one cell of the fixed throughput matrix: a
+// representative variant per hot-path shape (time-multiplexed
+// prime-probe, concurrent occupancy, multi-bit cross-core), pinned at
+// the rounds and seed the BENCH_N.json trajectory tracks.
+type benchCell struct {
+	scenario, label string
+}
+
+var benchMatrix = []benchCell{
+	{"T2", "unprotected"},
+	{"T16", "no colouring (8 colours)"},
+	{"T17", "unprotected"},
+}
+
+const (
+	benchRounds = 30
+	benchSeed   = 42
+)
+
+// runBenchCells measures whole-cell throughput cold (fresh allocations
+// per cell) and warm (one reused CellContext), plus the marginal
+// allocations per cell in each mode. Everything goes to stderr: stdout
+// stays byte-stable so -bench-cells composes with shell pipelines that
+// expect report output only.
+func runBenchCells(reps int) {
+	resolve := func(bc benchCell) attacks.Variant {
+		s, ok := attacks.ScenarioByID(bc.scenario)
+		if !ok {
+			fail("bench-cells: unknown scenario %s", bc.scenario)
+		}
+		v, ok := s.VariantByLabel(bc.label)
+		if !ok {
+			fail("bench-cells: variant %q not in %s", bc.label, bc.scenario)
+		}
+		return v
+	}
+
+	type mode struct {
+		name string
+		run  func(v attacks.Variant)
+	}
+	cc := attacks.NewCellContext()
+	modes := []mode{
+		{"cold", func(v attacks.Variant) { v.Run(benchRounds, benchSeed) }},
+		{"warm", func(v attacks.Variant) { v.RunIn(cc, benchRounds, benchSeed) }},
+	}
+
+	for _, m := range modes {
+		// One untimed pass warms the context (and, cold, the page
+		// cache/JIT-free Go equivalent: branch predictors, heap shape).
+		for _, bc := range benchMatrix {
+			m.run(resolve(bc))
+		}
+		start := time.Now()
+		cells := 0
+		for r := 0; r < reps; r++ {
+			for _, bc := range benchMatrix {
+				m.run(resolve(bc))
+				cells++
+			}
+		}
+		elapsed := time.Since(start).Seconds()
+		fmt.Fprintf(os.Stderr, "bench-cells: %s %d cells in %.2fs = %.2f cells/sec\n",
+			m.name, cells, elapsed, float64(cells)/elapsed)
+	}
+	for _, bc := range benchMatrix {
+		v := resolve(bc)
+		cold := testing.AllocsPerRun(3, func() { v.Run(benchRounds, benchSeed) })
+		warm := testing.AllocsPerRun(3, func() { v.RunIn(cc, benchRounds, benchSeed) })
+		fmt.Fprintf(os.Stderr, "bench-cells: %s/%s: %.0f allocs/cell cold, %.0f warm\n",
+			bc.scenario, bc.label, cold, warm)
+	}
+}
 
 func main() {
 	sweep := flag.String("sweep", "all", "comma-separated scenarios by ID (T2) or name (l1pp); all = every scenario")
@@ -71,7 +148,14 @@ func main() {
 	md := flag.String("md", "", "write the Markdown report (EXPERIMENTS.md format) to this path")
 	quiet := flag.Bool("quiet", false, "suppress progress and text tables on stdout")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this path")
+	benchCells := flag.Bool("bench-cells", false, "measure whole-cell throughput (cells/sec cold and warm) and allocs/cell on a fixed matrix, to stderr, then exit")
+	benchReps := flag.Int("bench-reps", 10, "timed passes over the fixed matrix for -bench-cells")
 	flag.Parse()
+
+	if *benchCells {
+		runBenchCells(*benchReps)
+		return
+	}
 
 	stopProfile := func() {}
 	if *cpuprofile != "" {

@@ -141,6 +141,7 @@ func buildBPChannel(label string, prot core.Config, rounds int, seed uint64, o e
 
 	sys, err := kernel.NewSystem(kernel.SystemConfig{
 		Platform:   pcfg,
+		Pool:       o.sysPool(),
 		Protection: prot,
 		Domains: []core.DomainSpec{
 			{Name: "Hi", SliceCycles: t13Slice, PadCycles: t13Pad, Colors: mem.ColorRange(1, 32), CodePages: 4, HeapPages: 8},
@@ -154,9 +155,9 @@ func buildBPChannel(label string, prot core.Config, rounds int, seed uint64, o e
 		panic(fmt.Sprintf("attacks: T13 %s: %v", label, err))
 	}
 
-	seq := SymbolSeq(rounds+8, 2, seed)
-	syms := &SymLog{}
-	obs := &ObsLog{}
+	seq := o.symbolSeq(rounds+8, 2, seed)
+	syms := o.symLog()
+	obs := o.obsLog()
 
 	o.spawn(sys, 0, "trojan", 0, &t13Trojan{
 		rounds: rounds, seq: seq, syms: syms, spin: epochSpin{burn: 180},
@@ -166,16 +167,16 @@ func buildBPChannel(label string, prot core.Config, rounds int, seed uint64, o e
 	})
 
 	return sys, func(rep kernel.Report) Row {
-		labels, vals := Label(syms, obs, 3)
-		row := decodePairs(label, labels, vals, seed^0xBB13)
+		labels, vals := o.label(syms, obs, 3)
+		row := o.decodePairs(label, labels, vals, seed^0xBB13)
 		row.SimOps = rep.Ops
 		return row
 	}
 }
 
 // runBPChannel runs one T13 configuration.
-func runBPChannel(label string, prot core.Config, rounds int, seed uint64) Row {
-	sys, finish := buildBPChannel(label, prot, rounds, seed, execOpt{})
+func runBPChannel(cc *CellContext, label string, prot core.Config, rounds int, seed uint64) Row {
+	sys, finish := buildBPChannel(label, prot, rounds, seed, execOpt{cc: cc})
 	return finish(mustRun(sys))
 }
 

@@ -171,6 +171,7 @@ func buildBus(label string, prot core.Config, limiter *interconn.MBALimiter, tdm
 
 	sys, err := kernel.NewSystem(kernel.SystemConfig{
 		Platform:   pcfg,
+		Pool:       o.sysPool(),
 		Protection: prot,
 		Domains: []core.DomainSpec{
 			// 126 heap pages = 42 full colour-rotation cycles, so the
@@ -197,14 +198,14 @@ func buildBus(label string, prot core.Config, limiter *interconn.MBALimiter, tdm
 		sys.Machine().Bus.SetTDM(interconn.NewTDMSchedule(pcfg.Cores, pcfg.Lat.BusBeat*2, pcfg.Lat.BusBeat))
 	}
 
-	seq := SymbolSeq(windows+8, 2, seed)
-	syms := &SymLog{}
-	obs := &ObsLog{}
+	seq := o.symbolSeq(windows+8, 2, seed)
+	syms := o.symLog()
+	obs := o.obsLog()
 	// Shuffled full-buffer orders: each stream is several times larger
 	// than its LLC partition, so misses are sustained, and the
 	// shuffling defeats the prefetcher.
-	trojOrder := shuffledOffsets(126*hw.LinesPerPage, 1, seed^0xF1)
-	spyOrder := shuffledOffsets(128*hw.LinesPerPage, 1, seed^0xF2)
+	trojOrder := o.shuffledOffsets(126*hw.LinesPerPage, 1, seed^0xF1)
+	spyOrder := o.shuffledOffsets(128*hw.LinesPerPage, 1, seed^0xF2)
 
 	o.spawn(sys, 0, "trojan", 1, &t8Trojan{
 		windows: windows, mode: mode, seq: seq, trojOrder: trojOrder, syms: syms,
@@ -214,8 +215,8 @@ func buildBus(label string, prot core.Config, limiter *interconn.MBALimiter, tdm
 	})
 
 	return sys, func(rep kernel.Report) Row {
-		labels, vals := Label(syms, obs, 15)
-		est, err := EstimateLabelled(labels, vals, 16, seed^0x8888)
+		labels, vals := o.label(syms, obs, 15)
+		est, err := o.estimateLabelled(labels, vals, 16, seed^0x8888)
 		if err != nil {
 			panic(err)
 		}
@@ -240,8 +241,8 @@ func buildBus(label string, prot core.Config, limiter *interconn.MBALimiter, tdm
 }
 
 // runBus runs one T8 configuration.
-func runBus(label string, prot core.Config, limiter *interconn.MBALimiter, tdm bool, mode busMode, windows int, seed uint64) Row {
-	sys, finish := buildBus(label, prot, limiter, tdm, mode, windows, seed, execOpt{})
+func runBus(cc *CellContext, label string, prot core.Config, limiter *interconn.MBALimiter, tdm bool, mode busMode, windows int, seed uint64) Row {
+	sys, finish := buildBus(label, prot, limiter, tdm, mode, windows, seed, execOpt{cc: cc})
 	return finish(mustRun(sys))
 }
 

@@ -1,0 +1,17 @@
+package attacks
+
+import "testing"
+
+// BenchmarkWarmCell drives the warm pooled cell path for profiling and
+// for tpbench's allocs/cell figures.
+func BenchmarkWarmCell(b *testing.B) {
+	s := mustScenario("T2")
+	v, _ := s.VariantByLabel("unprotected")
+	cc := NewCellContext()
+	v.RunIn(cc, 30, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.RunIn(cc, 30, 42)
+	}
+}

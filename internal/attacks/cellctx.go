@@ -1,0 +1,276 @@
+package attacks
+
+import (
+	"fmt"
+
+	"timeprot/internal/channel"
+	"timeprot/internal/hw/platform"
+	"timeprot/internal/kernel"
+	"timeprot/internal/rng"
+	"timeprot/internal/trace"
+)
+
+// CellContext is a per-worker arena for the attack-cell hot path: one
+// experiment worker runs thousands of (scenario, variant, seed) cells,
+// and without reuse every cell rebuilds its hardware machine, symbol and
+// observation logs, probe-order permutations, labelling buffers, and
+// sample sets from scratch. A CellContext pools the machine construction
+// (platform.Pool) and recycles all the harness scratch, so a warm
+// worker's marginal allocations per cell collapse to the bounded
+// per-cell kernel state (domains, page tables, threads).
+//
+// Correctness contract: running a variant with a CellContext must be
+// bit-identical to running it without one. Every reusable buffer is
+// rewound at the start of a run (beginRun) and fully overwritten before
+// use, pooled machines are healed to the freshly constructed state by
+// Machine.Reset on acquisition, and PermInto consumes exactly Perm's
+// random stream — so pooling never appears in any fingerprint, and the
+// golden sweep/proof/conformance stores gate the equivalence.
+//
+// A CellContext is NOT safe for concurrent use; the experiment engine
+// creates one per worker goroutine. The zero-value absence of a context
+// (a nil *CellContext, the execOpt zero value) degrades every helper to
+// the historical fresh-allocation path, which keeps the legacy and
+// equivalence test harnesses untouched.
+type CellContext struct {
+	pool *platform.Pool
+
+	syms SymLog
+	obs  ObsLog
+
+	labels []int
+	vals   []float64
+
+	ints intArena
+
+	colors  map[int]bool
+	samples *channel.Samples
+	est     channel.Estimator
+	tlog    *trace.Log
+}
+
+// NewCellContext returns an empty context ready for reuse across cells.
+func NewCellContext() *CellContext {
+	return &CellContext{
+		pool:    platform.NewPool(),
+		colors:  make(map[int]bool),
+		samples: channel.NewSamples(),
+		tlog:    trace.NewLog(),
+	}
+}
+
+// beginRun rewinds every reusable buffer for the next variant run.
+// Calling it on a nil context is a no-op.
+func (cc *CellContext) beginRun() {
+	if cc == nil {
+		return
+	}
+	cc.ints.reset()
+	cc.syms.commits = cc.syms.commits[:0]
+	cc.obs.obs = cc.obs.obs[:0]
+	cc.labels = cc.labels[:0]
+	cc.vals = cc.vals[:0]
+}
+
+// endRun returns pooled machines for reuse. It runs deferred from
+// Variant.RunIn, so a panicking scenario still releases its machine
+// (which Machine.Reset heals on the next acquisition). Calling it on a
+// nil context is a no-op.
+func (cc *CellContext) endRun() {
+	if cc == nil {
+		return
+	}
+	cc.pool.ReleaseAll()
+}
+
+// intArena is a bump allocator for []int scratch on the cell path
+// (symbol sequences, shuffled probe orders, decode buffers). take carves
+// capacity-capped slices out of one slab; reset rewinds the slab for the
+// next run. When a run outgrows the slab a bigger one replaces it — the
+// old slab stays valid for the slices already handed out — so the
+// steady state allocates nothing.
+type intArena struct {
+	slab []int
+	off  int
+}
+
+func (a *intArena) reset() { a.off = 0 }
+
+// take returns a length-n slice of UNSPECIFIED contents; callers must
+// fully overwrite it. The capacity is capped at n so an append can never
+// silently alias a neighbouring allocation.
+func (a *intArena) take(n int) []int {
+	if a.off+n > len(a.slab) {
+		size := 2 * (a.off + n)
+		if size < 1024 {
+			size = 1024
+		}
+		a.slab = make([]int, size)
+		a.off = 0
+	}
+	s := a.slab[a.off : a.off+n : a.off+n]
+	a.off += n
+	return s
+}
+
+// The execOpt helpers below are the allocation sites of the shared
+// harness, routed through the context when one is present and falling
+// back to the historical fresh allocations when not (legacy adapter,
+// equivalence tests, direct Variant.Run callers).
+
+// sysPool returns the machine pool for kernel.SystemConfig.Pool.
+func (o execOpt) sysPool() *platform.Pool {
+	if o.cc == nil {
+		return nil
+	}
+	return o.cc.pool
+}
+
+// symLog returns an empty symbol log, reused when a context is present.
+func (o execOpt) symLog() *SymLog {
+	if o.cc == nil {
+		return &SymLog{}
+	}
+	return &o.cc.syms
+}
+
+// obsLog returns an empty observation log, reused when a context is
+// present.
+func (o execOpt) obsLog() *ObsLog {
+	if o.cc == nil {
+		return &ObsLog{}
+	}
+	return &o.cc.obs
+}
+
+// traceLog returns the reusable event log for trace-enabled scenario
+// builds (kernel.SystemConfig.TraceLog), or nil for a fresh one.
+func (o execOpt) traceLog() *trace.Log {
+	if o.cc == nil {
+		return nil
+	}
+	return o.cc.tlog
+}
+
+// ints returns a length-n []int scratch slice of unspecified contents.
+func (o execOpt) ints(n int) []int {
+	if o.cc == nil {
+		return make([]int, n)
+	}
+	return o.cc.ints.take(n)
+}
+
+// symbolSeq is SymbolSeq on context scratch: a deterministic
+// pseudo-random symbol sequence over an alphabet of size arity.
+func (o execOpt) symbolSeq(n, arity int, seed uint64) []int {
+	r := rng.New(seed)
+	out := o.ints(n)
+	for i := range out {
+		out[i] = r.Intn(arity)
+	}
+	return out
+}
+
+// perm returns a pseudo-random permutation of [0, n) on context scratch,
+// consuming exactly the stream rng.Perm consumes.
+func (o execOpt) perm(r *rng.RNG, n int) []int {
+	return r.PermInto(o.ints(n))
+}
+
+// shuffledOffsets is the harness shuffledOffsets on context scratch:
+// the line offsets {0, step, 2*step, ...} < lines in a deterministic
+// shuffled order (defeating the stride prefetcher), consuming exactly
+// the random stream the free function consumes.
+func (o execOpt) shuffledOffsets(lines, step int, seed uint64) []int {
+	r := rng.New(seed)
+	n := (lines + step - 1) / step
+	perm := r.PermInto(o.ints(n))
+	out := o.ints(n)
+	for i, p := range perm {
+		out[i] = p * step
+	}
+	return out
+}
+
+// decodePairs is the harness decodePairs on context scratch for the
+// decoded-symbol buffer.
+func (o execOpt) decodePairs(label string, labels []int, vals []float64, seed uint64) Row {
+	decoded := o.ints(len(vals))
+	for i, v := range vals {
+		decoded[i] = int(v)
+	}
+	est, err := o.estimatePairs(labels, decoded, seed)
+	if err != nil {
+		panic(fmt.Sprintf("attacks: %s: %v", label, err))
+	}
+	return Row{Label: label, Est: est, ErrRate: channel.ErrorRate(labels, decoded)}
+}
+
+// estimatePairs routes a pairs estimate through the context's reusable
+// estimator scratch; results are bit-identical either way (the free
+// function IS a fresh estimator).
+func (o execOpt) estimatePairs(syms, outs []int, seed uint64) (channel.Estimate, error) {
+	if o.cc == nil {
+		return channel.EstimatePairs(syms, outs, seed)
+	}
+	return o.cc.est.EstimatePairs(syms, outs, seed)
+}
+
+// estimateScalar routes a scalar estimate through the context's
+// reusable estimator scratch.
+func (o execOpt) estimateScalar(s *channel.Samples, bins int, seed uint64) (channel.Estimate, error) {
+	if o.cc == nil {
+		return channel.EstimateScalar(s, bins, seed)
+	}
+	return o.cc.est.EstimateScalar(s, bins, seed)
+}
+
+// label is Label on context scratch: the returned slices are views into
+// the context's buffers, valid until the next run begins.
+func (o execOpt) label(syms *SymLog, obs *ObsLog, warmup int) ([]int, []float64) {
+	if o.cc == nil {
+		return Label(syms, obs, warmup)
+	}
+	cc := o.cc
+	cc.labels, cc.vals = labelInto(cc.labels[:0], cc.vals[:0], syms, obs)
+	return trimWarmup(cc.labels, cc.vals, warmup)
+}
+
+// estimateLabelled is EstimateLabelled on the context's reusable sample
+// set.
+func (o execOpt) estimateLabelled(labels []int, vals []float64, bins int, seed uint64) (channel.Estimate, error) {
+	if o.cc == nil {
+		return EstimateLabelled(labels, vals, bins, seed)
+	}
+	if len(labels) == 0 {
+		return channel.Estimate{}, fmt.Errorf("attacks: no labelled observations")
+	}
+	s := o.cc.samples
+	s.Reset()
+	for i := range labels {
+		s.Add(labels[i], vals[i])
+	}
+	return o.cc.est.EstimateScalar(s, bins, seed)
+}
+
+// samples returns an empty sample set, reused when a context is present
+// — for finish functions that accumulate unlabelled scalars directly
+// (T9's inter-arrival gaps).
+func (o execOpt) samples() *channel.Samples {
+	if o.cc == nil {
+		return channel.NewSamples()
+	}
+	s := o.cc.samples
+	s.Reset()
+	return s
+}
+
+// imageColors is the harness imageColors on the context's reusable
+// colour-set map.
+func (o execOpt) imageColors(sys *kernel.System, domainIdx int) map[int]bool {
+	if o.cc == nil {
+		return imageColors(sys, domainIdx)
+	}
+	clear(o.cc.colors)
+	return imageColorsInto(o.cc.colors, sys, domainIdx)
+}

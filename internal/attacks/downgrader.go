@@ -3,7 +3,6 @@ package attacks
 import (
 	"fmt"
 
-	"timeprot/internal/channel"
 	"timeprot/internal/core"
 	"timeprot/internal/hw/mem"
 	"timeprot/internal/hw/platform"
@@ -174,6 +173,7 @@ func buildDowngrader(label string, prot core.Config, mode padMode, rounds int, s
 
 	sys, err := kernel.NewSystem(kernel.SystemConfig{
 		Platform:   pcfg,
+		Pool:       o.sysPool(),
 		Protection: prot,
 		Domains: []core.DomainSpec{
 			{Name: "Crypto", SliceCycles: t9Slice, PadCycles: t9Pad, Colors: mem.ColorRange(1, 32), CodePages: 4, HeapPages: 8},
@@ -182,13 +182,14 @@ func buildDowngrader(label string, prot core.Config, mode padMode, rounds int, s
 		Schedule:    [][]int{{0, 1}},
 		Endpoints:   []kernel.EndpointSpec{{ID: 0, MinDelivery: t9Cadence}},
 		EnableTrace: true,
+		TraceLog:    o.traceLog(),
 		MaxCycles:   uint64(rounds+8)*400_000 + 8_000_000,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("attacks: T9 %s: %v", label, err))
 	}
 
-	secrets := SymbolSeq(rounds+2, t9Arity, seed)
+	secrets := o.symbolSeq(rounds+2, t9Arity, seed)
 	cryptoUseful := new(uint64)
 	// done stops the interim thread once the workload completes; the
 	// lockstep execution of the kernel makes the shared flag safe.
@@ -204,12 +205,12 @@ func buildDowngrader(label string, prot core.Config, mode padMode, rounds int, s
 	o.spawn(sys, 1, "net", 0, &t9Net{rounds: rounds, arrivals: arrivals, done: done})
 
 	return sys, func(rep kernel.Report) Row {
-		s := channel.NewSamples()
+		s := o.samples()
 		arr := *arrivals
 		for i := 1; i < len(arr); i++ {
 			s.Add(arr[i].sym, float64(arr[i].at-arr[i-1].at))
 		}
-		est, err := channel.EstimateScalar(s, 16, seed^0x9999)
+		est, err := o.estimateScalar(s, 16, seed^0x9999)
 		if err != nil {
 			panic(err)
 		}
@@ -237,8 +238,8 @@ func buildDowngrader(label string, prot core.Config, mode padMode, rounds int, s
 }
 
 // runDowngrader runs one T9 configuration.
-func runDowngrader(label string, prot core.Config, mode padMode, rounds int, seed uint64) Row {
-	sys, finish := buildDowngrader(label, prot, mode, rounds, seed, execOpt{})
+func runDowngrader(cc *CellContext, label string, prot core.Config, mode padMode, rounds int, seed uint64) Row {
+	sys, finish := buildDowngrader(label, prot, mode, rounds, seed, execOpt{cc: cc})
 	rep, err := sys.Run()
 	if err != nil {
 		panic(err)

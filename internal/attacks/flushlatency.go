@@ -141,6 +141,7 @@ func buildFlushLatency(label string, prot core.Config, rounds int, seed uint64, 
 
 	sys, err := kernel.NewSystem(kernel.SystemConfig{
 		Platform:   pcfg,
+		Pool:       o.sysPool(),
 		Protection: prot,
 		Domains: []core.DomainSpec{
 			{Name: "Hi", SliceCycles: t4Slice, PadCycles: t4Pad, Colors: mem.ColorRange(1, 32), CodePages: 4, HeapPages: 16},
@@ -154,9 +155,9 @@ func buildFlushLatency(label string, prot core.Config, rounds int, seed uint64, 
 		panic(fmt.Sprintf("attacks: T4 %s: %v", label, err))
 	}
 
-	seq := SymbolSeq(rounds+8, t4Arity, seed)
-	syms := &SymLog{}
-	obs := &ObsLog{}
+	seq := o.symbolSeq(rounds+8, t4Arity, seed)
+	syms := o.symLog()
+	obs := o.obsLog()
 
 	o.spawn(sys, 0, "trojan", 0, &t4Trojan{
 		rounds: rounds, seq: seq, syms: syms, spin: epochSpin{burn: 180},
@@ -164,8 +165,8 @@ func buildFlushLatency(label string, prot core.Config, rounds int, seed uint64, 
 	o.spawn(sys, 1, "spy", 0, &t4Spy{rounds: rounds, obs: obs})
 
 	return sys, func(rep kernel.Report) Row {
-		labels, vals := Label(syms, obs, 3)
-		est, err := EstimateLabelled(labels, vals, 16, seed^0x4444)
+		labels, vals := o.label(syms, obs, 3)
+		est, err := o.estimateLabelled(labels, vals, 16, seed^0x4444)
 		if err != nil {
 			panic(err)
 		}
@@ -174,8 +175,8 @@ func buildFlushLatency(label string, prot core.Config, rounds int, seed uint64, 
 }
 
 // runFlushLatency runs one T4 configuration.
-func runFlushLatency(label string, prot core.Config, rounds int, seed uint64) Row {
-	sys, finish := buildFlushLatency(label, prot, rounds, seed, execOpt{})
+func runFlushLatency(cc *CellContext, label string, prot core.Config, rounds int, seed uint64) Row {
+	sys, finish := buildFlushLatency(label, prot, rounds, seed, execOpt{cc: cc})
 	return finish(mustRun(sys))
 }
 
@@ -270,6 +271,7 @@ func buildPaddingSufficiency(label string, pad uint64, rounds int, o execOpt) (*
 	pcfg.Cores = 1
 	sys, err := kernel.NewSystem(kernel.SystemConfig{
 		Platform:   pcfg,
+		Pool:       o.sysPool(),
 		Protection: prot,
 		Domains: []core.DomainSpec{
 			{Name: "Hi", SliceCycles: 60_000, PadCycles: pad, Colors: mem.ColorRange(1, 32), CodePages: 4, HeapPages: 16},
@@ -277,6 +279,7 @@ func buildPaddingSufficiency(label string, pad uint64, rounds int, o execOpt) (*
 		},
 		Schedule:    [][]int{{0, 1}},
 		EnableTrace: true,
+		TraceLog:    o.traceLog(),
 		MaxCycles:   uint64(rounds+16) * 400_000,
 	})
 	if err != nil {
@@ -324,7 +327,7 @@ func buildPaddingSufficiency(label string, pad uint64, rounds int, o execOpt) (*
 }
 
 // runPaddingSufficiency runs one T11 configuration.
-func runPaddingSufficiency(label string, pad uint64, rounds int) Row {
-	sys, finish := buildPaddingSufficiency(label, pad, rounds, execOpt{})
+func runPaddingSufficiency(cc *CellContext, label string, pad uint64, rounds int) Row {
+	sys, finish := buildPaddingSufficiency(label, pad, rounds, execOpt{cc: cc})
 	return finish(mustRun(sys))
 }

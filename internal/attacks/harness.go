@@ -89,6 +89,14 @@ func (l *ObsLog) Len() int { return len(l.obs) }
 // Observations before the first commit are dropped, as are the first
 // warmup labelled observations (cold-start transients).
 func Label(syms *SymLog, obs *ObsLog, warmup int) (labels []int, vals []float64) {
+	labels, vals = labelInto(nil, nil, syms, obs)
+	return trimWarmup(labels, vals, warmup)
+}
+
+// labelInto appends the labelled observations to the given slices (which
+// may be emptied scratch) — the allocation-disciplined core of Label,
+// before warmup trimming.
+func labelInto(labels []int, vals []float64, syms *SymLog, obs *ObsLog) ([]int, []float64) {
 	if len(syms.commits) == 0 {
 		return nil, nil
 	}
@@ -103,6 +111,11 @@ func Label(syms *SymLog, obs *ObsLog, warmup int) (labels []int, vals []float64)
 		labels = append(labels, syms.commits[i-1].Sym)
 		vals = append(vals, o.V)
 	}
+	return labels, vals
+}
+
+// trimWarmup drops the first warmup labelled observations.
+func trimWarmup(labels []int, vals []float64, warmup int) ([]int, []float64) {
 	if warmup > 0 && len(labels) > warmup {
 		labels = labels[warmup:]
 		vals = vals[warmup:]
@@ -223,6 +236,10 @@ func SymbolSeq(n, arity int, seed uint64) []int {
 type execOpt struct {
 	legacy bool
 	trace  bool
+	// cc, when set, routes the build's allocation sites (machine
+	// construction, logs, scratch slices) through the per-worker cell
+	// context; nil keeps the historical fresh-allocation path.
+	cc *CellContext
 }
 
 // spawn adds a scenario program to sys on the selected execution path.
@@ -376,9 +393,14 @@ func mustRun(sys *kernel.System) kernel.Report {
 // imageColors returns the set of LLC colours occupied by domain
 // domainIdx's kernel image.
 func imageColors(sys *kernel.System, domainIdx int) map[int]bool {
+	return imageColorsInto(make(map[int]bool), sys, domainIdx)
+}
+
+// imageColorsInto fills a caller-provided (emptied) set — the
+// allocation-disciplined core of imageColors.
+func imageColorsInto(colors map[int]bool, sys *kernel.System, domainIdx int) map[int]bool {
 	d := sys.Domains()[domainIdx]
 	m := sys.Machine()
-	colors := make(map[int]bool)
 	for _, pfn := range d.Image.TextPFNs {
 		colors[m.Mem.Color(pfn)] = true
 	}

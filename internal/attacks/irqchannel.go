@@ -148,6 +148,7 @@ func buildIRQChannel(label string, prot core.Config, rounds int, seed uint64, o 
 
 	sys, err := kernel.NewSystem(kernel.SystemConfig{
 		Platform:   pcfg,
+		Pool:       o.sysPool(),
 		Protection: prot,
 		Domains: []core.DomainSpec{
 			{Name: "Hi", SliceCycles: t6Slice, PadCycles: t6Pad, Colors: mem.ColorRange(1, 32), IRQLines: []int{0}, CodePages: 4, HeapPages: 16},
@@ -161,9 +162,9 @@ func buildIRQChannel(label string, prot core.Config, rounds int, seed uint64, o 
 		panic(fmt.Sprintf("attacks: T6 %s: %v", label, err))
 	}
 
-	seq := SymbolSeq(rounds+8, 2, seed)
-	syms := &SymLog{}
-	obs := &ObsLog{}
+	seq := o.symbolSeq(rounds+8, 2, seed)
+	syms := o.symLog()
+	obs := o.obsLog()
 
 	o.spawn(sys, 0, "trojan", 0, &t6Trojan{
 		rounds: rounds, seq: seq, syms: syms, spin: epochSpin{burn: 180},
@@ -171,8 +172,8 @@ func buildIRQChannel(label string, prot core.Config, rounds int, seed uint64, o 
 	o.spawn(sys, 1, "spy", 0, &t6Spy{rounds: rounds, obs: obs})
 
 	return sys, func(rep kernel.Report) Row {
-		labels, vals := Label(syms, obs, 3)
-		est, err := EstimateLabelled(labels, vals, 12, seed^0x6666)
+		labels, vals := o.label(syms, obs, 3)
+		est, err := o.estimateLabelled(labels, vals, 12, seed^0x6666)
 		if err != nil {
 			panic(err)
 		}
@@ -181,8 +182,8 @@ func buildIRQChannel(label string, prot core.Config, rounds int, seed uint64, o 
 }
 
 // runIRQChannel runs one T6 configuration.
-func runIRQChannel(label string, prot core.Config, rounds int, seed uint64) Row {
-	sys, finish := buildIRQChannel(label, prot, rounds, seed, execOpt{})
+func runIRQChannel(cc *CellContext, label string, prot core.Config, rounds int, seed uint64) Row {
+	sys, finish := buildIRQChannel(label, prot, rounds, seed, execOpt{cc: cc})
 	return finish(mustRun(sys))
 }
 

@@ -169,6 +169,7 @@ func buildKernelImage(label string, prot core.Config, rounds int, seed uint64, o
 
 	sys, err := kernel.NewSystem(kernel.SystemConfig{
 		Platform:   pcfg,
+		Pool:       o.sysPool(),
 		Protection: prot,
 		Domains: []core.DomainSpec{
 			{Name: "Hi", SliceCycles: t5Slice, PadCycles: t5Pad, Colors: mem.ColorRange(1, 32), CodePages: 4, HeapPages: 512},
@@ -196,9 +197,9 @@ func buildKernelImage(label string, prot core.Config, rounds int, seed uint64, o
 	}
 	pathLines := kernel.SyscallPathLines()
 
-	seq := SymbolSeq(rounds+8, 2, seed)
-	syms := &SymLog{}
-	obs := &ObsLog{}
+	seq := o.symbolSeq(rounds+8, 2, seed)
+	syms := o.symLog()
+	obs := o.obsLog()
 
 	o.spawn(sys, 0, "trojan", 0, &t5Trojan{
 		rounds: rounds, seq: seq, trojPages: trojPages, pathLines: pathLines,
@@ -209,8 +210,8 @@ func buildKernelImage(label string, prot core.Config, rounds int, seed uint64, o
 	})
 
 	return sys, func(rep kernel.Report) Row {
-		labels, vals := Label(syms, obs, 4)
-		est, err := EstimateLabelled(labels, vals, 16, seed^0x55AA)
+		labels, vals := o.label(syms, obs, 4)
+		est, err := o.estimateLabelled(labels, vals, 16, seed^0x55AA)
 		if err != nil {
 			panic(err)
 		}
@@ -219,8 +220,8 @@ func buildKernelImage(label string, prot core.Config, rounds int, seed uint64, o
 }
 
 // runKernelImage runs one T5 configuration.
-func runKernelImage(label string, prot core.Config, rounds int, seed uint64) Row {
-	sys, finish := buildKernelImage(label, prot, rounds, seed, execOpt{})
+func runKernelImage(cc *CellContext, label string, prot core.Config, rounds int, seed uint64) Row {
+	sys, finish := buildKernelImage(label, prot, rounds, seed, execOpt{cc: cc})
 	return finish(mustRun(sys))
 }
 

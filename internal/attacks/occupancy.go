@@ -194,6 +194,7 @@ func buildOccupancy(label string, rounds int, seed uint64, o execOpt) (*kernel.S
 
 	sys, err := kernel.NewSystem(kernel.SystemConfig{
 		Platform:   pcfg,
+		Pool:       o.sysPool(),
 		Protection: layout.prot,
 		Domains: []core.DomainSpec{
 			{Name: "Hi", SliceCycles: 400_000, PadCycles: 20_000, Colors: layout.hi, CodePages: 4, HeapPages: 64},
@@ -210,10 +211,10 @@ func buildOccupancy(label string, rounds int, seed uint64, o execOpt) (*kernel.S
 	trojPages := pagesByColor(sys, 0)
 	spyPages := pagesByColor(sys, 1)
 
-	seq := SymbolSeq(rounds+8, 2, seed)
-	syms := &SymLog{}
-	obs := &ObsLog{}
-	lineOrder := shuffledOffsets(hw.LinesPerPage, 2, seed^0x16C)
+	seq := o.symbolSeq(rounds+8, 2, seed)
+	syms := o.symLog()
+	obs := o.obsLog()
+	lineOrder := o.shuffledOffsets(hw.LinesPerPage, 2, seed^0x16C)
 
 	o.spawn(sys, 0, "trojan", 1, &windowedThrasher{
 		windows: rounds, windowLen: t16WindowLen,
@@ -231,8 +232,8 @@ func buildOccupancy(label string, rounds int, seed uint64, o execOpt) (*kernel.S
 	})
 
 	return sys, func(rep kernel.Report) Row {
-		labels, vals := Label(syms, obs, 6)
-		est, err := EstimateLabelled(labels, vals, 16, seed^0x16F)
+		labels, vals := o.label(syms, obs, 6)
+		est, err := o.estimateLabelled(labels, vals, 16, seed^0x16F)
 		if err != nil {
 			panic(err)
 		}
@@ -241,8 +242,8 @@ func buildOccupancy(label string, rounds int, seed uint64, o execOpt) (*kernel.S
 }
 
 // runOccupancy runs one T16 configuration.
-func runOccupancy(label string, rounds int, seed uint64) Row {
-	sys, finish := buildOccupancy(label, rounds, seed, execOpt{})
+func runOccupancy(cc *CellContext, label string, rounds int, seed uint64) Row {
+	sys, finish := buildOccupancy(label, rounds, seed, execOpt{cc: cc})
 	return finish(mustRun(sys))
 }
 

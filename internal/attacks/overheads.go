@@ -100,6 +100,7 @@ func buildOverhead(label string, prot core.Config, workRounds int, o execOpt) (*
 
 	sys, err := kernel.NewSystem(kernel.SystemConfig{
 		Platform:   pcfg,
+		Pool:       o.sysPool(),
 		Protection: prot,
 		Domains: []core.DomainSpec{
 			{Name: "A", SliceCycles: slice, PadCycles: pad, Colors: mem.ColorRange(1, 8), CodePages: 4, HeapPages: 60},
@@ -135,8 +136,8 @@ func buildOverhead(label string, prot core.Config, workRounds int, o execOpt) (*
 
 // runOverhead measures one configuration: total cycles for both domains
 // to finish a fixed workload.
-func runOverhead(label string, prot core.Config, workRounds int) (Row, float64) {
-	sys, finish := buildOverhead(label, prot, workRounds, execOpt{})
+func runOverhead(cc *CellContext, label string, prot core.Config, workRounds int) (Row, float64) {
+	sys, finish := buildOverhead(label, prot, workRounds, execOpt{cc: cc})
 	row := finish(mustRun(sys))
 	return row, extraValue(row, "cycles_per_op")
 }

@@ -199,6 +199,7 @@ func buildPrefetchChannel(label string, prot core.Config, rounds int, seed uint6
 
 	sys, err := kernel.NewSystem(kernel.SystemConfig{
 		Platform:   pcfg,
+		Pool:       o.sysPool(),
 		Protection: prot,
 		Domains: []core.DomainSpec{
 			{Name: "Hi", SliceCycles: t15Slice, PadCycles: t15Pad, Colors: mem.ColorRange(1, 32), CodePages: 4, HeapPages: 4},
@@ -212,21 +213,21 @@ func buildPrefetchChannel(label string, prot core.Config, rounds int, seed uint6
 		panic(fmt.Sprintf("attacks: T15 %s: %v", label, err))
 	}
 
-	seq := SymbolSeq(rounds+8, 2, seed)
-	syms := &SymLog{}
-	obs := &ObsLog{}
+	seq := o.symbolSeq(rounds+8, 2, seed)
+	syms := o.symLog()
+	obs := o.obsLog()
 
 	o.spawn(sys, 0, "trojan", 0, &t15Trojan{
 		rounds: rounds, seq: seq, syms: syms, spin: epochSpin{burn: 180},
 	})
 	o.spawn(sys, 1, "spy", 0, &t15Spy{
-		rounds: rounds, pageOrder: shuffledOffsets(t15Ways, 1, seed^0xF3), obs: obs,
+		rounds: rounds, pageOrder: o.shuffledOffsets(t15Ways, 1, seed^0xF3), obs: obs,
 		spin: epochSpin{burn: 180},
 	})
 
 	return sys, func(rep kernel.Report) Row {
-		labels, vals := Label(syms, obs, 3)
-		est, err := EstimateLabelled(labels, vals, 16, seed^0x15F)
+		labels, vals := o.label(syms, obs, 3)
+		est, err := o.estimateLabelled(labels, vals, 16, seed^0x15F)
 		if err != nil {
 			panic(err)
 		}
@@ -235,8 +236,8 @@ func buildPrefetchChannel(label string, prot core.Config, rounds int, seed uint6
 }
 
 // runPrefetchChannel runs one T15 configuration.
-func runPrefetchChannel(label string, prot core.Config, rounds int, seed uint64) Row {
-	sys, finish := buildPrefetchChannel(label, prot, rounds, seed, execOpt{})
+func runPrefetchChannel(cc *CellContext, label string, prot core.Config, rounds int, seed uint64) Row {
+	sys, finish := buildPrefetchChannel(label, prot, rounds, seed, execOpt{cc: cc})
 	return finish(mustRun(sys))
 }
 

@@ -263,10 +263,11 @@ func (s *t2Spy) Step(m *kernel.Machine) kernel.Status {
 func buildL1PrimeProbe(label string, prot core.Config, p l1Params, seed uint64, o execOpt) (*kernel.System, func(kernel.Report) Row) {
 	pcfg := platform.DefaultConfig()
 	pcfg.Cores = 1
-	seq := SymbolSeq(p.rounds+8, p.groups, seed)
+	seq := o.symbolSeq(p.rounds+8, p.groups, seed)
 
 	sys, err := kernel.NewSystem(kernel.SystemConfig{
 		Platform:   pcfg,
+		Pool:       o.sysPool(),
 		Protection: prot,
 		Domains: []core.DomainSpec{
 			{Name: "Hi", SliceCycles: p.slice, PadCycles: p.pad, Colors: mem.ColorRange(1, 32), CodePages: 4, HeapPages: 16},
@@ -280,9 +281,9 @@ func buildL1PrimeProbe(label string, prot core.Config, p l1Params, seed uint64, 
 		panic(fmt.Sprintf("attacks: T2 %s: %v", label, err))
 	}
 
-	syms := &SymLog{}
-	obs := &ObsLog{}
-	setOrder := shuffledOffsets(p.setsPerGroup, 1, seed^0xA0)
+	syms := o.symLog()
+	obs := o.obsLog()
+	setOrder := o.shuffledOffsets(p.setsPerGroup, 1, seed^0xA0)
 
 	o.spawn(sys, 0, "trojan", 0, &t2Trojan{
 		p: p, seq: seq, setOrder: setOrder, syms: syms, spin: epochSpin{burn: 180},
@@ -294,16 +295,16 @@ func buildL1PrimeProbe(label string, prot core.Config, p l1Params, seed uint64, 
 	})
 
 	return sys, func(rep kernel.Report) Row {
-		labels, vals := Label(syms, obs, 4)
-		row := decodePairs(label, labels, vals, seed^0x5151)
+		labels, vals := o.label(syms, obs, 4)
+		row := o.decodePairs(label, labels, vals, seed^0x5151)
 		row.SimOps = rep.Ops
 		return row
 	}
 }
 
 // runL1PrimeProbe runs one T2 configuration and returns its row.
-func runL1PrimeProbe(label string, prot core.Config, p l1Params, seed uint64) Row {
-	sys, finish := buildL1PrimeProbe(label, prot, p, seed, execOpt{})
+func runL1PrimeProbe(cc *CellContext, label string, prot core.Config, p l1Params, seed uint64) Row {
+	sys, finish := buildL1PrimeProbe(label, prot, p, seed, execOpt{cc: cc})
 	return finish(mustRun(sys))
 }
 
@@ -504,6 +505,7 @@ func buildLLCPrimeProbe(label string, prot core.Config, p llcParams, seed uint64
 
 	sys, err := kernel.NewSystem(kernel.SystemConfig{
 		Platform:   pcfg,
+		Pool:       o.sysPool(),
 		Protection: prot,
 		Domains: []core.DomainSpec{
 			{Name: "Hi", SliceCycles: 400_000, PadCycles: 20_000, Colors: mem.NewColorSet(1, 2, 3), CodePages: 4, HeapPages: 128},
@@ -539,10 +541,10 @@ func buildLLCPrimeProbe(label string, prot core.Config, p llcParams, seed uint64
 		trojG[1] = firstN(trojPages[trojOwn[len(trojOwn)-1]], 10)
 	}
 
-	seq := SymbolSeq(p.windows+8, 2, seed)
-	syms := &SymLog{}
-	obs := &ObsLog{}
-	lineOrder := shuffledOffsets(hw.LinesPerPage, 2, seed^0xB7)
+	seq := o.symbolSeq(p.windows+8, 2, seed)
+	syms := o.symLog()
+	obs := o.obsLog()
+	lineOrder := o.shuffledOffsets(hw.LinesPerPage, 2, seed^0xB7)
 
 	o.spawn(sys, 0, "trojan", 1, &t3Trojan{
 		windows: p.windows, windowLen: p.windowLen,
@@ -554,16 +556,16 @@ func buildLLCPrimeProbe(label string, prot core.Config, p llcParams, seed uint64
 	})
 
 	return sys, func(rep kernel.Report) Row {
-		labels, vals := Label(syms, obs, 6)
-		row := decodePairs(label, labels, vals, seed^0x1313)
+		labels, vals := o.label(syms, obs, 6)
+		row := o.decodePairs(label, labels, vals, seed^0x1313)
 		row.SimOps = rep.Ops
 		return row
 	}
 }
 
 // runLLCPrimeProbe runs one T3 configuration.
-func runLLCPrimeProbe(label string, prot core.Config, p llcParams, seed uint64) Row {
-	sys, finish := buildLLCPrimeProbe(label, prot, p, seed, execOpt{})
+func runLLCPrimeProbe(cc *CellContext, label string, prot core.Config, p llcParams, seed uint64) Row {
+	sys, finish := buildLLCPrimeProbe(label, prot, p, seed, execOpt{cc: cc})
 	return finish(mustRun(sys))
 }
 

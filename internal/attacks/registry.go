@@ -25,8 +25,9 @@ type Variant struct {
 	// variants whose distinguishing knob is not a core.Config field
 	// (e.g. T11's pad budget) it records the base configuration.
 	Prot core.Config
-	// run executes the variant at the given rounds and seed.
-	run func(rounds int, seed uint64) Row
+	// run executes the variant at the given rounds and seed, routing
+	// allocations through cc when non-nil.
+	run func(cc *CellContext, rounds int, seed uint64) Row
 }
 
 // Run executes the variant and returns its measured row. Each call
@@ -35,7 +36,18 @@ type Variant struct {
 // rounds it measured; adaptive callers that re-run a variant across a
 // rounds ladder overwrite RoundsRun with the ladder's total.
 func (v Variant) Run(rounds int, seed uint64) Row {
-	row := v.run(rounds, seed)
+	return v.RunIn(nil, rounds, seed)
+}
+
+// RunIn is Run on a reusable cell context: the variant's machine comes
+// from the context's pool and its harness scratch from the context's
+// buffers, with bit-identical results. A nil context is exactly Run.
+// The context's machines are released (and its buffers rewound on the
+// next run) even if the scenario panics.
+func (v Variant) RunIn(cc *CellContext, rounds int, seed uint64) Row {
+	cc.beginRun()
+	defer cc.endRun()
+	row := v.run(cc, rounds, seed)
 	row.Rounds = rounds
 	row.RoundsRun = rounds
 	return row
@@ -66,8 +78,9 @@ type Scenario struct {
 	Variants []Variant
 	// Custom runs the scenario under an arbitrary protection
 	// configuration; nil when the scenario needs bespoke per-variant
-	// setup that a bare core.Config cannot express.
-	Custom func(label string, prot core.Config, rounds int, seed uint64) Row
+	// setup that a bare core.Config cannot express. The cell context is
+	// nil for one-off callers (RunCustom).
+	Custom func(cc *CellContext, label string, prot core.Config, rounds int, seed uint64) Row
 	// finalize post-processes a complete ordered row set (e.g. T12's
 	// slowdown-vs-baseline column); nil when rows are independent.
 	finalize func(rows []Row) []Row
@@ -78,7 +91,7 @@ type Scenario struct {
 // metadata exactly as Variant.Run does. It panics if the scenario has
 // no Custom runner; callers gate on s.Custom != nil.
 func (s Scenario) RunCustom(label string, prot core.Config, rounds int, seed uint64) Row {
-	row := s.Custom(label, prot, rounds, seed)
+	row := s.Custom(nil, label, prot, rounds, seed)
 	row.Rounds = rounds
 	row.RoundsRun = rounds
 	return row
@@ -159,10 +172,10 @@ func mustScenario(id string) Scenario {
 }
 
 // variant builds a Variant for a runner with the standard
-// (label, prot, rounds, seed) shape.
-func variant(label string, prot core.Config, run func(string, core.Config, int, uint64) Row) Variant {
-	return Variant{Label: label, Prot: prot, run: func(rounds int, seed uint64) Row {
-		return run(label, prot, rounds, seed)
+// (cc, label, prot, rounds, seed) shape.
+func variant(label string, prot core.Config, run func(*CellContext, string, core.Config, int, uint64) Row) Variant {
+	return Variant{Label: label, Prot: prot, run: func(cc *CellContext, rounds int, seed uint64) Row {
+		return run(cc, label, prot, rounds, seed)
 	}}
 }
 
@@ -187,19 +200,19 @@ func fullWithout(mut func(*core.Config)) core.Config {
 
 // Custom-configuration adapters for runners whose parameters derive from
 // rounds.
-func customL1(label string, prot core.Config, rounds int, seed uint64) Row {
-	return runL1PrimeProbe(label, prot, defaultL1Params(rounds), seed)
+func customL1(cc *CellContext, label string, prot core.Config, rounds int, seed uint64) Row {
+	return runL1PrimeProbe(cc, label, prot, defaultL1Params(rounds), seed)
 }
 
-func customLLC(label string, prot core.Config, rounds int, seed uint64) Row {
-	return runLLCPrimeProbe(label, prot, defaultLLCParams(rounds), seed)
+func customLLC(cc *CellContext, label string, prot core.Config, rounds int, seed uint64) Row {
+	return runLLCPrimeProbe(cc, label, prot, defaultLLCParams(rounds), seed)
 }
 
-func customOverhead(label string, prot core.Config, rounds int, _ uint64) Row {
+func customOverhead(cc *CellContext, label string, prot core.Config, rounds int, _ uint64) Row {
 	if rounds < 4 {
 		rounds = 4
 	}
-	row, _ := runOverhead(label, prot, rounds)
+	row, _ := runOverhead(cc, label, prot, rounds)
 	return row
 }
 
@@ -294,16 +307,16 @@ var scenarios = []Scenario{
 			{
 				Label: "SMT co-resident (flush+colour)",
 				Prot:  fullWithout(func(c *core.Config) { c.DisallowSMTSharing = false }),
-				run: func(rounds int, seed uint64) Row {
-					return runSMT("SMT co-resident (flush+colour)",
+				run: func(cc *CellContext, rounds int, seed uint64) Row {
+					return runSMT(cc, "SMT co-resident (flush+colour)",
 						fullWithout(func(c *core.Config) { c.DisallowSMTSharing = false }), true, rounds, seed)
 				},
 			},
 			{
 				Label: "policy: co-scheduled domains",
 				Prot:  core.FullProtection(),
-				run: func(rounds int, seed uint64) Row {
-					return runSMT("policy: co-scheduled domains", core.FullProtection(), false, rounds, seed)
+				run: func(cc *CellContext, rounds int, seed uint64) Row {
+					return runSMT(cc, "policy: co-scheduled domains", core.FullProtection(), false, rounds, seed)
 				},
 			},
 		},
@@ -315,8 +328,8 @@ var scenarios = []Scenario{
 		Variants: []Variant{
 			{
 				Label: "full protection, volume", Prot: core.FullProtection(),
-				run: func(rounds int, seed uint64) Row {
-					return runBus("full protection, volume", core.FullProtection(), nil, false, busVolume, rounds, seed)
+				run: func(cc *CellContext, rounds int, seed uint64) Row {
+					return runBus(cc, "full protection, volume", core.FullProtection(), nil, false, busVolume, rounds, seed)
 				},
 			},
 			{
@@ -327,22 +340,22 @@ var scenarios = []Scenario{
 				// approximate enforcement of footnote 1, which
 				// attenuates the channel without closing it.
 				Label: "with MBA limiter, volume", Prot: core.FullProtection(),
-				run: func(rounds int, seed uint64) Row {
+				run: func(cc *CellContext, rounds int, seed uint64) Row {
 					mba := interconn.NewMBALimiter(12_000)
 					mba.SetQuota(1, 15) // throttle the Trojan's core
-					return runBus("with MBA limiter, volume", core.FullProtection(), mba, false, busVolume, rounds, seed)
+					return runBus(cc, "with MBA limiter, volume", core.FullProtection(), mba, false, busVolume, rounds, seed)
 				},
 			},
 			{
 				Label: "TDM bus (hypothetical hw)", Prot: core.FullProtection(),
-				run: func(rounds int, seed uint64) Row {
-					return runBus("TDM bus (hypothetical hw)", core.FullProtection(), nil, true, busVolume, rounds, seed)
+				run: func(cc *CellContext, rounds int, seed uint64) Row {
+					return runBus(cc, "TDM bus (hypothetical hw)", core.FullProtection(), nil, true, busVolume, rounds, seed)
 				},
 			},
 			{
 				Label: "address encoding (side ch.)", Prot: core.FullProtection(),
-				run: func(rounds int, seed uint64) Row {
-					return runBus("address encoding (side ch.)", core.FullProtection(), nil, false, busAddress, rounds, seed)
+				run: func(cc *CellContext, rounds int, seed uint64) Row {
+					return runBus(cc, "address encoding (side ch.)", core.FullProtection(), nil, false, busAddress, rounds, seed)
 				},
 			},
 		},
@@ -354,28 +367,28 @@ var scenarios = []Scenario{
 		Variants: []Variant{
 			{
 				Label: "unprotected", Prot: core.NoProtection(),
-				run: func(rounds int, seed uint64) Row {
-					return runDowngrader("unprotected", core.NoProtection(), padNone, rounds, seed)
+				run: func(cc *CellContext, rounds int, seed uint64) Row {
+					return runDowngrader(cc, "unprotected", core.NoProtection(), padNone, rounds, seed)
 				},
 			},
 			{
 				Label: "pad-only (no min-delivery)",
 				Prot:  fullWithout(func(c *core.Config) { c.MinDeliveryIPC = false }),
-				run: func(rounds int, seed uint64) Row {
-					return runDowngrader("pad-only (no min-delivery)",
+				run: func(cc *CellContext, rounds int, seed uint64) Row {
+					return runDowngrader(cc, "pad-only (no min-delivery)",
 						fullWithout(func(c *core.Config) { c.MinDeliveryIPC = false }), padNone, rounds, seed)
 				},
 			},
 			{
 				Label: "full, busy-loop pad", Prot: core.FullProtection(),
-				run: func(rounds int, seed uint64) Row {
-					return runDowngrader("full, busy-loop pad", core.FullProtection(), padBusyLoop, rounds, seed)
+				run: func(cc *CellContext, rounds int, seed uint64) Row {
+					return runDowngrader(cc, "full, busy-loop pad", core.FullProtection(), padBusyLoop, rounds, seed)
 				},
 			},
 			{
 				Label: "full, interim process", Prot: core.FullProtection(),
-				run: func(rounds int, seed uint64) Row {
-					return runDowngrader("full, interim process", core.FullProtection(), padInterim, rounds, seed)
+				run: func(cc *CellContext, rounds int, seed uint64) Row {
+					return runDowngrader(cc, "full, interim process", core.FullProtection(), padInterim, rounds, seed)
 				},
 			},
 		},
@@ -387,14 +400,14 @@ var scenarios = []Scenario{
 		Variants: []Variant{
 			{
 				Label: "pad=25k (sufficient)", Prot: core.FullProtection(),
-				run: func(rounds int, _ uint64) Row {
-					return runPaddingSufficiency("pad=25k (sufficient)", 25_000, rounds)
+				run: func(cc *CellContext, rounds int, _ uint64) Row {
+					return runPaddingSufficiency(cc, "pad=25k (sufficient)", 25_000, rounds)
 				},
 			},
 			{
 				Label: "pad=600 (insufficient)", Prot: core.FullProtection(),
-				run: func(rounds int, _ uint64) Row {
-					return runPaddingSufficiency("pad=600 (insufficient)", 600, rounds)
+				run: func(cc *CellContext, rounds int, _ uint64) Row {
+					return runPaddingSufficiency(cc, "pad=600 (insufficient)", 600, rounds)
 				},
 			},
 		},
@@ -479,8 +492,8 @@ func t16Variants() []Variant {
 		out = append(out, Variant{
 			Label: label,
 			Prot:  t16Spec(label).prot,
-			run: func(rounds int, seed uint64) Row {
-				return runOccupancy(label, rounds, seed)
+			run: func(cc *CellContext, rounds int, seed uint64) Row {
+				return runOccupancy(cc, label, rounds, seed)
 			},
 		})
 	}

@@ -173,6 +173,7 @@ func buildSMT(label string, prot core.Config, coResident bool, windows int, seed
 
 	sys, err := kernel.NewSystem(kernel.SystemConfig{
 		Platform:   pcfg,
+		Pool:       o.sysPool(),
 		Protection: prot,
 		Domains: []core.DomainSpec{
 			{Name: "Hi", SliceCycles: t7Slice, PadCycles: t7Pad, Colors: mem.ColorRange(1, 32), CodePages: 4, HeapPages: 16},
@@ -186,10 +187,10 @@ func buildSMT(label string, prot core.Config, coResident bool, windows int, seed
 		panic(fmt.Sprintf("attacks: T7 %s: %v", label, err))
 	}
 
-	seq := SymbolSeq(windows+8, 2, seed)
-	syms := &SymLog{}
-	obs := &ObsLog{}
-	setOrder := shuffledOffsets(t7SpyLines, 1, seed^0xE1)
+	seq := o.symbolSeq(windows+8, 2, seed)
+	syms := o.symLog()
+	obs := o.obsLog()
+	setOrder := o.shuffledOffsets(t7SpyLines, 1, seed^0xE1)
 
 	o.spawn(sys, 0, "trojan", trojCPU, &t7Trojan{
 		windows: windows, seq: seq, setOrder: setOrder, syms: syms,
@@ -199,8 +200,8 @@ func buildSMT(label string, prot core.Config, coResident bool, windows int, seed
 	})
 
 	return sys, func(rep kernel.Report) Row {
-		labels, vals := Label(syms, obs, 6)
-		est, err := EstimateLabelled(labels, vals, 16, seed^0x7777)
+		labels, vals := o.label(syms, obs, 6)
+		est, err := o.estimateLabelled(labels, vals, 16, seed^0x7777)
 		if err != nil {
 			panic(err)
 		}
@@ -209,8 +210,8 @@ func buildSMT(label string, prot core.Config, coResident bool, windows int, seed
 }
 
 // runSMT runs one T7 configuration.
-func runSMT(label string, prot core.Config, coResident bool, windows int, seed uint64) Row {
-	sys, finish := buildSMT(label, prot, coResident, windows, seed, execOpt{})
+func runSMT(cc *CellContext, label string, prot core.Config, coResident bool, windows int, seed uint64) Row {
+	sys, finish := buildSMT(label, prot, coResident, windows, seed, execOpt{cc: cc})
 	return finish(mustRun(sys))
 }
 

@@ -156,6 +156,7 @@ func buildTLBChannel(label string, prot core.Config, rounds int, seed uint64, o 
 
 	sys, err := kernel.NewSystem(kernel.SystemConfig{
 		Platform:   pcfg,
+		Pool:       o.sysPool(),
 		Protection: prot,
 		Domains: []core.DomainSpec{
 			{Name: "Hi", SliceCycles: t14Slice, PadCycles: t14Pad, Colors: mem.ColorRange(1, 32), CodePages: 4, HeapPages: 80},
@@ -169,9 +170,9 @@ func buildTLBChannel(label string, prot core.Config, rounds int, seed uint64, o 
 		panic(fmt.Sprintf("attacks: T14 %s: %v", label, err))
 	}
 
-	seq := SymbolSeq(rounds+8, t14Arity, seed)
-	syms := &SymLog{}
-	obs := &ObsLog{}
+	seq := o.symbolSeq(rounds+8, t14Arity, seed)
+	syms := o.symLog()
+	obs := o.obsLog()
 
 	o.spawn(sys, 0, "trojan", 0, &t14Trojan{
 		rounds: rounds, seq: seq, syms: syms, spin: epochSpin{burn: 180},
@@ -181,8 +182,8 @@ func buildTLBChannel(label string, prot core.Config, rounds int, seed uint64, o 
 	})
 
 	return sys, func(rep kernel.Report) Row {
-		labels, vals := Label(syms, obs, 3)
-		est, err := EstimateLabelled(labels, vals, 16, seed^0x71B)
+		labels, vals := o.label(syms, obs, 3)
+		est, err := o.estimateLabelled(labels, vals, 16, seed^0x71B)
 		if err != nil {
 			panic(err)
 		}
@@ -191,8 +192,8 @@ func buildTLBChannel(label string, prot core.Config, rounds int, seed uint64, o 
 }
 
 // runTLBChannel runs one T14 configuration.
-func runTLBChannel(label string, prot core.Config, rounds int, seed uint64) Row {
-	sys, finish := buildTLBChannel(label, prot, rounds, seed, execOpt{})
+func runTLBChannel(cc *CellContext, label string, prot core.Config, rounds int, seed uint64) Row {
+	sys, finish := buildTLBChannel(label, prot, rounds, seed, execOpt{cc: cc})
 	return finish(mustRun(sys))
 }
 

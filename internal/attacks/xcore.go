@@ -151,6 +151,7 @@ func buildXCore(label string, prot core.Config, rounds int, seed uint64, o execO
 
 	sys, err := kernel.NewSystem(kernel.SystemConfig{
 		Platform:   pcfg,
+		Pool:       o.sysPool(),
 		Protection: prot,
 		Domains: []core.DomainSpec{
 			{Name: "Hi", SliceCycles: 400_000, PadCycles: 20_000, Colors: mem.ColorRange(1, 4), CodePages: 4, HeapPages: 128},
@@ -165,10 +166,10 @@ func buildXCore(label string, prot core.Config, rounds int, seed uint64, o execO
 	}
 
 	spyG, trojG := t17Groups(sys)
-	seq := SymbolSeq(rounds+8, t17Arity, seed)
-	syms := &SymLog{}
-	obs := &ObsLog{}
-	lineOrder := shuffledOffsets(hw.LinesPerPage, 2, seed^0x17B)
+	seq := o.symbolSeq(rounds+8, t17Arity, seed)
+	syms := o.symLog()
+	obs := o.obsLog()
+	lineOrder := o.shuffledOffsets(hw.LinesPerPage, 2, seed^0x17B)
 
 	o.spawn(sys, 0, "trojan", 1, &windowedThrasher{
 		windows: rounds, windowLen: t17WindowLen,
@@ -180,16 +181,16 @@ func buildXCore(label string, prot core.Config, rounds int, seed uint64, o execO
 	})
 
 	return sys, func(rep kernel.Report) Row {
-		labels, vals := Label(syms, obs, 6)
-		row := decodePairs(label, labels, vals, seed^0x1717)
+		labels, vals := o.label(syms, obs, 6)
+		row := o.decodePairs(label, labels, vals, seed^0x1717)
 		row.SimOps = rep.Ops
 		return row
 	}
 }
 
 // runXCore runs one T17 configuration.
-func runXCore(label string, prot core.Config, rounds int, seed uint64) Row {
-	sys, finish := buildXCore(label, prot, rounds, seed, execOpt{})
+func runXCore(cc *CellContext, label string, prot core.Config, rounds int, seed uint64) Row {
+	sys, finish := buildXCore(label, prot, rounds, seed, execOpt{cc: cc})
 	return finish(mustRun(sys))
 }
 

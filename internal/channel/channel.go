@@ -354,56 +354,20 @@ const (
 	bootTrials = 40
 )
 
-// EstimateScalar measures the channel from scalar observations.
+// EstimateScalar measures the channel from scalar observations. It is
+// a fresh Estimator's EstimateScalar; hot loops that estimate per cell
+// reuse one Estimator instead.
 func EstimateScalar(s *Samples, maxBins int, seed uint64) (Estimate, error) {
-	m, err := FromScalar(s, maxBins)
-	if err != nil {
-		return Estimate{}, err
-	}
-	syms, vals := s.Pairs()
-	floor, err := scalarFloor(syms, vals, maxBins, seed)
-	if err != nil {
-		return Estimate{}, err
-	}
-	lo, hi := bootstrapScalarCI(syms, vals, maxBins, seed)
-	return Estimate{
-		CapacityBits: m.Capacity(baIterations, baTolerance),
-		MIUniform:    m.MutualInformation(nil),
-		FloorBits:    floor,
-		CILow:        lo,
-		CIHigh:       hi,
-		N:            s.Len(),
-		Bins:         m.Outputs,
-	}, nil
+	var e Estimator
+	return e.EstimateScalar(s, maxBins, seed)
 }
 
-// EstimatePairs measures the channel from discrete (sent, decoded) pairs.
+// EstimatePairs measures the channel from discrete (sent, decoded)
+// pairs. It is a fresh Estimator's EstimatePairs; hot loops that
+// estimate per cell reuse one Estimator instead.
 func EstimatePairs(syms, outs []int, seed uint64) (Estimate, error) {
-	m, err := FromPairs(syms, outs)
-	if err != nil {
-		return Estimate{}, err
-	}
-	r := rng.New(seed)
-	floor := 0.0
-	shuffled := append([]int(nil), syms...)
-	for trial := 0; trial < floorTrials; trial++ {
-		permute(r, shuffled)
-		fm, err := FromPairs(shuffled, outs)
-		if err != nil {
-			return Estimate{}, err
-		}
-		floor += fm.Capacity(baIterations, baTolerance)
-	}
-	lo, hi := bootstrapPairsCI(syms, outs, seed)
-	return Estimate{
-		CapacityBits: m.Capacity(baIterations, baTolerance),
-		MIUniform:    m.MutualInformation(nil),
-		FloorBits:    floor / floorTrials,
-		CILow:        lo,
-		CIHigh:       hi,
-		N:            len(syms),
-		Bins:         m.Outputs,
-	}, nil
+	var e Estimator
+	return e.EstimatePairs(syms, outs, seed)
 }
 
 // bootSeed decorrelates the bootstrap's RNG stream from the floor's, so
@@ -416,68 +380,6 @@ func ciBounds(caps []float64) (lo, hi float64) {
 	sort.Float64s(caps)
 	n := len(caps)
 	return caps[n/40], caps[n-1-n/40]
-}
-
-// bootstrapScalarCI resamples (symbol, value) pairs with replacement and
-// re-estimates capacity on each resample.
-func bootstrapScalarCI(syms []int, vals []float64, maxBins int, seed uint64) (lo, hi float64) {
-	r := rng.New(bootSeed(seed))
-	caps := make([]float64, 0, bootTrials)
-	s := NewSamples()
-	for trial := 0; trial < bootTrials; trial++ {
-		s.Reset()
-		for i := 0; i < len(syms); i++ {
-			j := r.Intn(len(syms))
-			s.Add(syms[j], vals[j])
-		}
-		m, err := FromScalar(s, maxBins)
-		if err != nil {
-			caps = append(caps, 0)
-			continue
-		}
-		caps = append(caps, m.Capacity(baIterations, baTolerance))
-	}
-	return ciBounds(caps)
-}
-
-// bootstrapPairsCI is the discrete-pairs analogue of bootstrapScalarCI.
-func bootstrapPairsCI(syms, outs []int, seed uint64) (lo, hi float64) {
-	r := rng.New(bootSeed(seed))
-	caps := make([]float64, 0, bootTrials)
-	bs, bo := make([]int, len(syms)), make([]int, len(outs))
-	for trial := 0; trial < bootTrials; trial++ {
-		for i := range syms {
-			j := r.Intn(len(syms))
-			bs[i], bo[i] = syms[j], outs[j]
-		}
-		m, err := FromPairs(bs, bo)
-		if err != nil {
-			caps = append(caps, 0)
-			continue
-		}
-		caps = append(caps, m.Capacity(baIterations, baTolerance))
-	}
-	return ciBounds(caps)
-}
-
-func scalarFloor(syms []int, vals []float64, maxBins int, seed uint64) (float64, error) {
-	r := rng.New(seed)
-	shuffled := append([]int(nil), syms...)
-	floor := 0.0
-	s := NewSamples()
-	for trial := 0; trial < floorTrials; trial++ {
-		permute(r, shuffled)
-		s.Reset()
-		for i := range shuffled {
-			s.Add(shuffled[i], vals[i])
-		}
-		m, err := FromScalar(s, maxBins)
-		if err != nil {
-			return 0, err
-		}
-		floor += m.Capacity(baIterations, baTolerance)
-	}
-	return floor / floorTrials, nil
 }
 
 func permute(r *rng.RNG, xs []int) {

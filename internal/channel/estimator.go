@@ -1,0 +1,446 @@
+package channel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"timeprot/internal/rng"
+)
+
+// Estimator owns every scratch buffer behind a capacity estimate: the
+// count matrix and its row headers, the Blahut–Arimoto distributions,
+// the floor's shuffle, the bootstrap's resample buffers, and the
+// flattened pair views of the input sample set. A zero Estimator is
+// ready to use; reusing one across estimates reuses all of it, which is
+// what makes the experiment engine's per-cell hot path — one estimate
+// per rounds-ladder rung, 51 channel matrices per estimate — allocation
+// free in the steady state.
+//
+// Correctness contract: an Estimator's estimate is bit-identical to the
+// package-level EstimateScalar/EstimatePairs on the same inputs (those
+// functions ARE a fresh Estimator). The scratch is rewound and fully
+// overwritten on every call; the only observable difference from the
+// historical per-call allocations is the allocation count. An Estimator
+// is not safe for concurrent use.
+type Estimator struct {
+	symu, outu []int // sorted distinct input/output symbols
+	flat       []float64
+	rows       [][]float64
+	m          Matrix // reused header; P rows point into flat
+
+	p, d, q []float64 // Blahut–Arimoto scratch
+
+	shuffled []int // floor permutation scratch
+	caps     []float64
+	bs, bo   []int    // bootstrap pair resamples
+	s        *Samples // floor/bootstrap resample set
+
+	syms    []int // flattened (symbol, value) pairs of the input set
+	vals    []float64
+	binVals []float64 // values in flatten order, for bin edges
+	sorted  []float64 // sorted values, for bin edges
+	edges   []float64
+}
+
+func resizeInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func resizeFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// sortedUniqueInto appends xs to dst, then sorts and dedups in place —
+// the same sorted-distinct result as uniqueInts without the map.
+func sortedUniqueInto(dst, xs []int) []int {
+	dst = append(dst, xs...)
+	sort.Ints(dst)
+	out := dst[:0]
+	for i, v := range dst {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// countRows returns a zeroed rows×cols count matrix carved out of the
+// estimator's flat backing.
+func (e *Estimator) countRows(rows, cols int) [][]float64 {
+	e.flat = resizeFloats(e.flat, rows*cols)
+	for i := range e.flat {
+		e.flat[i] = 0
+	}
+	if cap(e.rows) < rows {
+		e.rows = make([][]float64, rows)
+	}
+	e.rows = e.rows[:rows]
+	for i := range e.rows {
+		e.rows[i] = e.flat[i*cols : (i+1)*cols : (i+1)*cols]
+	}
+	return e.rows
+}
+
+// normaliseInto is normalise on the estimator's reused matrix: rows are
+// normalised in place and the matrix header points at them. The matrix
+// is valid until the estimator's next fromPairs/fromScalar call.
+func (e *Estimator) normaliseInto(counts [][]float64, inputs []int) (*Matrix, error) {
+	m := &e.m
+	m.Inputs = inputs
+	m.P = m.P[:0]
+	for _, row := range counts {
+		total := 0.0
+		for _, c := range row {
+			total += c
+		}
+		if total == 0 {
+			continue // symbol never observed; drop its row
+		}
+		for j, c := range row {
+			row[j] = c / total
+		}
+		m.P = append(m.P, row)
+	}
+	if len(m.P) == 0 {
+		return nil, fmt.Errorf("channel: empty matrix")
+	}
+	m.Outputs = len(m.P[0])
+	return m, nil
+}
+
+// fromPairs is FromPairs on the estimator's scratch. The returned
+// matrix aliases the scratch: consume it (capacity, mutual information)
+// before the next fromPairs/fromScalar call overwrites it.
+func (e *Estimator) fromPairs(syms, outs []int) (*Matrix, error) {
+	if len(syms) != len(outs) {
+		return nil, fmt.Errorf("channel: %d symbols but %d outputs", len(syms), len(outs))
+	}
+	if len(syms) == 0 {
+		return nil, fmt.Errorf("channel: no samples")
+	}
+	e.symu = sortedUniqueInto(e.symu[:0], syms)
+	e.outu = sortedUniqueInto(e.outu[:0], outs)
+	counts := e.countRows(len(e.symu), len(e.outu))
+	for k := range syms {
+		counts[sort.SearchInts(e.symu, syms[k])][sort.SearchInts(e.outu, outs[k])]++
+	}
+	return e.normaliseInto(counts, e.symu)
+}
+
+// binEdgesInto is binEdges on the estimator's scratch, producing the
+// identical edge values: distinct-value midpoints when the distinct
+// count fits in maxBins, equal-frequency quantiles otherwise.
+func (e *Estimator) binEdgesInto(vals []float64, maxBins int) []float64 {
+	e.sorted = append(e.sorted[:0], vals...)
+	sort.Float64s(e.sorted)
+	all := e.sorted
+	distinct := 0
+	for i, v := range all {
+		if i == 0 || v != all[i-1] {
+			distinct++
+		}
+	}
+	edges := e.edges[:0]
+	if distinct <= maxBins {
+		// Distinct-value bins: edges between consecutive distinct values.
+		prev := all[0]
+		for _, v := range all[1:] {
+			if v != prev {
+				edges = append(edges, (prev+v)/2)
+				prev = v
+			}
+		}
+	} else {
+		// Quantile bins over the raw (with duplicates) distribution.
+		for b := 1; b < maxBins; b++ {
+			x := all[b*len(all)/maxBins]
+			if len(edges) == 0 || x > edges[len(edges)-1] {
+				edges = append(edges, x)
+			}
+		}
+	}
+	e.edges = edges
+	return edges
+}
+
+// fromScalar is FromScalar on the estimator's scratch; the returned
+// matrix aliases the scratch like fromPairs's.
+func (e *Estimator) fromScalar(s *Samples, maxBins int) (*Matrix, error) {
+	if s.Len() == 0 {
+		return nil, fmt.Errorf("channel: no samples")
+	}
+	if maxBins < 2 {
+		maxBins = 2
+	}
+	e.symu = s.symbolsInto(e.symu[:0])
+	e.binVals = e.binVals[:0]
+	for _, sym := range e.symu {
+		e.binVals = append(e.binVals, s.bySym[sym]...)
+	}
+	edges := e.binEdgesInto(e.binVals, maxBins)
+	counts := e.countRows(len(e.symu), len(edges)+1)
+	for i, sym := range e.symu {
+		for _, v := range s.bySym[sym] {
+			counts[i][binOf(v, edges)]++
+		}
+	}
+	return e.normaliseInto(counts, e.symu)
+}
+
+// capacity is Matrix.Capacity on the estimator's scratch distributions.
+func (e *Estimator) capacity(m *Matrix, maxIter int, tol float64) float64 {
+	n := len(m.P)
+	if n <= 1 {
+		return 0
+	}
+	e.p = resizeFloats(e.p, n)
+	e.d = resizeFloats(e.d, n)
+	e.q = resizeFloats(e.q, m.Outputs)
+	p, d, q := e.p, e.d, e.q
+	for i := range p {
+		p[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		for j := range q {
+			q[j] = 0
+		}
+		for i := range m.P {
+			for j, pij := range m.P[i] {
+				q[j] += p[i] * pij
+			}
+		}
+		// d_i = D(P_i || q), the per-symbol information gain.
+		maxD, avgD := math.Inf(-1), 0.0
+		for i := range m.P {
+			di := 0.0
+			for j, pij := range m.P[i] {
+				if pij > 0 && q[j] > 0 {
+					di += pij * math.Log2(pij/q[j])
+				}
+			}
+			d[i] = di
+			if di > maxD {
+				maxD = di
+			}
+			avgD += p[i] * di
+		}
+		if maxD-avgD < tol {
+			return avgD
+		}
+		// Multiplicative update p_i <- p_i * 2^{d_i}, normalised.
+		total := 0.0
+		for i := range p {
+			p[i] *= math.Exp2(d[i])
+			total += p[i]
+		}
+		for i := range p {
+			p[i] /= total
+		}
+	}
+	return e.mutualInformation(m, p)
+}
+
+// mutualInformation is Matrix.MutualInformation on scratch; p is the
+// input distribution (never nil on this path).
+func (e *Estimator) mutualInformation(m *Matrix, p []float64) float64 {
+	e.q = resizeFloats(e.q, m.Outputs)
+	q := e.q
+	for j := range q {
+		q[j] = 0
+	}
+	for i := range m.P {
+		for j, pij := range m.P[i] {
+			q[j] += p[i] * pij
+		}
+	}
+	mi := 0.0
+	for i := range m.P {
+		for j, pij := range m.P[i] {
+			if pij > 0 && p[i] > 0 && q[j] > 0 {
+				mi += p[i] * pij * math.Log2(pij/q[j])
+			}
+		}
+	}
+	if mi < 0 {
+		mi = 0 // guard against floating point underflow
+	}
+	return mi
+}
+
+// miUniform computes the uniform-input mutual information, the
+// MutualInformation(nil) of the free path.
+func (e *Estimator) miUniform(m *Matrix) float64 {
+	n := len(m.P)
+	e.d = resizeFloats(e.d, n) // d is free between capacity calls
+	p := e.d
+	for i := range p {
+		p[i] = 1 / float64(n)
+	}
+	return e.mutualInformation(m, p)
+}
+
+// resampleSet returns the estimator's reusable floor/bootstrap sample
+// set, emptied.
+func (e *Estimator) resampleSet() *Samples {
+	if e.s == nil {
+		e.s = NewSamples()
+	}
+	e.s.Reset()
+	return e.s
+}
+
+// EstimateScalar measures the channel from scalar observations, exactly
+// as the package-level EstimateScalar but on reused scratch.
+func (e *Estimator) EstimateScalar(s *Samples, maxBins int, seed uint64) (Estimate, error) {
+	m, err := e.fromScalar(s, maxBins)
+	if err != nil {
+		return Estimate{}, err
+	}
+	// The point estimate is consumed now: the floor's and bootstrap's
+	// matrices reuse its backing. Capacity and MI are pure functions of
+	// the matrix, so the evaluation order cannot change their values.
+	capBits := e.capacity(m, baIterations, baTolerance)
+	mi := e.miUniform(m)
+	bins := m.Outputs
+	e.syms = e.syms[:0]
+	e.vals = e.vals[:0]
+	e.symu = s.symbolsInto(e.symu[:0])
+	for _, sym := range e.symu {
+		for _, v := range s.bySym[sym] {
+			e.syms = append(e.syms, sym)
+			e.vals = append(e.vals, v)
+		}
+	}
+	floor, err := e.scalarFloor(e.syms, e.vals, maxBins, seed)
+	if err != nil {
+		return Estimate{}, err
+	}
+	lo, hi := e.bootstrapScalarCI(e.syms, e.vals, maxBins, seed)
+	return Estimate{
+		CapacityBits: capBits,
+		MIUniform:    mi,
+		FloorBits:    floor,
+		CILow:        lo,
+		CIHigh:       hi,
+		N:            s.Len(),
+		Bins:         bins,
+	}, nil
+}
+
+// EstimatePairs measures the channel from discrete (sent, decoded)
+// pairs, exactly as the package-level EstimatePairs but on reused
+// scratch.
+func (e *Estimator) EstimatePairs(syms, outs []int, seed uint64) (Estimate, error) {
+	m, err := e.fromPairs(syms, outs)
+	if err != nil {
+		return Estimate{}, err
+	}
+	capBits := e.capacity(m, baIterations, baTolerance)
+	mi := e.miUniform(m)
+	bins := m.Outputs
+	r := rng.New(seed)
+	floor := 0.0
+	e.shuffled = append(e.shuffled[:0], syms...)
+	for trial := 0; trial < floorTrials; trial++ {
+		permute(r, e.shuffled)
+		fm, err := e.fromPairs(e.shuffled, outs)
+		if err != nil {
+			return Estimate{}, err
+		}
+		floor += e.capacity(fm, baIterations, baTolerance)
+	}
+	lo, hi := e.bootstrapPairsCI(syms, outs, seed)
+	return Estimate{
+		CapacityBits: capBits,
+		MIUniform:    mi,
+		FloorBits:    floor / floorTrials,
+		CILow:        lo,
+		CIHigh:       hi,
+		N:            len(syms),
+		Bins:         bins,
+	}, nil
+}
+
+// scalarFloor is the shuffled-label noise floor on reused scratch.
+func (e *Estimator) scalarFloor(syms []int, vals []float64, maxBins int, seed uint64) (float64, error) {
+	r := rng.New(seed)
+	// The shuffle scratch must not alias e.syms: copy into e.bs, which
+	// the scalar path never uses for resampling.
+	e.bs = append(e.bs[:0], syms...)
+	floor := 0.0
+	for trial := 0; trial < floorTrials; trial++ {
+		permute(r, e.bs)
+		s := e.resampleSet()
+		for i := range e.bs {
+			s.Add(e.bs[i], vals[i])
+		}
+		m, err := e.fromScalar(s, maxBins)
+		if err != nil {
+			return 0, err
+		}
+		floor += e.capacity(m, baIterations, baTolerance)
+	}
+	return floor / floorTrials, nil
+}
+
+// bootstrapScalarCI resamples (symbol, value) pairs with replacement
+// and re-estimates capacity on each resample, on reused scratch.
+func (e *Estimator) bootstrapScalarCI(syms []int, vals []float64, maxBins int, seed uint64) (lo, hi float64) {
+	r := rng.New(bootSeed(seed))
+	caps := e.caps[:0]
+	for trial := 0; trial < bootTrials; trial++ {
+		s := e.resampleSet()
+		for i := 0; i < len(syms); i++ {
+			j := r.Intn(len(syms))
+			s.Add(syms[j], vals[j])
+		}
+		m, err := e.fromScalar(s, maxBins)
+		if err != nil {
+			caps = append(caps, 0)
+			continue
+		}
+		caps = append(caps, e.capacity(m, baIterations, baTolerance))
+	}
+	e.caps = caps
+	return ciBounds(caps)
+}
+
+// bootstrapPairsCI is the discrete-pairs analogue of bootstrapScalarCI.
+func (e *Estimator) bootstrapPairsCI(syms, outs []int, seed uint64) (lo, hi float64) {
+	r := rng.New(bootSeed(seed))
+	caps := e.caps[:0]
+	e.bs = resizeInts(e.bs, len(syms))
+	e.bo = resizeInts(e.bo, len(outs))
+	for trial := 0; trial < bootTrials; trial++ {
+		for i := range syms {
+			j := r.Intn(len(syms))
+			e.bs[i], e.bo[i] = syms[j], outs[j]
+		}
+		m, err := e.fromPairs(e.bs, e.bo)
+		if err != nil {
+			caps = append(caps, 0)
+			continue
+		}
+		caps = append(caps, e.capacity(m, baIterations, baTolerance))
+	}
+	e.caps = caps
+	return ciBounds(caps)
+}
+
+// symbolsInto is Symbols into a reused buffer.
+func (s *Samples) symbolsInto(dst []int) []int {
+	for k, vs := range s.bySym {
+		if len(vs) > 0 {
+			dst = append(dst, k)
+		}
+	}
+	sort.Ints(dst)
+	return dst
+}

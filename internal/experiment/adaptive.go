@@ -61,10 +61,13 @@ func adaptiveLadder(c Cell) []int {
 // cell's effective rounds for a fixed sweep, the adaptive ladder
 // otherwise. The returned row carries the effective rounds of the
 // converged rung (Rounds), the total rounds simulated across all
-// executed rungs (RoundsRun), and the summed simulated ops.
-func runVariant(sc attacks.Scenario, v attacks.Variant, c Cell) attacks.Row {
+// executed rungs (RoundsRun), and the summed simulated ops. cc is the
+// worker's reusable cell context (nil = fresh allocations); results are
+// bit-identical either way, and each rung releases its pooled machine
+// back to the context before the next rung runs.
+func runVariant(sc attacks.Scenario, v attacks.Variant, c Cell, cc *attacks.CellContext) attacks.Row {
 	if !c.Adaptive() {
-		return v.Run(c.Rounds, c.Seed)
+		return v.RunIn(cc, c.Rounds, c.Seed)
 	}
 	var (
 		row     attacks.Row
@@ -78,7 +81,7 @@ func runVariant(sc attacks.Scenario, v attacks.Variant, c Cell) attacks.Row {
 			continue // the rounds policy collapsed this rung into the last
 		}
 		prevEff = eff
-		row = v.Run(eff, c.Seed)
+		row = v.RunIn(cc, eff, c.Seed)
 		total += eff
 		ops += row.SimOps
 		if converged(row, c.CIHalfWidth) {

@@ -218,11 +218,11 @@ func TestRunRecoversPanics(t *testing.T) {
 	// hand-built cell; simulate by running a scenario whose rounds are
 	// forced negative — the registry clamps, so instead exercise the
 	// unknown-variant path directly.
-	res := runCell(Cell{ScenarioID: "T2", Variant: "definitely not real"})
+	res := runCell(nil, Cell{ScenarioID: "T2", Variant: "definitely not real"})
 	if res.Err == "" {
 		t.Fatal("unknown variant did not error")
 	}
-	res = runCell(Cell{ScenarioID: "T99", Variant: "x"})
+	res = runCell(nil, Cell{ScenarioID: "T99", Variant: "x"})
 	if res.Err == "" {
 		t.Fatal("unknown scenario did not error")
 	}

@@ -267,7 +267,7 @@ func TestStoreNeverCachesFailures(t *testing.T) {
 	// A cell that cannot execute produces no store entry: corrupt the
 	// store dir path for one key and re-run — still no spurious writes
 	// beyond the healthy cells.
-	res := runCell(Cell{ScenarioID: "T4", Variant: "not a variant"})
+	res := runCell(nil, Cell{ScenarioID: "T4", Variant: "not a variant"})
 	if res.Err == "" {
 		t.Fatal("bogus cell did not fail")
 	}

@@ -308,8 +308,13 @@ func Run(spec Spec, opt Options) (*Report, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns one reusable cell context: machines,
+			// logs, and scratch are recycled across its cells. Contexts
+			// are never shared, so results stay deterministic and
+			// bit-identical to context-free execution.
+			cc := attacks.NewCellContext()
 			for i := range jobs {
-				results[i] = runCell(cells[i])
+				results[i] = runCell(cc, cells[i])
 				// Write back before finalisation: the store holds the
 				// pure per-cell measurement; cross-row metrics are
 				// recomputed (deterministically) at report time. A
@@ -381,9 +386,12 @@ func Run(spec Spec, opt Options) (*Report, error) {
 	return rep, nil
 }
 
-// runCell executes one cell, converting runner panics into per-cell
-// errors so a bad scenario cannot take down the sweep.
-func runCell(c Cell) (res CellResult) {
+// runCell executes one cell on the worker's reusable context,
+// converting runner panics into per-cell errors so a bad scenario
+// cannot take down the sweep. A panicked cell leaves cc safe to reuse:
+// RunIn releases its machines on the way out, and the next run rewinds
+// every scratch buffer before touching it.
+func runCell(cc *attacks.CellContext, c Cell) (res CellResult) {
 	res.Cell = c
 	defer func() {
 		if p := recover(); p != nil {
@@ -400,7 +408,7 @@ func runCell(c Cell) (res CellResult) {
 		res.Err = fmt.Sprintf("variant %q not in scenario %s", c.Variant, s.ID)
 		return res
 	}
-	res.fillFromRow(runVariant(s, v, c))
+	res.fillFromRow(runVariant(s, v, c, cc))
 	return res
 }
 

@@ -100,6 +100,15 @@ func (p *Predictor) Flush() {
 	p.stats.Flushes++
 }
 
+// Reset restores the predictor to its freshly constructed state: the
+// flush reset state AND zero statistics (Flush counts itself; Reset does
+// not). Machine pooling uses it so a reused predictor is
+// indistinguishable from New(size).
+func (p *Predictor) Reset() {
+	p.reset()
+	p.stats = Stats{}
+}
+
 // Fingerprint returns a deterministic digest of the predictor state; the
 // invariant checkers use it to verify the state is history-independent
 // after a flush.

@@ -141,6 +141,18 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats zeroes the statistics counters.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
+// Reset restores the cache to its freshly constructed state: every line
+// invalid and unowned, the LRU clock and all statistics zero. It exists
+// for machine pooling — a Reset cache is indistinguishable from New(cfg),
+// so reusing one across experiment cells cannot change a measurement.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		c.sets[i] = line{owner: hw.NoOwner}
+	}
+	c.clock = 0
+	c.stats = Stats{}
+}
+
 // SetIndex computes the set index for a global line number (an address
 // right-shifted by LineBits). The caller chooses whether the line number
 // came from a virtual or physical address according to cfg.Indexing.

@@ -147,6 +147,22 @@ func New(cfg Config, un *Uncore) *Core {
 	return c
 }
 
+// Reset restores the core's private microarchitecture to its freshly
+// constructed state: caches, TLB, branch predictor, prefetcher, and the
+// cycle clock. Machine pooling relies on a Reset core being
+// indistinguishable from one built by New with the same configuration.
+func (c *Core) Reset() {
+	c.L1I.Reset()
+	c.L1D.Reset()
+	c.L2.Reset()
+	c.TLB.Reset()
+	c.BP.Reset()
+	if c.PF != nil {
+		c.PF.Reset()
+	}
+	c.Clock.Reset()
+}
+
 // ID returns the core's index.
 func (c *Core) ID() int { return c.cfg.ID }
 

@@ -101,10 +101,14 @@ func (b *Bus) Access(core int, now uint64) (latency uint64) {
 
 // Reset clears queueing state and statistics (used between experiment
 // trials; a real bus has no history worth modelling beyond the in-flight
-// transfer).
+// transfer). Statistics entries are zeroed in place rather than
+// reallocated, so pointers handed out by Stats stay valid and a pooled
+// bus resets without allocating.
 func (b *Bus) Reset() {
 	b.nextFree = 0
-	b.stats = make(map[int]*CoreStats)
+	for _, s := range b.stats {
+		*s = CoreStats{}
+	}
 	if b.limiter != nil {
 		b.limiter.Reset()
 	}

@@ -50,6 +50,14 @@ func (m *PhysMem) NumColors() int { return m.numColors }
 // Color returns the page colour of a frame.
 func (m *PhysMem) Color(pfn uint64) int { return int(pfn % uint64(m.numColors)) }
 
+// Reset releases every frame back to the unowned state, restoring the
+// memory to its freshly constructed state for machine pooling.
+func (m *PhysMem) Reset() {
+	for i := range m.owner {
+		m.owner[i] = hw.NoOwner
+	}
+}
+
 // Owner returns the domain owning a frame.
 func (m *PhysMem) Owner(pfn uint64) hw.DomainID {
 	if pfn >= uint64(m.numFrames) {
@@ -136,6 +144,22 @@ func NewAllocator(m *PhysMem) *Allocator {
 		a.free[i] = true
 	}
 	return a
+}
+
+// Reset restores the allocator (and its backing memory's ownership map)
+// to the freshly constructed state: every frame free and unowned, scan
+// cursors and the round-robin rotation rewound. Allocation order after a
+// Reset is identical to a new allocator's, which is what lets machine
+// pooling reuse one without perturbing any frame-placement decision.
+func (a *Allocator) Reset() {
+	a.mem.Reset()
+	for c := range a.next {
+		a.next[c] = uint64(c)
+	}
+	for i := range a.free {
+		a.free[i] = true
+	}
+	a.rr = 0
 }
 
 // Alloc allocates one frame for domain d. If colors is non-nil the frame's

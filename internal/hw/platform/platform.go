@@ -136,6 +136,27 @@ func New(cfg Config) *Machine {
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
+// Reset restores the machine to its freshly constructed state so it can
+// be reused for another experiment cell without rebuilding: all caches
+// and core-local state, the bus (including removal of any installed
+// limiter or TDM schedule — a fresh bus has neither), memory ownership,
+// the frame allocator, and the interrupt controller. The structural
+// objects (cores, logical CPUs, uncore wiring) are retained; only their
+// state is rewound. A Reset machine must be indistinguishable from
+// New(cfg) to every measurement — that equivalence is what makes machine
+// pooling invisible to the sweep store's byte-identical outputs.
+func (m *Machine) Reset() {
+	m.LLC.Reset()
+	m.Bus.SetLimiter(nil)
+	m.Bus.SetTDM(nil)
+	m.Bus.Reset()
+	m.Alloc.Reset() // also resets Mem's frame ownership
+	m.IRQ.Reset()
+	for _, c := range m.Cores {
+		c.Reset()
+	}
+}
+
 // Colors returns the number of LLC page colours.
 func (m *Machine) Colors() int { return m.Mem.NumColors() }
 
@@ -181,6 +202,21 @@ func NewIRQController(lines, cores int) *IRQController {
 
 // Lines returns the number of interrupt lines.
 func (c *IRQController) Lines() int { return c.lines }
+
+// Reset restores the controller to its freshly constructed state: no
+// pending lines, all lines masked on every core, no programmed timers.
+func (c *IRQController) Reset() {
+	for l := 0; l < c.lines; l++ {
+		c.pending[l] = false
+		c.raisedAt[l] = 0
+	}
+	for i := range c.masked {
+		for l := range c.masked[i] {
+			c.masked[i][l] = true
+		}
+	}
+	c.timers = c.timers[:0]
+}
 
 // Program arms a one-shot device timer raising line at cycle fireAt.
 // This is how a Trojan schedules an I/O completion interrupt (§4.2).

@@ -1,0 +1,75 @@
+package platform
+
+// Pool reuses assembled machines across experiment cells. Building a
+// Machine is the dominant per-cell allocation of the attack path (a
+// default platform carries a 64k-line LLC, a 16k-frame memory map, and
+// per-core cache hierarchies); an experiment worker that runs thousands
+// of cells against a handful of distinct platform configurations can
+// amortise that construction by acquiring machines here instead.
+//
+// A Pool is intentionally NOT safe for concurrent use: the experiment
+// engine gives each worker goroutine its own pool (inside its cell
+// context), so no synchronisation is paid on the hot path.
+//
+// Get hands out a machine in the freshly constructed state — either
+// genuinely new, or a previously released machine healed by
+// Machine.Reset. Reset-on-acquire (rather than on release) means a
+// machine abandoned mid-cell by a panicking scenario is still safe to
+// reuse. ReleaseAll returns every outstanding machine at once; the
+// engine calls it after each cell, when no reference into the machine
+// can outlive the cell's Row.
+type Pool struct {
+	free  map[Config][]*Machine
+	inUse []*Machine
+}
+
+// NewPool returns an empty machine pool.
+func NewPool() *Pool {
+	return &Pool{free: make(map[Config][]*Machine)}
+}
+
+// Get returns a machine of the given configuration in its freshly
+// constructed state, reusing a released machine when one is available.
+// A nil pool degrades to plain construction, so call sites need no
+// conditionals. Like New, it panics on an invalid configuration.
+func (p *Pool) Get(cfg Config) *Machine {
+	if p == nil {
+		return New(cfg)
+	}
+	var m *Machine
+	if list := p.free[cfg]; len(list) > 0 {
+		m = list[len(list)-1]
+		p.free[cfg] = list[:len(list)-1]
+		m.Reset()
+	} else {
+		m = New(cfg)
+	}
+	p.inUse = append(p.inUse, m)
+	return m
+}
+
+// ReleaseAll returns every machine handed out since the last ReleaseAll
+// to the pool. The caller must not touch previously acquired machines
+// afterwards. Calling ReleaseAll on a nil pool is a no-op.
+func (p *Pool) ReleaseAll() {
+	if p == nil {
+		return
+	}
+	for _, m := range p.inUse {
+		p.free[m.cfg] = append(p.free[m.cfg], m)
+	}
+	p.inUse = p.inUse[:0]
+}
+
+// Size returns the number of idle machines held, for tests and
+// introspection.
+func (p *Pool) Size() int {
+	if p == nil {
+		return 0
+	}
+	n := 0
+	for _, list := range p.free {
+		n += len(list)
+	}
+	return n
+}

@@ -87,6 +87,13 @@ func (s *Stride) Flush() {
 	s.stats.Flushes++
 }
 
+// Reset restores the prefetcher to its freshly constructed state: the
+// flush state with zero statistics (Flush counts itself; Reset does not).
+func (s *Stride) Reset() {
+	s.Flush()
+	s.stats = Stats{}
+}
+
 // Fingerprint digests the state for the flush invariant checker.
 func (s *Stride) Fingerprint() uint64 {
 	h := s.lastLine

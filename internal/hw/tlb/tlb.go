@@ -66,6 +66,18 @@ func (t *TLB) Size() int { return len(t.entries) }
 // Stats returns a copy of the statistics.
 func (t *TLB) Stats() Stats { return t.stats }
 
+// Reset restores the TLB to its freshly constructed state: every entry
+// invalid, the LRU clock and all statistics zero. Unlike FlushAll it
+// also clears the clock and counters, so a pooled machine's TLB is
+// indistinguishable from a new one.
+func (t *TLB) Reset() {
+	for i := range t.entries {
+		t.entries[i] = Entry{}
+	}
+	t.clock = 0
+	t.stats = Stats{}
+}
+
 // Lookup searches for a translation of vpn under asid. Global entries
 // match regardless of ASID.
 func (t *TLB) Lookup(asid ASID, vpn uint64) (pfn uint64, hit bool) {

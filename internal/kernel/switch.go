@@ -175,11 +175,10 @@ func (s *System) domainSwitch(st *cpuState) {
 	st.bumpEpoch(to.ID)
 	st.cur = nil // dispatched lazily by the run loop
 
-	s.log.Append(trace.Event{
+	s.log.Append2(trace.Event{
 		Kind: trace.SwitchEnd, CPU: st.lcpu.Index, Cycle: clk.Now(),
 		From: from.ID, To: to.ID, AuxCycle: oldSliceStart, Latency: padded,
-	})
-	s.log.Append(trace.Event{
+	}, trace.Event{
 		Kind: trace.SliceStart, CPU: st.lcpu.Index, Cycle: st.sliceStart, To: to.ID,
 	})
 }

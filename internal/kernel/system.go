@@ -32,6 +32,20 @@ type SystemConfig struct {
 	// MaxCycles aborts the run when any CPU clock passes it;
 	// 0 means DefaultMaxCycles.
 	MaxCycles uint64
+	// Pool, when non-nil, supplies the hardware machine: construction
+	// is served from the pool (reusing a Reset machine of the same
+	// platform configuration when one is available) instead of building
+	// from scratch. Pooling is invisible to the simulation — a pooled
+	// machine starts in exactly the freshly constructed state — so it
+	// never appears in any fingerprint. The pool is not synchronised;
+	// use one per worker.
+	Pool *platform.Pool
+	// TraceLog, when non-nil and EnableTrace is set, is the event log
+	// to record into (Reset first) instead of allocating a fresh one —
+	// the reuse hook for trace-enabled scenarios on the sweep's hot
+	// path. The caller must not run two live systems against the same
+	// log.
+	TraceLog *trace.Log
 }
 
 // DefaultMaxCycles caps runaway simulations.
@@ -97,7 +111,7 @@ func NewSystem(scfg SystemConfig) (*System, error) {
 	if err := scfg.Platform.Validate(); err != nil {
 		return nil, err
 	}
-	m := platform.New(scfg.Platform)
+	m := scfg.Pool.Get(scfg.Platform)
 	if err := validateSpecs(scfg.Protection, scfg.Domains, m.Colors(), scfg.Platform.IRQLines); err != nil {
 		return nil, err
 	}
@@ -114,7 +128,12 @@ func NewSystem(scfg SystemConfig) (*System, error) {
 		killAll:   make(chan struct{}),
 	}
 	if scfg.EnableTrace {
-		s.log = trace.NewLog()
+		if scfg.TraceLog != nil {
+			scfg.TraceLog.Reset()
+			s.log = scfg.TraceLog
+		} else {
+			s.log = trace.NewLog()
+		}
 	}
 	if s.scfg.MaxCycles == 0 {
 		s.scfg.MaxCycles = DefaultMaxCycles

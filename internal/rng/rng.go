@@ -51,11 +51,19 @@ func (r *RNG) Bool() bool { return r.Uint64()&1 == 1 }
 
 // Perm returns a pseudo-random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
-	p := make([]int, n)
+	return r.PermInto(make([]int, n))
+}
+
+// PermInto fills p with a pseudo-random permutation of [0, len(p)) and
+// returns it. It consumes exactly the random stream Perm consumes for the
+// same length, so callers can swap between the two without perturbing any
+// downstream draw — the allocation-free variant for hot paths that reuse
+// a scratch buffer.
+func (r *RNG) PermInto(p []int) []int {
 	for i := range p {
 		p[i] = i
 	}
-	for i := n - 1; i > 0; i-- {
+	for i := len(p) - 1; i > 0; i-- {
 		j := r.Intn(i + 1)
 		p[i], p[j] = p[j], p[i]
 	}

@@ -107,6 +107,17 @@ func (l *Log) Append(e Event) {
 	l.events = append(l.events, e)
 }
 
+// Append2 records two consecutive events with a single append — one
+// capacity check and at most one growth step for the pair. The kernel's
+// domain-switch protocol emits its SwitchEnd/SliceStart pair through
+// this. Appending to a nil log is a no-op.
+func (l *Log) Append2(a, b Event) {
+	if l == nil {
+		return
+	}
+	l.events = append(l.events, a, b)
+}
+
 // Events returns the recorded events in order. The caller must not
 // mutate the returned slice.
 func (l *Log) Events() []Event {
@@ -136,6 +147,21 @@ func (l *Log) Filter(k Kind) []Event {
 		}
 	}
 	return out
+}
+
+// FilterInto appends the events of one kind to dst (which may be an
+// emptied scratch slice) and returns it — the allocation-disciplined
+// variant of Filter for callers that scan a log repeatedly.
+func (l *Log) FilterInto(dst []Event, k Kind) []Event {
+	if l == nil {
+		return dst
+	}
+	for _, e := range l.events {
+		if e.Kind == k {
+			dst = append(dst, e)
+		}
+	}
+	return dst
 }
 
 // Reset discards all events.

@@ -1,0 +1,81 @@
+// Command benchtrend compares two BENCH_N.json perf-trajectory files
+// and fails (exit 1) on a cell-throughput regression.
+//
+// Usage:
+//
+//	go run ./tools/benchtrend OLD.json NEW.json [-max-regress PCT]
+//
+// The gated figure is cells.cells_per_sec_warm — the whole-cell
+// throughput of the pooled hot path on the fixed bench matrix (see
+// tpbench -bench-cells). Absolute numbers are machine-dependent, so the
+// comparison only runs when both files report the same cpu string;
+// otherwise the files are declared not comparable and the check passes.
+// A file without a cells section (trajectories before PR 7) also passes:
+// the gate arms itself as soon as both sides carry the figure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// benchFile is the subset of the BENCH_N.json schema benchtrend reads.
+type benchFile struct {
+	PR    int    `json:"pr"`
+	CPU   string `json:"cpu"`
+	Cells *struct {
+		CellsPerSecCold float64 `json:"cells_per_sec_cold"`
+		CellsPerSecWarm float64 `json:"cells_per_sec_warm"`
+	} `json:"cells"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchtrend: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func load(path string) benchFile {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var f benchFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		fail("%s: %v", path, err)
+	}
+	return f
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 20, "maximum allowed cells/sec (warm) regression, percent")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fail("usage: benchtrend OLD.json NEW.json [-max-regress PCT]")
+	}
+	oldF, newF := load(flag.Arg(0)), load(flag.Arg(1))
+
+	if oldF.Cells == nil {
+		fmt.Printf("benchtrend: %s (PR %d) has no cells section; nothing to compare\n", flag.Arg(0), oldF.PR)
+		return
+	}
+	if newF.Cells == nil {
+		fail("%s (PR %d) dropped the cells section present in %s", flag.Arg(1), newF.PR, flag.Arg(0))
+	}
+	if oldF.CPU != newF.CPU {
+		fmt.Printf("benchtrend: hosts differ (%q vs %q); absolute throughput not comparable\n", oldF.CPU, newF.CPU)
+		return
+	}
+	oldW, newW := oldF.Cells.CellsPerSecWarm, newF.Cells.CellsPerSecWarm
+	if oldW <= 0 {
+		fail("%s has non-positive cells_per_sec_warm %v", flag.Arg(0), oldW)
+	}
+	change := 100 * (newW - oldW) / oldW
+	fmt.Printf("benchtrend: warm cells/sec %.2f -> %.2f (%+.1f%%), gate -%.0f%%\n",
+		oldW, newW, change, *maxRegress)
+	if change < -*maxRegress {
+		fail("PR %d regresses warm cell throughput %.1f%% vs PR %d (limit %.0f%%)",
+			newF.PR, -change, oldF.PR, *maxRegress)
+	}
+}
