@@ -8,7 +8,8 @@
 //
 //	tpattack -scenario l1pp|llcpp|flush|kimage|irq|smt|bus|downgrader|padding|overheads|branch|tlb \
 //	         [-protect all|none|flush,pad,colour,clone,irq,smt,mindeliv] \
-//	         [-rounds N] [-seed S] [-parallel P]
+//	         [-rounds N] [-seed S] [-parallel P] \
+//	         [-store DIR] [-store-backend file|packed|auto] [-shard i/n] [-merge-from DIRS] [-warm-only]
 //	tpattack -list
 package main
 
@@ -20,6 +21,7 @@ import (
 
 	"timeprot"
 	"timeprot/internal/attacks"
+	"timeprot/internal/cliutil"
 	"timeprot/internal/core"
 )
 
@@ -80,6 +82,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "deterministic seed")
 	parallel := flag.Int("parallel", 0, "worker count for the canonical sweep (0 = GOMAXPROCS)")
 	list := flag.Bool("list", false, "list scenarios and their canonical variants, then exit")
+	sf := cliutil.RegisterStore(flag.CommandLine, "cell")
 	flag.Parse()
 
 	if *list {
@@ -92,9 +95,19 @@ func main() {
 		fail("unknown scenario %q; run with -list", *scenario)
 	}
 
+	st, sel, err := sf.Resolve(func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+
 	// A bespoke protection configuration runs as a single cell, for
 	// scenarios whose runner is configuration-shaped.
 	if *protect != "" {
+		if st != nil {
+			fail("-store caches canonical sweep cells only; it cannot cache a bespoke -protect run")
+		}
 		cfg, err := parseProtection(*protect)
 		if err != nil {
 			fail("%v", err)
@@ -110,14 +123,23 @@ func main() {
 	}
 
 	// Canonical sweep: every variant of the scenario, concurrently.
+	var stats timeprot.SweepCacheStats
 	rep, err := timeprot.RunSweep(timeprot.SweepSpec{
 		Scenarios: []string{s.ID},
 		Rounds:    *rounds,
 		Seeds:     []uint64{*seed},
 		Proofs:    false,
-	}, timeprot.SweepOptions{Parallelism: *parallel})
+	}, timeprot.SweepOptions{Parallelism: *parallel, Store: st, Shard: sel, Stats: &stats})
 	if err != nil {
 		fail("%v", err)
+	}
+	if st != nil {
+		if cerr := st.Close(); cerr != nil {
+			fail("closing store: %v", cerr)
+		}
+	}
+	if sf.WarmOnly && stats.Executed > 0 {
+		fail("-warm-only: %d of %d cells were not served from the store", stats.Executed, stats.Total)
 	}
 	e := attacks.Experiment{ID: s.ID, Title: s.Title}
 	for _, c := range rep.Cells {

@@ -239,6 +239,14 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	// The store's work is done once the sweep returns; closing now (not
+	// deferred past the os.Exit paths below) persists the packed
+	// backend's index sidecar and final sync.
+	if st != nil {
+		if cerr := st.Close(); cerr != nil {
+			fail("closing store: %v", cerr)
+		}
+	}
 
 	if !*quiet {
 		if err := timeprot.WriteSweepText(os.Stdout, rep); err != nil {

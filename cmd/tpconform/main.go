@@ -113,6 +113,13 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	// Close before the os.Exit paths below so the packed backend's
+	// index sidecar and final sync are persisted.
+	if st != nil {
+		if cerr := st.Close(); cerr != nil {
+			fail("closing store: %v", cerr)
+		}
+	}
 
 	if !*quiet {
 		if err := timeprot.WriteConformanceText(os.Stdout, rep); err != nil {

@@ -27,10 +27,14 @@ func SplitList(s string) []string {
 	return out
 }
 
-// StoreFlags is the store/shard/merge-from/warm-only flag quartet.
+// StoreFlags is the store/shard/merge-from/warm-only flag quartet,
+// plus the backend selector.
 type StoreFlags struct {
 	// Dir is -store: the content-addressed result store directory.
 	Dir string
+	// Backend is -store-backend: "file", "packed", or "auto" (detect
+	// from the on-disk layout, defaulting new stores to "file").
+	Backend string
 	// Shard is -shard: an "i/n" deterministic matrix partition.
 	Shard string
 	// MergeFrom is -merge-from: source stores folded into -store.
@@ -45,10 +49,23 @@ type StoreFlags struct {
 func RegisterStore(fs *flag.FlagSet, noun string) *StoreFlags {
 	f := &StoreFlags{}
 	fs.StringVar(&f.Dir, "store", "", "content-addressed result store directory; cached "+noun+"s are served without re-execution")
+	fs.StringVar(&f.Backend, "store-backend", store.BackendAuto, "store layout: file (one entry per file), packed (segment log), or auto (detect)")
 	fs.StringVar(&f.Shard, "shard", "", "run only shard i/n of the matrix (e.g. 0/4); the report is then partial")
 	fs.StringVar(&f.MergeFrom, "merge-from", "", "comma-separated store directories to merge into -store before the run")
 	fs.BoolVar(&f.WarmOnly, "warm-only", false, "fail unless every "+noun+" is served from -store (zero executions)")
 	return f
+}
+
+// PackedOptions is the packed-backend configuration every CLI shares:
+// the three current engine fingerprints, so packed records are tagged
+// with the fingerprint they were computed under and compaction can
+// garbage-collect cells no lookup can ever hit again.
+func PackedOptions() store.PackedOptions {
+	return store.PackedOptions{
+		CellTag:    experiment.Fingerprint(),
+		ProofTag:   experiment.ProverFingerprint(),
+		ConformTag: experiment.ConformFingerprint(),
+	}
 }
 
 // Resolve validates the parsed quartet, opens the store (when -store
@@ -56,17 +73,21 @@ func RegisterStore(fs *flag.FlagSet, noun string) *StoreFlags {
 // Each merge is reported through logf when it is non-nil (the CLIs
 // disagree on where merge chatter belongs — tpbench's stdout, the
 // others' stderr — so the destination stays theirs). A zero ShardSel
-// means the full matrix.
-func (f *StoreFlags) Resolve(logf func(format string, args ...any)) (*store.Store, experiment.ShardSel, error) {
-	var st *store.Store
+// means the full matrix. The returned store is nil (the untyped kind —
+// safe for != nil checks) when no -store was given; callers own
+// closing it.
+func (f *StoreFlags) Resolve(logf func(format string, args ...any)) (store.CellStore, experiment.ShardSel, error) {
+	var st store.CellStore
 	if f.Dir != "" {
-		var err error
-		if st, err = store.Open(f.Dir); err != nil {
+		opened, err := store.OpenBackend(f.Backend, f.Dir, PackedOptions())
+		if err != nil {
 			return nil, experiment.ShardSel{}, err
 		}
+		st = opened
 		for _, src := range SplitList(f.MergeFrom) {
 			added, err := st.MergeFrom(src)
 			if err != nil {
+				st.Close()
 				return nil, experiment.ShardSel{}, fmt.Errorf("merging %s: %v", src, err)
 			}
 			if logf != nil {
@@ -85,6 +106,9 @@ func (f *StoreFlags) Resolve(logf func(format string, args ...any)) (*store.Stor
 		i, erri := strconv.Atoi(is)
 		n, errn := strconv.Atoi(ns)
 		if !ok || erri != nil || errn != nil || n < 1 || i < 0 || i >= n {
+			if st != nil {
+				st.Close()
+			}
 			return nil, experiment.ShardSel{}, fmt.Errorf("bad -shard %q: want i/n with 0 <= i < n", f.Shard)
 		}
 		sel = experiment.ShardSel{Index: i, Count: n}

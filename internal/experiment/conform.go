@@ -289,7 +289,7 @@ type ConformanceOptions struct {
 	Progress func(done, total int, c ConformanceCell)
 	// Store, when non-nil, serves cached conformance cells and receives
 	// fresh non-failed outcomes.
-	Store *store.Store
+	Store store.CellStore
 	// Shard restricts the run to one shard of the matrix's
 	// deterministic partition (unit: single cell). The zero value runs
 	// everything.

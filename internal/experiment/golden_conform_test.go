@@ -47,81 +47,90 @@ func runGoldenConform(t *testing.T, opt ConformanceOptions) (*ConformanceMatrix,
 }
 
 // TestGoldenConformance is the golden-trace regression test of the
-// conformance engine: a cold run, a warm run (100% cache hits), and a
-// 4-way sharded-then-merged run must all reproduce the committed JSON
-// output byte for byte — the conformance mirror of TestGoldenSweep and
-// TestGoldenProofMatrix.
+// conformance engine, run on BOTH store backends: a cold run, a warm
+// run (100% cache hits), and a 4-way sharded-then-merged run must all
+// reproduce the committed JSON output byte for byte — the conformance
+// mirror of TestGoldenSweep and TestGoldenProofMatrix.
 func TestGoldenConformance(t *testing.T) {
-	st := openStore(t)
+	for _, backend := range goldenBackends {
+		t.Run(backend, func(t *testing.T) {
+			st := openBackendStore(t, backend)
 
-	cold, stats := runGoldenConform(t, ConformanceOptions{Store: st})
-	coldJSON := renderConformJSON(t, cold)
-	if stats.Hits != 0 || stats.Executed != stats.Total || stats.Stored != stats.Total {
-		t.Fatalf("cold run stats: %+v", stats)
-	}
-	if v := cold.Violations(); len(v) != 0 {
-		t.Fatalf("golden conformance matrix carries %d soundness violations: %+v", len(v), v)
-	}
+			cold, stats := runGoldenConform(t, ConformanceOptions{Store: st})
+			coldJSON := renderConformJSON(t, cold)
+			if stats.Hits != 0 || stats.Executed != stats.Total || stats.Stored != stats.Total {
+				t.Fatalf("cold run stats: %+v", stats)
+			}
+			if v := cold.Violations(); len(v) != 0 {
+				t.Fatalf("golden conformance matrix carries %d soundness violations: %+v", len(v), v)
+			}
 
-	if *update {
-		if err := os.MkdirAll(filepath.Dir(goldenConformPath), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(goldenConformPath, coldJSON, 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
-	golden, err := os.ReadFile(goldenConformPath)
-	if err != nil {
-		t.Fatalf("%v (run `go test ./internal/experiment -run TestGoldenConformance -update` after an intentional model or harness change)", err)
-	}
-	if !bytes.Equal(coldJSON, golden) {
-		t.Fatalf("cold run diverges from the committed golden output — a model or harness change altered conformance verdicts; if intentional, bump the responsible model version and regenerate with -update")
-	}
+			if *update && backend == "file" {
+				if err := os.MkdirAll(filepath.Dir(goldenConformPath), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenConformPath, coldJSON, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			golden, err := os.ReadFile(goldenConformPath)
+			if err != nil {
+				t.Fatalf("%v (run `go test ./internal/experiment -run TestGoldenConformance -update` after an intentional model or harness change)", err)
+			}
+			if !bytes.Equal(coldJSON, golden) {
+				t.Fatalf("cold run diverges from the committed golden output — a model or harness change altered conformance verdicts; if intentional, bump the responsible model version and regenerate with -update")
+			}
 
-	// Warm run: zero executions, identical bytes — including the text
-	// rendering, which exercises the reconstructed estimates.
-	warm, wstats := runGoldenConform(t, ConformanceOptions{Store: st})
-	if wstats.Hits != wstats.Total || wstats.Executed != 0 || wstats.Stored != 0 {
-		t.Fatalf("warm run not fully cached: %+v", wstats)
-	}
-	if !bytes.Equal(renderConformJSON(t, warm), golden) {
-		t.Fatal("warm run JSON differs from cold run")
-	}
-	var wtxt, ctxt bytes.Buffer
-	if err := WriteConformanceText(&wtxt, warm); err != nil {
-		t.Fatal(err)
-	}
-	if err := WriteConformanceText(&ctxt, cold); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(wtxt.Bytes(), ctxt.Bytes()) {
-		t.Fatal("warm run text differs from cold run")
-	}
+			// Warm run: zero executions, identical bytes — including
+			// the text rendering, which exercises the reconstructed
+			// estimates.
+			warm, wstats := runGoldenConform(t, ConformanceOptions{Store: st})
+			if wstats.Hits != wstats.Total || wstats.Executed != 0 || wstats.Stored != 0 {
+				t.Fatalf("warm run not fully cached: %+v", wstats)
+			}
+			if !bytes.Equal(renderConformJSON(t, warm), golden) {
+				t.Fatal("warm run JSON differs from cold run")
+			}
+			var wtxt, ctxt bytes.Buffer
+			if err := WriteConformanceText(&wtxt, warm); err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteConformanceText(&ctxt, cold); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(wtxt.Bytes(), ctxt.Bytes()) {
+				t.Fatal("warm run text differs from cold run")
+			}
 
-	// 4-way sharded cold runs into independent stores, merged, then a
-	// warm full run over the merged store: same bytes again.
-	shardStores := make([]string, 4)
-	for i := 0; i < 4; i++ {
-		s := openStore(t)
-		shardStores[i] = s.Dir()
-		_, st := runGoldenConform(t, ConformanceOptions{Store: s, Shard: ShardSel{Index: i, Count: 4}})
-		if st.Executed == 0 {
-			t.Fatalf("shard %d executed nothing", i)
-		}
-	}
-	merged := openStore(t)
-	for _, dir := range shardStores {
-		if _, err := merged.MergeFrom(dir); err != nil {
-			t.Fatal(err)
-		}
-	}
-	full, mstats := runGoldenConform(t, ConformanceOptions{Store: merged})
-	if mstats.Hits != mstats.Total || mstats.Executed != 0 {
-		t.Fatalf("merged warm run not fully cached: %+v", mstats)
-	}
-	if !bytes.Equal(renderConformJSON(t, full), golden) {
-		t.Fatal("sharded-then-merged run differs from cold run")
+			// 4-way sharded cold runs into independent stores, merged
+			// across a Close, then a warm full run over the merged
+			// store: same bytes again.
+			shardStores := make([]string, 4)
+			for i := 0; i < 4; i++ {
+				s := openBackendStore(t, backend)
+				shardStores[i] = s.Dir()
+				_, st := runGoldenConform(t, ConformanceOptions{Store: s, Shard: ShardSel{Index: i, Count: 4}})
+				if st.Executed == 0 {
+					t.Fatalf("shard %d executed nothing", i)
+				}
+				if err := s.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			merged := openBackendStore(t, backend)
+			for _, dir := range shardStores {
+				if _, err := merged.MergeFrom(dir); err != nil {
+					t.Fatal(err)
+				}
+			}
+			full, mstats := runGoldenConform(t, ConformanceOptions{Store: merged})
+			if mstats.Hits != mstats.Total || mstats.Executed != 0 {
+				t.Fatalf("merged warm run not fully cached: %+v", mstats)
+			}
+			if !bytes.Equal(renderConformJSON(t, full), golden) {
+				t.Fatal("sharded-then-merged run differs from cold run")
+			}
+		})
 	}
 }
 

@@ -53,70 +53,80 @@ func runGoldenProofs(t *testing.T, opt ProofOptions) (*ProofMatrix, CacheStats) 
 }
 
 // TestGoldenProofMatrix is the golden-trace regression test of the
-// proof-matrix engine: a cold run, a warm run (100% cache hits), and a
-// 4-way sharded-then-merged run must all reproduce the committed JSON
-// output byte for byte — the proof-side mirror of TestGoldenSweep.
+// proof-matrix engine, run on BOTH store backends: a cold run, a warm
+// run (100% cache hits), and a 4-way sharded-then-merged run must all
+// reproduce the committed JSON output byte for byte — the proof-side
+// mirror of TestGoldenSweep.
 func TestGoldenProofMatrix(t *testing.T) {
-	st := openStore(t)
+	for _, backend := range goldenBackends {
+		t.Run(backend, func(t *testing.T) {
+			st := openBackendStore(t, backend)
 
-	cold, stats := runGoldenProofs(t, ProofOptions{Store: st})
-	coldJSON := renderProofsJSON(t, cold)
-	if stats.Hits != 0 || stats.Executed != stats.Total || stats.Stored != stats.Total {
-		t.Fatalf("cold run stats: %+v", stats)
-	}
+			cold, stats := runGoldenProofs(t, ProofOptions{Store: st})
+			coldJSON := renderProofsJSON(t, cold)
+			if stats.Hits != 0 || stats.Executed != stats.Total || stats.Stored != stats.Total {
+				t.Fatalf("cold run stats: %+v", stats)
+			}
 
-	if *update {
-		if err := os.MkdirAll(filepath.Dir(goldenProofsPath), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(goldenProofsPath, coldJSON, 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
-	golden, err := os.ReadFile(goldenProofsPath)
-	if err != nil {
-		t.Fatalf("%v (run `go test ./internal/experiment -run TestGoldenProofMatrix -update` after an intentional prover change)", err)
-	}
-	if !bytes.Equal(coldJSON, golden) {
-		t.Fatalf("cold run diverges from the committed golden output — a prover change altered verdicts or witnesses; if intentional, bump the responsible prove/* model version and regenerate with -update")
-	}
+			if *update && backend == "file" {
+				if err := os.MkdirAll(filepath.Dir(goldenProofsPath), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenProofsPath, coldJSON, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			golden, err := os.ReadFile(goldenProofsPath)
+			if err != nil {
+				t.Fatalf("%v (run `go test ./internal/experiment -run TestGoldenProofMatrix -update` after an intentional prover change)", err)
+			}
+			if !bytes.Equal(coldJSON, golden) {
+				t.Fatalf("cold run diverges from the committed golden output — a prover change altered verdicts or witnesses; if intentional, bump the responsible prove/* model version and regenerate with -update")
+			}
 
-	// Warm run: zero executions, identical bytes — including the
-	// Markdown rendering, which exercises the reconstructed reports.
-	warm, wstats := runGoldenProofs(t, ProofOptions{Store: st})
-	if wstats.Hits != wstats.Total || wstats.Executed != 0 || wstats.Stored != 0 {
-		t.Fatalf("warm run not fully cached: %+v", wstats)
-	}
-	if !bytes.Equal(renderProofsJSON(t, warm), golden) {
-		t.Fatal("warm run JSON differs from cold run")
-	}
-	if !bytes.Equal(renderProofsMarkdown(t, warm), renderProofsMarkdown(t, cold)) {
-		t.Fatal("warm run Markdown differs from cold run")
-	}
+			// Warm run: zero executions, identical bytes — including
+			// the Markdown rendering, which exercises the
+			// reconstructed reports.
+			warm, wstats := runGoldenProofs(t, ProofOptions{Store: st})
+			if wstats.Hits != wstats.Total || wstats.Executed != 0 || wstats.Stored != 0 {
+				t.Fatalf("warm run not fully cached: %+v", wstats)
+			}
+			if !bytes.Equal(renderProofsJSON(t, warm), golden) {
+				t.Fatal("warm run JSON differs from cold run")
+			}
+			if !bytes.Equal(renderProofsMarkdown(t, warm), renderProofsMarkdown(t, cold)) {
+				t.Fatal("warm run Markdown differs from cold run")
+			}
 
-	// 4-way sharded cold runs into independent stores, merged, then a
-	// warm full run over the merged store: same bytes again.
-	shardStores := make([]string, 4)
-	for i := 0; i < 4; i++ {
-		s := openStore(t)
-		shardStores[i] = s.Dir()
-		_, st := runGoldenProofs(t, ProofOptions{Store: s, Shard: ShardSel{Index: i, Count: 4}})
-		if st.Executed == 0 {
-			t.Fatalf("shard %d executed nothing", i)
-		}
-	}
-	merged := openStore(t)
-	for _, dir := range shardStores {
-		if _, err := merged.MergeFrom(dir); err != nil {
-			t.Fatal(err)
-		}
-	}
-	full, mstats := runGoldenProofs(t, ProofOptions{Store: merged})
-	if mstats.Hits != mstats.Total || mstats.Executed != 0 {
-		t.Fatalf("merged warm run not fully cached: %+v", mstats)
-	}
-	if !bytes.Equal(renderProofsJSON(t, full), golden) {
-		t.Fatal("sharded-then-merged run differs from cold run")
+			// 4-way sharded cold runs into independent stores, merged
+			// across a Close, then a warm full run over the merged
+			// store: same bytes again.
+			shardStores := make([]string, 4)
+			for i := 0; i < 4; i++ {
+				s := openBackendStore(t, backend)
+				shardStores[i] = s.Dir()
+				_, st := runGoldenProofs(t, ProofOptions{Store: s, Shard: ShardSel{Index: i, Count: 4}})
+				if st.Executed == 0 {
+					t.Fatalf("shard %d executed nothing", i)
+				}
+				if err := s.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			merged := openBackendStore(t, backend)
+			for _, dir := range shardStores {
+				if _, err := merged.MergeFrom(dir); err != nil {
+					t.Fatal(err)
+				}
+			}
+			full, mstats := runGoldenProofs(t, ProofOptions{Store: merged})
+			if mstats.Hits != mstats.Total || mstats.Executed != 0 {
+				t.Fatalf("merged warm run not fully cached: %+v", mstats)
+			}
+			if !bytes.Equal(renderProofsJSON(t, full), golden) {
+				t.Fatal("sharded-then-merged run differs from cold run")
+			}
+		})
 	}
 }
 

@@ -56,6 +56,26 @@ func openStore(t *testing.T) *store.Store {
 	return s
 }
 
+// goldenBackends are the store backends every golden invariant must
+// hold on: the reports' bytes may not depend on the store layout.
+var goldenBackends = []string{store.BackendFile, store.BackendPacked}
+
+// openBackendStore opens a fresh store of the named backend, tagged
+// with the real engine fingerprints exactly as the CLIs tag it.
+func openBackendStore(t *testing.T, backend string) store.CellStore {
+	t.Helper()
+	st, err := store.OpenBackend(backend, t.TempDir(), store.PackedOptions{
+		CellTag:    Fingerprint(),
+		ProofTag:   ProverFingerprint(),
+		ConformTag: ConformFingerprint(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
 func runGolden(t *testing.T, opt Options) (*Report, CacheStats) {
 	t.Helper()
 	var stats CacheStats
@@ -68,72 +88,126 @@ func runGolden(t *testing.T, opt Options) (*Report, CacheStats) {
 }
 
 // TestGoldenSweep is the golden-trace regression test of the store
-// subsystem: a cold run, a warm run (100% cache hits), and a 2-way
-// sharded-then-merged run must all reproduce the committed JSON output
-// byte for byte.
+// subsystem, run on BOTH backends: a cold run, a warm run (100% cache
+// hits), and a 2-way sharded-then-merged run must all reproduce the
+// committed JSON output byte for byte.
 func TestGoldenSweep(t *testing.T) {
-	st := openStore(t)
+	for _, backend := range goldenBackends {
+		t.Run(backend, func(t *testing.T) {
+			st := openBackendStore(t, backend)
 
-	// Cold run: everything executes, everything is stored.
-	cold, stats := runGolden(t, Options{Store: st})
+			// Cold run: everything executes, everything is stored.
+			cold, stats := runGolden(t, Options{Store: st})
+			coldJSON := renderJSON(t, cold)
+			if stats.Hits != 0 || stats.Executed != stats.Total || stats.Stored != stats.Total {
+				t.Fatalf("cold run stats: %+v", stats)
+			}
+
+			if *update && backend == store.BackendFile {
+				if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath, coldJSON, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			golden, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("%v (run `go test ./internal/experiment -run TestGoldenSweep -update` after an intentional engine change)", err)
+			}
+			if !bytes.Equal(coldJSON, golden) {
+				t.Fatalf("cold run diverges from the committed golden output — an engine change altered results; if intentional, bump the responsible model version and regenerate with -update")
+			}
+
+			// Warm run: zero executions, identical bytes — including
+			// the Markdown rendering, which exercises the raw rows
+			// behind the JSON.
+			warm, wstats := runGolden(t, Options{Store: st})
+			if wstats.Hits != wstats.Total || wstats.Executed != 0 || wstats.Stored != 0 {
+				t.Fatalf("warm run not fully cached: %+v", wstats)
+			}
+			if !bytes.Equal(renderJSON(t, warm), golden) {
+				t.Fatal("warm run JSON differs from cold run")
+			}
+			if !bytes.Equal(renderMarkdown(t, warm), renderMarkdown(t, cold)) {
+				t.Fatal("warm run Markdown differs from cold run")
+			}
+
+			// Sharded cold runs into independent stores, merged, then
+			// a warm full run over the merged store: same bytes again.
+			s0, s1 := openBackendStore(t, backend), openBackendStore(t, backend)
+			rep0, st0 := runGolden(t, Options{Store: s0, Shard: ShardSel{Index: 0, Count: 2}})
+			rep1, st1 := runGolden(t, Options{Store: s1, Shard: ShardSel{Index: 1, Count: 2}})
+			if st0.Executed == 0 || st1.Executed == 0 {
+				t.Fatalf("both shards must execute something: %+v %+v", st0, st1)
+			}
+			assertShardPartition(t, cold, rep0, rep1)
+
+			// The shard stores are merged across a Close (the packed
+			// backend reads its own layout back from disk, not from
+			// live state).
+			if err := s0.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s1.Close(); err != nil {
+				t.Fatal(err)
+			}
+			merged := openBackendStore(t, backend)
+			if _, err := merged.MergeFrom(s0.Dir()); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := merged.MergeFrom(s1.Dir()); err != nil {
+				t.Fatal(err)
+			}
+			full, mstats := runGolden(t, Options{Store: merged})
+			if mstats.Hits != mstats.Total || mstats.Executed != 0 {
+				t.Fatalf("merged warm run not fully cached: %+v", mstats)
+			}
+			if !bytes.Equal(renderJSON(t, full), golden) {
+				t.Fatal("sharded-then-merged run differs from cold run")
+			}
+		})
+	}
+}
+
+// TestGoldenSweepCrossBackendMerge is the migration gate: a store
+// filled on one backend, merged into the other, must serve a fully
+// warm run with byte-identical output — in both directions, through
+// tpstore-style migration (MergeFrom across layouts).
+func TestGoldenSweepCrossBackendMerge(t *testing.T) {
+	// Cold-fill a file store.
+	fileSt := openBackendStore(t, store.BackendFile)
+	cold, _ := runGolden(t, Options{Store: fileSt})
 	coldJSON := renderJSON(t, cold)
-	if stats.Hits != 0 || stats.Executed != stats.Total || stats.Stored != stats.Total {
-		t.Fatalf("cold run stats: %+v", stats)
-	}
 
-	if *update {
-		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(goldenPath, coldJSON, 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
-	golden, err := os.ReadFile(goldenPath)
-	if err != nil {
-		t.Fatalf("%v (run `go test ./internal/experiment -run TestGoldenSweep -update` after an intentional engine change)", err)
-	}
-	if !bytes.Equal(coldJSON, golden) {
-		t.Fatalf("cold run diverges from the committed golden output — an engine change altered results; if intentional, bump the responsible model version and regenerate with -update")
-	}
-
-	// Warm run: zero executions, identical bytes — including the
-	// Markdown rendering, which exercises the raw rows behind the
-	// JSON.
-	warm, wstats := runGolden(t, Options{Store: st})
-	if wstats.Hits != wstats.Total || wstats.Executed != 0 || wstats.Stored != 0 {
-		t.Fatalf("warm run not fully cached: %+v", wstats)
-	}
-	if !bytes.Equal(renderJSON(t, warm), golden) {
-		t.Fatal("warm run JSON differs from cold run")
-	}
-	if !bytes.Equal(renderMarkdown(t, warm), renderMarkdown(t, cold)) {
-		t.Fatal("warm run Markdown differs from cold run")
-	}
-
-	// Sharded cold runs into independent stores, merged, then a warm
-	// full run over the merged store: same bytes again.
-	s0, s1 := openStore(t), openStore(t)
-	rep0, st0 := runGolden(t, Options{Store: s0, Shard: ShardSel{Index: 0, Count: 2}})
-	rep1, st1 := runGolden(t, Options{Store: s1, Shard: ShardSel{Index: 1, Count: 2}})
-	if st0.Executed == 0 || st1.Executed == 0 {
-		t.Fatalf("both shards must execute something: %+v %+v", st0, st1)
-	}
-	assertShardPartition(t, cold, rep0, rep1)
-
-	merged := openStore(t)
-	if _, err := merged.MergeFrom(s0.Dir()); err != nil {
+	// file → packed: pack the file store, run warm.
+	packedSt := openBackendStore(t, store.BackendPacked)
+	if _, err := packedSt.MergeFrom(fileSt.Dir()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := merged.MergeFrom(s1.Dir()); err != nil {
+	warmP, pstats := runGolden(t, Options{Store: packedSt})
+	if pstats.Hits != pstats.Total || pstats.Executed != 0 {
+		t.Fatalf("packed store not fully warm after file→packed merge: %+v", pstats)
+	}
+	if !bytes.Equal(renderJSON(t, warmP), coldJSON) {
+		t.Fatal("file→packed migration changed report bytes")
+	}
+
+	// packed → file: unpack into a fresh file store (across a Close so
+	// the merge reads the on-disk segments), run warm.
+	if err := packedSt.Close(); err != nil {
 		t.Fatal(err)
 	}
-	full, mstats := runGolden(t, Options{Store: merged})
-	if mstats.Hits != mstats.Total || mstats.Executed != 0 {
-		t.Fatalf("merged warm run not fully cached: %+v", mstats)
+	fileSt2 := openBackendStore(t, store.BackendFile)
+	if _, err := fileSt2.MergeFrom(packedSt.Dir()); err != nil {
+		t.Fatal(err)
 	}
-	if !bytes.Equal(renderJSON(t, full), golden) {
-		t.Fatal("sharded-then-merged run differs from cold run")
+	warmF, fstats := runGolden(t, Options{Store: fileSt2})
+	if fstats.Hits != fstats.Total || fstats.Executed != 0 {
+		t.Fatalf("file store not fully warm after packed→file merge: %+v", fstats)
+	}
+	if !bytes.Equal(renderJSON(t, warmF), coldJSON) {
+		t.Fatal("packed→file migration changed report bytes")
 	}
 }
 

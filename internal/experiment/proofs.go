@@ -341,7 +341,7 @@ type ProofOptions struct {
 	Progress func(done, total int, c ProofCell)
 	// Store, when non-nil, serves cached proof cells and receives
 	// fresh non-failed verdicts.
-	Store *store.Store
+	Store store.CellStore
 	// Shard restricts the run to one shard of the matrix's
 	// deterministic partition (unit: single cell — proof cells have no
 	// cross-row post-processing). The zero value runs everything.

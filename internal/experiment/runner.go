@@ -30,7 +30,7 @@ type Options struct {
 	// present are served from it, only the missing cells execute, and
 	// fresh non-failed results are written back. Failed cells (Err set)
 	// are never cached.
-	Store *store.Store
+	Store store.CellStore
 	// Shard restricts the run to one shard of the matrix's
 	// deterministic partition; the zero value runs the whole matrix.
 	// See ShardSel.

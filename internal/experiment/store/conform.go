@@ -122,12 +122,13 @@ type ConformV1 struct {
 	Witness         *ConformWitnessV1  `json:"witness,omitempty"`
 }
 
-// PutConform stores a conformance outcome under key k, with the same
-// atomic write discipline as Put.
-func (s *Store) PutConform(k Key, c ConformV1) error {
+// encodeConformEntry builds the checksummed on-disk envelope for a
+// conformance outcome — the byte representation shared by every
+// backend.
+func encodeConformEntry(k Key, c ConformV1) ([]byte, error) {
 	payload, err := json.Marshal(c)
 	if err != nil {
-		return fmt.Errorf("store: encoding conformance %s: %v", k, err)
+		return nil, fmt.Errorf("store: encoding conformance %s: %v", k, err)
 	}
 	sum := sha256.Sum256(payload)
 	data, err := json.Marshal(conformFileV1{
@@ -138,7 +139,17 @@ func (s *Store) PutConform(k Key, c ConformV1) error {
 		Conform: payload,
 	})
 	if err != nil {
-		return fmt.Errorf("store: encoding conformance entry %s: %v", k, err)
+		return nil, fmt.Errorf("store: encoding conformance entry %s: %v", k, err)
+	}
+	return data, nil
+}
+
+// PutConform stores a conformance outcome under key k, with the same
+// atomic write discipline as Put.
+func (s *Store) PutConform(k Key, c ConformV1) error {
+	data, err := encodeConformEntry(k, c)
+	if err != nil {
+		return err
 	}
 	return s.writeAtomic(k, data)
 }

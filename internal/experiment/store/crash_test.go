@@ -1,0 +1,335 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The crash-consistency contract, shared by both backends: any torn,
+// truncated, bit-flipped, or half-written entry reads as a MISS —
+// never as a wrong row, and never as an error that poisons the rest of
+// the store. This suite drives both backends through the same
+// corruptions; each case asserts the damaged key misses while an
+// undamaged key still hits bit-identically.
+
+// crashBackend abstracts the two backends for the shared suite.
+type crashBackend struct {
+	name string
+	// open opens (creating) a store in dir.
+	open func(t *testing.T, dir string) CellStore
+	// reopen closes st and reopens the same dir, simulating a process
+	// restart after the corruption landed.
+	reopen func(t *testing.T, dir string, st CellStore) CellStore
+	// corruptPayload flips a byte inside the stored entry for k.
+	corruptPayload func(t *testing.T, dir string, k Key)
+	// truncateTail chops bytes off the physical end of k's entry.
+	truncateTail func(t *testing.T, dir string, k Key)
+}
+
+func crashBackends() []crashBackend {
+	fileOpen := func(t *testing.T, dir string) CellStore {
+		t.Helper()
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	packedOpen := func(t *testing.T, dir string) CellStore {
+		t.Helper()
+		p, err := OpenPacked(dir, PackedOptions{NoAutoCompact: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// flipByteIn flips one byte at fraction frac of the file holding
+	// k's bytes. For the file backend that is the entry file itself;
+	// for packed, the damage must land inside k's record, so the
+	// offset comes from the live index.
+	fileEntryPath := func(t *testing.T, dir string, k Key) string {
+		t.Helper()
+		return filepath.Join(dir, k.String()[:2], k.String()+".json")
+	}
+	packedRecordRange := func(t *testing.T, dir string, k Key) (path string, off, n int64) {
+		t.Helper()
+		p, err := openPacked(dir, PackedOptions{}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		loc, ok := p.index[k]
+		if !ok {
+			t.Fatalf("key %s not in packed index", k)
+		}
+		return filepath.Join(dir, p.segs[loc.seg].name), loc.payloadOff, int64(loc.payloadLen)
+	}
+	flipAt := func(t *testing.T, path string, off int64) {
+		t.Helper()
+		f, err := os.OpenFile(path, os.O_RDWR, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		var b [1]byte
+		if _, err := f.ReadAt(b[:], off); err != nil {
+			t.Fatal(err)
+		}
+		b[0] ^= 0x40
+		if _, err := f.WriteAt(b[:], off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return []crashBackend{
+		{
+			name: "file",
+			open: fileOpen,
+			reopen: func(t *testing.T, dir string, st CellStore) CellStore {
+				st.Close()
+				return fileOpen(t, dir)
+			},
+			corruptPayload: func(t *testing.T, dir string, k Key) {
+				path := fileEntryPath(t, dir, k)
+				st, err := os.Stat(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				flipAt(t, path, st.Size()/2)
+			},
+			truncateTail: func(t *testing.T, dir string, k Key) {
+				path := fileEntryPath(t, dir, k)
+				st, err := os.Stat(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.Truncate(path, st.Size()/2); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "packed",
+			open: packedOpen,
+			reopen: func(t *testing.T, dir string, st CellStore) CellStore {
+				st.Close()
+				os.Remove(filepath.Join(dir, indexName)) // the damage must survive the scan, not hide behind the sidecar
+				return packedOpen(t, dir)
+			},
+			corruptPayload: func(t *testing.T, dir string, k Key) {
+				path, off, n := packedRecordRange(t, dir, k)
+				flipAt(t, path, off+n/2)
+			},
+			truncateTail: func(t *testing.T, dir string, k Key) {
+				// Chop the segment mid-record: everything from k's
+				// payload midpoint on is gone, as a crash mid-append
+				// would leave it.
+				path, off, n := packedRecordRange(t, dir, k)
+				if err := os.Truncate(path, off+n/2); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+	}
+}
+
+// seedCrashStore writes two cells and a proof, closes, and returns the
+// victim key (last written — for packed it is the record a tail
+// truncation can destroy without touching the others) and a survivor.
+func seedCrashStore(t *testing.T, b crashBackend, dir string) (st CellStore, victim, survivor Key) {
+	t.Helper()
+	st = b.open(t, dir)
+	survivor = specAt(1).Key()
+	if err := st.Put(survivor, sampleRow()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutProof(baseProofSpec().Key(), sampleProof()); err != nil {
+		t.Fatal(err)
+	}
+	victim = specAt(2).Key()
+	if err := st.Put(victim, sampleRow()); err != nil {
+		t.Fatal(err)
+	}
+	return st, victim, survivor
+}
+
+// assertMissNotWrong is the contract's core assertion.
+func assertMissNotWrong(t *testing.T, st CellStore, victim, survivor Key, phase string) {
+	t.Helper()
+	if row, ok := st.Get(victim); ok {
+		if !rowsBitIdentical(row, sampleRow()) {
+			t.Fatalf("%s: corrupt entry served a WRONG row", phase)
+		}
+		t.Fatalf("%s: corrupt entry served at all (want miss)", phase)
+	}
+	row, ok := st.Get(survivor)
+	if !ok || !rowsBitIdentical(row, sampleRow()) {
+		t.Fatalf("%s: undamaged entry lost (ok=%v)", phase, ok)
+	}
+	if pr, ok := st.GetProof(baseProofSpec().Key()); !ok || pr.BoundedRuns != 2 {
+		t.Fatalf("%s: undamaged proof entry lost (ok=%v)", phase, ok)
+	}
+}
+
+func TestCrashConsistencyBitFlip(t *testing.T) {
+	for _, b := range crashBackends() {
+		t.Run(b.name, func(t *testing.T) {
+			dir := t.TempDir()
+			st, victim, survivor := seedCrashStore(t, b, dir)
+			st.Close()
+			b.corruptPayload(t, dir, victim)
+			st = b.open(t, dir)
+			defer st.Close()
+			assertMissNotWrong(t, st, victim, survivor, "bit flip")
+		})
+	}
+}
+
+func TestCrashConsistencyTruncateMidRecord(t *testing.T) {
+	for _, b := range crashBackends() {
+		t.Run(b.name, func(t *testing.T) {
+			dir := t.TempDir()
+			st, victim, survivor := seedCrashStore(t, b, dir)
+			st.Close()
+			b.truncateTail(t, dir, victim)
+			st = b.open(t, dir)
+			defer st.Close()
+			assertMissNotWrong(t, st, victim, survivor, "truncate")
+		})
+	}
+}
+
+// TestCrashConsistencyKillAndReopen corrupts while a handle is still
+// conceptually live, then reopens through the backend's restart path
+// (which for packed forces the recovery scan, not the sidecar).
+func TestCrashConsistencyKillAndReopen(t *testing.T) {
+	for _, b := range crashBackends() {
+		t.Run(b.name, func(t *testing.T) {
+			dir := t.TempDir()
+			st, victim, survivor := seedCrashStore(t, b, dir)
+			b.truncateTail(t, dir, victim)
+			st = b.reopen(t, dir, st)
+			defer st.Close()
+			assertMissNotWrong(t, st, victim, survivor, "kill+reopen")
+
+			// The store must accept fresh writes after recovery —
+			// including re-measuring the destroyed cell.
+			if err := st.Put(victim, sampleRow()); err != nil {
+				t.Fatalf("re-put after recovery: %v", err)
+			}
+			row, ok := st.Get(victim)
+			if !ok || !rowsBitIdentical(row, sampleRow()) {
+				t.Fatalf("re-put cell unreadable (ok=%v)", ok)
+			}
+		})
+	}
+}
+
+// TestCrashConsistencyDuplicateKeyAcrossSegments forges the layout a
+// crash replay can produce — the same key recorded twice, in two
+// different segments — and checks exactly one live entry results, with
+// the newest record winning.
+func TestCrashConsistencyDuplicateKeyAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	p, err := OpenPacked(dir, PackedOptions{NoAutoCompact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := specAt(7).Key()
+	if err := p.Put(k, sampleRow()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second segment holding the same key (same bytes — the store is
+	// content-addressed, so duplicates are always byte-identical).
+	data, err := encodeCellEntry(k, sampleRow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := newSegmentFile(dir, segName(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(appendRecord(nil, k, recKindCell, "", data)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	manifest := manifestMagic + segName(1) + "\n" + segName(2) + "\n"
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(dir, indexName))
+
+	p, err = OpenPacked(dir, PackedOptions{NoAutoCompact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if n, _ := p.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1 for a twice-recorded key", n)
+	}
+	row, ok := p.Get(k)
+	if !ok || !rowsBitIdentical(row, sampleRow()) {
+		t.Fatalf("duplicated key misread (ok=%v)", ok)
+	}
+	if loc := p.index[k]; loc.seg != 1 {
+		t.Fatalf("newest record must win: index points at segment %d, want 1 (the later segment)", loc.seg)
+	}
+}
+
+// TestCrashConsistencyPartialAppendThenWrites truncates the packed
+// active segment mid-record and checks subsequent writes land cleanly
+// after recovery (the torn tail is cut, not appended past).
+func TestCrashConsistencyPartialAppendThenWrites(t *testing.T) {
+	dir := t.TempDir()
+	p, err := OpenPacked(dir, PackedOptions{NoAutoCompact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := p.Put(specAt(i).Key(), sampleRow()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.closeFiles() // crash, no Close
+
+	// Tear the last record in half.
+	seg := filepath.Join(dir, segName(1))
+	st, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, st.Size()-20); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err = OpenPacked(dir, PackedOptions{NoAutoCompact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if n, _ := p.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2 after torn tail", n)
+	}
+	// New writes must be readable after yet another scan-reopen:
+	// proves the append offset was reset to the cut, not the old EOF.
+	if err := p.Put(specAt(9).Key(), sampleRow()); err != nil {
+		t.Fatal(err)
+	}
+	p.closeFiles()
+	os.Remove(filepath.Join(dir, indexName))
+	p2, err := OpenPacked(dir, PackedOptions{NoAutoCompact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if n, _ := p2.Len(); n != 3 {
+		t.Fatalf("Len = %d, want 3 after post-recovery append", n)
+	}
+	if _, ok := p2.Get(specAt(9).Key()); !ok {
+		t.Fatal("post-recovery append lost")
+	}
+}

@@ -1,0 +1,166 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// plantOrphanTemp drops a .put-* temp file (as a crashed writer would
+// leave it) in the shard directory for k, back-dated past tempMaxAge.
+func plantOrphanTemp(t *testing.T, dir string, k Key, name string, stale bool) string {
+	t.Helper()
+	shard := filepath.Join(dir, k.String()[:2])
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(shard, name)
+	// Half an entry, as a crash mid-write leaves it.
+	if err := os.WriteFile(path, []byte(`{"v":2,"key":"`+k.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if stale {
+		old := time.Now().Add(-2 * tempMaxAge)
+		if err := os.Chtimes(path, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+// TestOpenSweepsOrphanedTemps is the regression test for the temp-file
+// leak: crashed writers left .put-* files forever because nothing ever
+// unlinked them. Open must remove stale ones, keep fresh ones (a live
+// concurrent writer may own them), and never count either as entries.
+func TestOpenSweepsOrphanedTemps(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := baseSpec().Key()
+	if err := s.Put(k, sampleRow()); err != nil {
+		t.Fatal(err)
+	}
+
+	stale := plantOrphanTemp(t, dir, k, ".put-1111", true)
+	fresh := plantOrphanTemp(t, dir, k, ".put-2222", false)
+
+	// Keys and Len must ignore temps regardless of the sweep.
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v; want 1 (temps are not entries)", n, err)
+	}
+	keys, err := s.Keys()
+	if err != nil || len(keys) != 1 || keys[0] != k {
+		t.Fatalf("Keys = %v, %v; want just the real entry", keys, err)
+	}
+
+	// Reopen: the sweep runs.
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale orphan temp survived Open: %v", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("fresh temp was swept (may belong to a live writer): %v", err)
+	}
+	// The real entry is untouched.
+	row, ok := s.Get(k)
+	if !ok || !rowsBitIdentical(row, sampleRow()) {
+		t.Fatalf("entry damaged by sweep (ok=%v)", ok)
+	}
+}
+
+// TestSweepIgnoresCorruptHalfWrittenEntries plants a half-written
+// entry published under its final name (a pre-fsync-fix crash shape):
+// it must read as a miss, be ignored by nothing (it IS a .json file,
+// so Keys/Len count the name — the corrupt-as-miss contract is at
+// Get), and be repairable by a fresh Put.
+func TestSweepIgnoresCorruptHalfWrittenEntries(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := baseSpec().Key()
+	shard := filepath.Join(dir, k.String()[:2])
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	half := filepath.Join(shard, k.String()+".json")
+	if err := os.WriteFile(half, []byte(`{"v":2,"key":"`+k.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Get(k); ok {
+		t.Fatal("half-written entry served")
+	}
+	if err := s.Put(k, sampleRow()); err != nil {
+		t.Fatalf("re-put over half-written entry: %v", err)
+	}
+	row, ok := s.Get(k)
+	if !ok || !rowsBitIdentical(row, sampleRow()) {
+		t.Fatalf("repaired entry unreadable (ok=%v)", ok)
+	}
+}
+
+// TestLenMatchesKeysWithoutSorting pins the Len fast path against the
+// Keys walk on a store with entries across many shards plus junk.
+func TestLenMatchesKeysWithoutSorting(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	for i := 0; i < n; i++ {
+		if err := s.Put(specAt(i).Key(), sampleRow()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Junk that must count in neither: a temp, a foreign file, a
+	// misplaced entry name in the wrong shard.
+	plantOrphanTemp(t, dir, specAt(0).Key(), ".put-9999", false)
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt, err := s.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != n || cnt != n {
+		t.Fatalf("Keys=%d Len=%d, want both %d", len(keys), cnt, n)
+	}
+}
+
+// TestWriteAtomicLeavesNoTempOnSuccess checks the commit path cleans
+// up after itself: after a Put, the shard holds exactly the entry.
+func TestWriteAtomicLeavesNoTempOnSuccess(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := baseSpec().Key()
+	if err := s.Put(k, sampleRow()); err != nil {
+		t.Fatal(err)
+	}
+	files, err := os.ReadDir(filepath.Join(dir, k.String()[:2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || files[0].Name() != k.String()+".json" {
+		names := make([]string, len(files))
+		for i, f := range files {
+			names[i] = f.Name()
+		}
+		t.Fatalf("shard holds %v, want exactly the entry", names)
+	}
+}

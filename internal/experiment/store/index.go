@@ -1,0 +1,225 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Index sidecar. The packed backend's key index lives in memory and is
+// rebuilt by a sequential scan of every segment on open. For large
+// stores that scan is the whole cost of Open, so Close persists the
+// index to a checksummed sidecar file that a reopen can load instead —
+// strictly an accelerator: deleting it is always safe, and it is
+// trusted only when the segment layout it describes still matches the
+// directory exactly (same sealed segments at the same sizes). The
+// active segment's tail past the recorded size is re-scanned, so an
+// index written before a crash still yields a correct reopen.
+//
+// Layout (all integers little-endian):
+//
+//	[0:8]    magic "tpidxv1\n"
+//	[8:12]   segment count  n
+//	n ×      name length u16 | name bytes | valid size u64
+//	[..]     tag table count u32, then per tag: length u16 | bytes
+//	[..]     entry count u32
+//	count ×  key[32] | kind u8 | seg index u32 | tag index u32 |
+//	         payload offset u64 | payload length u32
+//	[-4:]    CRC-32C of everything before it
+const indexName = "index.v1"
+
+const idxMagic = "tpidxv1\n"
+
+// idxSegment names one segment and how many bytes of it the index
+// covers. For sealed segments this is the full size; for the active
+// segment, the synced size at persist time.
+type idxSegment struct {
+	name string
+	size int64
+}
+
+// idxEntry is one indexed record location.
+type idxEntry struct {
+	key        Key
+	kind       byte
+	seg        uint32 // index into the segment table
+	tag        uint32 // index into the tag table
+	payloadOff uint64
+	payloadLen uint32
+}
+
+// writeIndexFile persists the sidecar atomically (temp + fsync + rename
+// + dir sync, same discipline as every other store write).
+func writeIndexFile(dir string, segs []idxSegment, tags []string, entries []idxEntry) error {
+	buf := make([]byte, 0, 64+len(entries)*56)
+	buf = append(buf, idxMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(segs)))
+	for _, sg := range segs {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(sg.name)))
+		buf = append(buf, sg.name...)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(sg.size))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tags)))
+	for _, t := range tags {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(t)))
+		buf = append(buf, t...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		buf = append(buf, e.key[:]...)
+		buf = append(buf, e.kind)
+		buf = binary.LittleEndian.AppendUint32(buf, e.seg)
+		buf = binary.LittleEndian.AppendUint32(buf, e.tag)
+		buf = binary.LittleEndian.AppendUint64(buf, e.payloadOff)
+		buf = binary.LittleEndian.AppendUint32(buf, e.payloadLen)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+
+	tmp, err := os.CreateTemp(dir, ".idx-*")
+	if err != nil {
+		return fmt.Errorf("store: index temp: %v", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: writing index: %v", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, indexName)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: publishing index: %v", err)
+	}
+	return syncDir(dir)
+}
+
+// readIndexFile loads and validates the sidecar. Any defect — missing
+// file, bad magic, truncation, CRC mismatch, malformed structure —
+// returns ok=false, and the caller falls back to a full scan.
+func readIndexFile(dir string) (segs []idxSegment, tags []string, entries []idxEntry, ok bool) {
+	buf, err := os.ReadFile(filepath.Join(dir, indexName))
+	if err != nil || len(buf) < len(idxMagic)+4 || string(buf[:len(idxMagic)]) != idxMagic {
+		return nil, nil, nil, false
+	}
+	body, trailer := buf[:len(buf)-4], binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if crc32.Checksum(body, castagnoli) != trailer {
+		return nil, nil, nil, false
+	}
+	p := body[len(idxMagic):]
+	u16 := func() (uint16, bool) {
+		if len(p) < 2 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint16(p)
+		p = p[2:]
+		return v, true
+	}
+	u32 := func() (uint32, bool) {
+		if len(p) < 4 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(p)
+		p = p[4:]
+		return v, true
+	}
+	u64 := func() (uint64, bool) {
+		if len(p) < 8 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(p)
+		p = p[8:]
+		return v, true
+	}
+	str := func(n int) (string, bool) {
+		if len(p) < n {
+			return "", false
+		}
+		s := string(p[:n])
+		p = p[n:]
+		return s, true
+	}
+
+	nSegs, k := u32()
+	if !k || nSegs > 1<<20 {
+		return nil, nil, nil, false
+	}
+	segs = make([]idxSegment, 0, nSegs)
+	for i := uint32(0); i < nSegs; i++ {
+		nl, k1 := u16()
+		name, k2 := str(int(nl))
+		size, k3 := u64()
+		if !k1 || !k2 || !k3 {
+			return nil, nil, nil, false
+		}
+		segs = append(segs, idxSegment{name: name, size: int64(size)})
+	}
+	nTags, k := u32()
+	if !k || nTags > 1<<20 {
+		return nil, nil, nil, false
+	}
+	tags = make([]string, 0, nTags)
+	for i := uint32(0); i < nTags; i++ {
+		tl, k1 := u16()
+		t, k2 := str(int(tl))
+		if !k1 || !k2 {
+			return nil, nil, nil, false
+		}
+		tags = append(tags, t)
+	}
+	nEnt, k := u32()
+	if !k {
+		return nil, nil, nil, false
+	}
+	entries = make([]idxEntry, 0, nEnt)
+	for i := uint32(0); i < nEnt; i++ {
+		var e idxEntry
+		kb, k1 := str(32)
+		if !k1 || len(p) < 1 {
+			return nil, nil, nil, false
+		}
+		copy(e.key[:], kb)
+		e.kind = p[0]
+		p = p[1:]
+		var k2, k3, k4, k5 bool
+		e.seg, k2 = u32()
+		e.tag, k3 = u32()
+		e.payloadOff, k4 = u64()
+		e.payloadLen, k5 = u32()
+		if !k2 || !k3 || !k4 || !k5 || int(e.seg) >= len(segs) || int(e.tag) >= len(tags) {
+			return nil, nil, nil, false
+		}
+		entries = append(entries, e)
+	}
+	if len(p) != 0 {
+		return nil, nil, nil, false
+	}
+	return segs, tags, entries, true
+}
+
+// buildTagTable dedupes a tag-per-entry assignment into a table plus
+// indices, with the table sorted for a deterministic sidecar.
+func buildTagTable(tagOf func(i int) string, n int) (tags []string, indices []uint32) {
+	seen := map[string]uint32{}
+	for i := 0; i < n; i++ {
+		if _, ok := seen[tagOf(i)]; !ok {
+			seen[tagOf(i)] = 0
+			tags = append(tags, tagOf(i))
+		}
+	}
+	sort.Strings(tags)
+	for i, t := range tags {
+		seen[t] = uint32(i)
+	}
+	indices = make([]uint32, n)
+	for i := 0; i < n; i++ {
+		indices[i] = seen[tagOf(i)]
+	}
+	return tags, indices
+}

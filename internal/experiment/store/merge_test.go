@@ -1,0 +1,217 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// seedMixedStore fills st with cells, proofs, and conformance entries
+// and returns all keys by kind.
+func seedMixedStore(t *testing.T, st CellStore, nCells int) (cells, proofs, conforms []Key) {
+	t.Helper()
+	for i := 0; i < nCells; i++ {
+		k := specAt(i).Key()
+		if err := st.Put(k, sampleRow()); err != nil {
+			t.Fatal(err)
+		}
+		cells = append(cells, k)
+	}
+	for i := 0; i < 3; i++ {
+		k := proofSpecAt(i).Key()
+		if err := st.PutProof(k, sampleProof()); err != nil {
+			t.Fatal(err)
+		}
+		proofs = append(proofs, k)
+	}
+	for i := 0; i < 3; i++ {
+		k := conformKeyAt(i)
+		if err := st.PutConform(k, sampleConform()); err != nil {
+			t.Fatal(err)
+		}
+		conforms = append(conforms, k)
+	}
+	return cells, proofs, conforms
+}
+
+// assertMixedStore checks every seeded entry reads back from st.
+func assertMixedStore(t *testing.T, st CellStore, cells, proofs, conforms []Key, phase string) {
+	t.Helper()
+	for i, k := range cells {
+		row, ok := st.Get(k)
+		if !ok || !rowsBitIdentical(row, sampleRow()) {
+			t.Fatalf("%s: cell %d failed round trip (ok=%v)", phase, i, ok)
+		}
+	}
+	for i, k := range proofs {
+		if pr, ok := st.GetProof(k); !ok || pr.BoundedRuns != 2 {
+			t.Fatalf("%s: proof %d failed round trip (ok=%v)", phase, i, ok)
+		}
+	}
+	for i, k := range conforms {
+		if c, ok := st.GetConform(k); !ok || c.Verdict != "conforms" {
+			t.Fatalf("%s: conform %d failed round trip (ok=%v)", phase, i, ok)
+		}
+	}
+}
+
+// TestMergeFileIntoPacked migrates a file store into a packed one and
+// checks every entry kind arrives, warm and byte-identical.
+func TestMergeFileIntoPacked(t *testing.T) {
+	fileDir := t.TempDir()
+	fs, err := Open(fileDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, proofs, conforms := seedMixedStore(t, fs, 5)
+
+	p, err := OpenPacked(t.TempDir(), PackedOptions{CellTag: "fp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	added, err := p.MergeFrom(fileDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(cells) + len(proofs) + len(conforms); added != want {
+		t.Fatalf("merged %d entries, want %d", added, want)
+	}
+	assertMixedStore(t, p, cells, proofs, conforms, "file→packed")
+
+	// Envelope bytes must be verbatim: the exchange-unit invariant
+	// that makes migration exact.
+	for _, k := range cells {
+		fb, ok1 := fs.getRaw(k)
+		pb, ok2 := p.getRaw(k)
+		if !ok1 || !ok2 || !bytes.Equal(fb, pb) {
+			t.Fatalf("cell %s bytes differ across backends (ok %v %v)", k, ok1, ok2)
+		}
+	}
+
+	// Idempotence: a second merge adds nothing.
+	added, err = p.MergeFrom(fileDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 {
+		t.Fatalf("re-merge added %d entries, want 0", added)
+	}
+}
+
+// TestMergePackedIntoFile is the reverse migration.
+func TestMergePackedIntoFile(t *testing.T) {
+	packedDir := t.TempDir()
+	p, err := OpenPacked(packedDir, PackedOptions{CellTag: "fp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, proofs, conforms := seedMixedStore(t, p, 5)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fileDir := t.TempDir()
+	fs, err := Open(fileDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, err := fs.MergeFrom(packedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(cells) + len(proofs) + len(conforms); added != want {
+		t.Fatalf("merged %d entries, want %d", added, want)
+	}
+	assertMixedStore(t, fs, cells, proofs, conforms, "packed→file")
+
+	// Round trip back: pack the file store into a fresh packed store
+	// and compare raw bytes — the full migration cycle is lossless.
+	p2, err := OpenPacked(t.TempDir(), PackedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if _, err := p2.MergeFrom(fileDir); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := openPacked(packedDir, PackedOptions{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	for _, k := range append(append(cells, proofs...), conforms...) {
+		a, ok1 := ro.getRaw(k)
+		b, ok2 := p2.getRaw(k)
+		if !ok1 || !ok2 || !bytes.Equal(a, b) {
+			t.Fatalf("entry %s not byte-identical after pack→unpack→pack (ok %v %v)", k, ok1, ok2)
+		}
+	}
+}
+
+// TestMergeSkipsCorruptPackedSource bit-flips one packed record and
+// checks merging skips it (misses never propagate) while carrying the
+// rest.
+func TestMergeSkipsCorruptPackedSource(t *testing.T) {
+	packedDir := t.TempDir()
+	p, err := OpenPacked(packedDir, PackedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, _, _ := seedMixedStore(t, p, 3)
+	victim := cells[1]
+	loc := p.index[victim]
+	segPath := filepath.Join(packedDir, p.segs[loc.seg].name)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(segPath, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], loc.payloadOff+int64(loc.payloadLen)/2); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x20
+	if _, err := f.WriteAt(b[:], loc.payloadOff+int64(loc.payloadLen)/2); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	fs, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, err := fs.MergeFrom(packedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The flipped payload fails the record's CRC, so the source scan
+	// skips exactly that record and resyncs: the victim must not
+	// arrive, everything else must.
+	if _, ok := fs.Get(victim); ok {
+		t.Fatal("corrupt source entry propagated through merge")
+	}
+	if added != 8 {
+		t.Fatalf("merge added %d entries, want 8 (2 intact cells + 3 proofs + 3 conforms)", added)
+	}
+	for _, k := range []Key{cells[0], cells[2]} {
+		if _, ok := fs.Get(k); !ok {
+			t.Fatalf("intact entry %s lost in merge", k)
+		}
+	}
+}
+
+// TestMergeFromMissingSource pins the error path both backends share.
+func TestMergeFromMissingSource(t *testing.T) {
+	p, err := OpenPacked(t.TempDir(), PackedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.MergeFrom(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("merge from a missing directory succeeded")
+	}
+}

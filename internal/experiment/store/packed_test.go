@@ -1,0 +1,651 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// sampleConform is a representative stored conformance outcome.
+func sampleConform() ConformV1 {
+	return ConformV1{
+		Verdict:    "conforms",
+		HiA:        []int{1, 0, 2},
+		HiB:        []int{2, 0, 1},
+		AbsAccepts: true,
+		AbsRuns:    200,
+		Channels: []ConformChannelV1{
+			{Name: "cache", CapacityBits: 0x3ff0000000000000, N: 144, Bins: 16},
+		},
+		Best:   0,
+		SimOps: 123456,
+	}
+}
+
+// conformKeyAt derives a distinct conformance key per index.
+func conformKeyAt(i int) Key {
+	s := ConformSpec{Fingerprint: "conform/test/1", Model: "base", Ablation: "none", Pair: i, Seed: 42}
+	return s.Key()
+}
+
+// specAt derives a distinct cell spec per index.
+func specAt(i int) Spec {
+	s := baseSpec()
+	s.Seed = uint64(i)
+	s.Trial = i
+	return s
+}
+
+// proofSpecAt derives a distinct proof spec per index.
+func proofSpecAt(i int) ProofSpec {
+	s := baseProofSpec()
+	s.Seed = uint64(i)
+	return s
+}
+
+func openPackedT(t *testing.T, dir string, opt PackedOptions) *Packed {
+	t.Helper()
+	p, err := OpenPacked(dir, opt)
+	if err != nil {
+		t.Fatalf("OpenPacked(%s): %v", dir, err)
+	}
+	return p
+}
+
+// TestPackedRoundTripAllKinds stores one entry of each kind and reads
+// them back bit-identically, both from the live store and across a
+// Close/reopen (sidecar path) and a sidecar-less reopen (scan path).
+func TestPackedRoundTripAllKinds(t *testing.T) {
+	dir := t.TempDir()
+	p := openPackedT(t, dir, PackedOptions{})
+
+	ck := baseSpec().Key()
+	pk := baseProofSpec().Key()
+	fk := conformKeyAt(0)
+	if err := p.Put(ck, sampleRow()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PutProof(pk, sampleProof()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PutConform(fk, sampleConform()); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(p *Packed, phase string) {
+		t.Helper()
+		row, ok := p.Get(ck)
+		if !ok || !rowsBitIdentical(row, sampleRow()) {
+			t.Fatalf("%s: cell round trip failed (ok=%v)", phase, ok)
+		}
+		if _, ok := p.GetProof(ck); ok {
+			t.Fatalf("%s: cell key served as proof", phase)
+		}
+		pr, ok := p.GetProof(pk)
+		if !ok || pr.Witness == nil || pr.Witness.ShrinkRuns != 38 {
+			t.Fatalf("%s: proof round trip failed (ok=%v)", phase, ok)
+		}
+		c, ok := p.GetConform(fk)
+		if !ok || c.Verdict != "conforms" || len(c.Channels) != 1 {
+			t.Fatalf("%s: conform round trip failed (ok=%v)", phase, ok)
+		}
+		if n, _ := p.Len(); n != 3 {
+			t.Fatalf("%s: Len = %d, want 3", phase, n)
+		}
+		keys, _ := p.Keys()
+		if len(keys) != 3 {
+			t.Fatalf("%s: Keys = %d, want 3", phase, len(keys))
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1].String() >= keys[i].String() {
+				t.Fatalf("%s: Keys not sorted", phase)
+			}
+		}
+	}
+	check(p, "live")
+
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, indexName)); err != nil {
+		t.Fatalf("Close did not persist the index sidecar: %v", err)
+	}
+	p = openPackedT(t, dir, PackedOptions{})
+	check(p, "sidecar reopen")
+	p.Close()
+
+	if err := os.Remove(filepath.Join(dir, indexName)); err != nil {
+		t.Fatal(err)
+	}
+	p = openPackedT(t, dir, PackedOptions{})
+	check(p, "scan reopen")
+	p.Close()
+}
+
+// TestPackedReopenAfterNoClose simulates a process that exits without
+// Close (sidecar stale or absent): every record already written must
+// be found by the recovery scan.
+func TestPackedReopenAfterNoClose(t *testing.T) {
+	dir := t.TempDir()
+	p := openPackedT(t, dir, PackedOptions{})
+	for i := 0; i < 20; i++ {
+		if err := p.Put(specAt(i).Key(), sampleRow()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Close: drop the handles as a crash would.
+	p.closeFiles()
+
+	p = openPackedT(t, dir, PackedOptions{})
+	defer p.Close()
+	if n, _ := p.Len(); n != 20 {
+		t.Fatalf("after reopen without Close: Len = %d, want 20", n)
+	}
+	for i := 0; i < 20; i++ {
+		if _, ok := p.Get(specAt(i).Key()); !ok {
+			t.Fatalf("cell %d lost after reopen without Close", i)
+		}
+	}
+}
+
+// TestPackedSidecarStaleAfterAppends closes (persisting the sidecar),
+// reopens, appends more, and crashes: the next open must trust the
+// sidecar for the old prefix and scan the grown tail.
+func TestPackedSidecarStaleAfterAppends(t *testing.T) {
+	dir := t.TempDir()
+	p := openPackedT(t, dir, PackedOptions{})
+	for i := 0; i < 10; i++ {
+		if err := p.Put(specAt(i).Key(), sampleRow()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p = openPackedT(t, dir, PackedOptions{})
+	for i := 10; i < 15; i++ {
+		if err := p.Put(specAt(i).Key(), sampleRow()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.closeFiles() // crash: sidecar still describes the 10-entry prefix
+
+	p = openPackedT(t, dir, PackedOptions{})
+	defer p.Close()
+	if n, _ := p.Len(); n != 15 {
+		t.Fatalf("Len = %d, want 15 (tail scan after stale sidecar)", n)
+	}
+}
+
+// TestPackedRotation drives the store across segment boundaries and
+// checks every record stays reachable, live and across reopen.
+func TestPackedRotation(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force a rotation every few records.
+	p := openPackedT(t, dir, PackedOptions{SegmentBytes: 4096})
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := p.Put(specAt(i).Key(), sampleRow()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("expected multiple segments, got %d", st.Segments)
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := p.Get(specAt(i).Key()); !ok {
+			t.Fatalf("cell %d unreachable after rotation", i)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p = openPackedT(t, dir, PackedOptions{SegmentBytes: 4096})
+	defer p.Close()
+	if got, _ := p.Len(); got != n {
+		t.Fatalf("Len = %d, want %d after reopen", got, n)
+	}
+}
+
+// TestPackedPutDedupes re-puts an existing key and checks no second
+// record lands on disk (content addressing: same key, same bytes).
+func TestPackedPutDedupes(t *testing.T) {
+	dir := t.TempDir()
+	p := openPackedT(t, dir, PackedOptions{})
+	defer p.Close()
+	k := baseSpec().Key()
+	if err := p.Put(k, sampleRow()); err != nil {
+		t.Fatal(err)
+	}
+	size1 := p.Stats().Bytes
+	if err := p.Put(k, sampleRow()); err != nil {
+		t.Fatal(err)
+	}
+	if size2 := p.Stats().Bytes; size2 != size1 {
+		t.Fatalf("duplicate Put grew the store: %d -> %d bytes", size1, size2)
+	}
+}
+
+// TestPackedCompactDropsStale writes cells under an old fingerprint
+// tag, reopens with a new one, and compacts: stale records vanish,
+// fresh and untagged (merged) records survive.
+func TestPackedCompactDropsStale(t *testing.T) {
+	dir := t.TempDir()
+	p := openPackedT(t, dir, PackedOptions{CellTag: "fp-old", NoAutoCompact: true})
+	for i := 0; i < 5; i++ {
+		if err := p.Put(specAt(i).Key(), sampleRow()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One untagged record, as a cross-backend merge would write it.
+	data, err := encodeCellEntry(specAt(100).Key(), sampleRow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.putRaw(specAt(100).Key(), data); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p = openPackedT(t, dir, PackedOptions{CellTag: "fp-new", NoAutoCompact: true})
+	defer p.Close()
+	for i := 5; i < 8; i++ {
+		if err := p.Put(specAt(i).Key(), sampleRow()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dropped, err := p.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 5 {
+		t.Fatalf("Compact dropped %d records, want the 5 stale ones", dropped)
+	}
+	if n, _ := p.Len(); n != 4 {
+		t.Fatalf("after compaction Len = %d, want 4 (3 fresh + 1 untagged)", n)
+	}
+	if _, ok := p.Get(specAt(100).Key()); !ok {
+		t.Fatal("untagged (merged) record was collected; empty tags must be kept")
+	}
+	if _, ok := p.Get(specAt(0).Key()); ok {
+		t.Fatal("stale record survived compaction")
+	}
+	if _, ok := p.Get(specAt(6).Key()); !ok {
+		t.Fatal("fresh record lost by compaction")
+	}
+}
+
+// TestPackedAutoCompact checks Open itself compacts when the stale
+// ratio crosses the threshold, and leaves the store intact below it.
+func TestPackedAutoCompact(t *testing.T) {
+	dir := t.TempDir()
+	p := openPackedT(t, dir, PackedOptions{CellTag: "fp-old"})
+	for i := 0; i < 10; i++ {
+		if err := p.Put(specAt(i).Key(), sampleRow()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p = openPackedT(t, dir, PackedOptions{CellTag: "fp-new"})
+	defer p.Close()
+	if n, _ := p.Len(); n != 0 {
+		t.Fatalf("open under a new fingerprint kept %d all-stale records; auto-compaction should have dropped them", n)
+	}
+	if st := p.Stats(); st.Segments != 1 {
+		t.Fatalf("auto-compaction left %d segments, want 1", st.Segments)
+	}
+}
+
+// TestPackedManifestGarbageCollected plants a segment file the
+// manifest does not list (crash mid-rotation or mid-compaction): open
+// must delete it and not index its records.
+func TestPackedManifestGarbageCollected(t *testing.T) {
+	dir := t.TempDir()
+	p := openPackedT(t, dir, PackedOptions{})
+	if err := p.Put(specAt(0).Key(), sampleRow()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fully valid orphan segment holding a different cell.
+	orphan := filepath.Join(dir, segName(99))
+	f, err := newSegmentFile(dir, segName(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := encodeCellEntry(specAt(1).Key(), sampleRow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := appendRecord(nil, specAt(1).Key(), recKindCell, "", data)
+	if _, err := f.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	p = openPackedT(t, dir, PackedOptions{})
+	defer p.Close()
+	if _, ok := p.Get(specAt(1).Key()); ok {
+		t.Fatal("record from an unlisted segment was served")
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("unlisted segment not cleaned up: %v", err)
+	}
+	if _, ok := p.Get(specAt(0).Key()); !ok {
+		t.Fatal("listed segment's record lost during garbage sweep")
+	}
+}
+
+// TestPackedMissingManifestAdoptsSegments deletes the manifest and
+// checks open adopts the loose segments instead of losing them.
+func TestPackedMissingManifestAdoptsSegments(t *testing.T) {
+	dir := t.TempDir()
+	p := openPackedT(t, dir, PackedOptions{})
+	for i := 0; i < 5; i++ {
+		if err := p.Put(specAt(i).Key(), sampleRow()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(dir, manifestName))
+	os.Remove(filepath.Join(dir, indexName)) // sidecar also names segments
+
+	p = openPackedT(t, dir, PackedOptions{})
+	defer p.Close()
+	if n, _ := p.Len(); n != 5 {
+		t.Fatalf("Len = %d, want 5 after manifest loss", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatalf("open did not re-persist the manifest: %v", err)
+	}
+}
+
+// TestPackedCorruptSidecarFallsBack corrupts the sidecar and checks
+// open falls back to the scan without losing entries.
+func TestPackedCorruptSidecarFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	p := openPackedT(t, dir, PackedOptions{})
+	for i := 0; i < 5; i++ {
+		if err := p.Put(specAt(i).Key(), sampleRow()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	side := filepath.Join(dir, indexName)
+	data, err := os.ReadFile(side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(side, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	p = openPackedT(t, dir, PackedOptions{})
+	defer p.Close()
+	if n, _ := p.Len(); n != 5 {
+		t.Fatalf("Len = %d, want 5 after sidecar corruption", n)
+	}
+}
+
+// TestPackedLargeFillScan is the 100k-cell synthetic soak: fill,
+// reopen by scan, verify counts and spot-check round trips, and bound
+// the warm Get allocation count.
+func TestPackedLargeFillScan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-cell fill in -short mode")
+	}
+	dir := t.TempDir()
+	p := openPackedT(t, dir, PackedOptions{CellTag: "fp-soak"})
+	const n = 100_000
+	row := sampleRow()
+	for i := 0; i < n; i++ {
+		if err := p.Put(specAt(i).Key(), row); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if got, _ := p.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen twice: once off the sidecar, once by full scan.
+	p = openPackedT(t, dir, PackedOptions{CellTag: "fp-soak"})
+	if got, _ := p.Len(); got != n {
+		t.Fatalf("sidecar reopen: Len = %d, want %d", got, n)
+	}
+	p.Close()
+	os.Remove(filepath.Join(dir, indexName))
+	p = openPackedT(t, dir, PackedOptions{CellTag: "fp-soak"})
+	defer p.Close()
+	if got, _ := p.Len(); got != n {
+		t.Fatalf("scan reopen: Len = %d, want %d", got, n)
+	}
+	for _, i := range []int{0, 1, n / 2, n - 2, n - 1} {
+		got, ok := p.Get(specAt(i).Key())
+		if !ok || !rowsBitIdentical(got, row) {
+			t.Fatalf("cell %d failed round trip at scale (ok=%v)", i, ok)
+		}
+	}
+
+	// The warm hot path must not allocate per-hit beyond the JSON
+	// decode of the envelope itself: no per-hit buffers, no key lists.
+	k := specAt(n / 2).Key()
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := p.Get(k); !ok {
+			t.Fatal("warm Get missed")
+		}
+	})
+	if allocs > 120 {
+		t.Fatalf("warm Get allocates %.0f objects/hit; the budget is 120 (envelope JSON decode only)", allocs)
+	}
+}
+
+// BenchmarkPackedWarmGet measures the packed warm hit path.
+func BenchmarkPackedWarmGet(b *testing.B) {
+	dir := b.TempDir()
+	p, err := OpenPacked(dir, PackedOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	const n = 1000
+	keys := make([]Key, n)
+	row := sampleRow()
+	for i := 0; i < n; i++ {
+		keys[i] = specAt(i).Key()
+		if err := p.Put(keys[i], row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.Get(keys[i%n]); !ok {
+			b.Fatal("warm miss")
+		}
+	}
+}
+
+// BenchmarkFileWarmGet is the file-backend baseline for the same hit.
+func BenchmarkFileWarmGet(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 1000
+	keys := make([]Key, n)
+	row := sampleRow()
+	for i := 0; i < n; i++ {
+		keys[i] = specAt(i).Key()
+		if err := s.Put(keys[i], row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Get(keys[i%n]); !ok {
+			b.Fatal("warm miss")
+		}
+	}
+}
+
+// TestPackedReadOnlyRejectsWrites covers the merge-source mode.
+func TestPackedReadOnlyRejectsWrites(t *testing.T) {
+	dir := t.TempDir()
+	p := openPackedT(t, dir, PackedOptions{})
+	if err := p.Put(baseSpec().Key(), sampleRow()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ro, err := openPacked(dir, PackedOptions{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if _, ok := ro.Get(baseSpec().Key()); !ok {
+		t.Fatal("read-only open cannot read")
+	}
+	if err := ro.Put(specAt(1).Key(), sampleRow()); err == nil {
+		t.Fatal("read-only store accepted a Put")
+	}
+	if _, err := ro.Compact(); err == nil {
+		t.Fatal("read-only store accepted a Compact")
+	}
+}
+
+// TestDetectBackend pins the layout sniffing both OpenBackend("auto")
+// and merge-source resolution rely on.
+func TestDetectBackend(t *testing.T) {
+	fileDir := t.TempDir()
+	s, err := Open(fileDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(baseSpec().Key(), sampleRow()); err != nil {
+		t.Fatal(err)
+	}
+	packedDir := t.TempDir()
+	p := openPackedT(t, packedDir, PackedOptions{})
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := DetectBackend(fileDir); got != BackendFile {
+		t.Fatalf("file store detected as %q", got)
+	}
+	if got := DetectBackend(packedDir); got != BackendPacked {
+		t.Fatalf("packed store detected as %q", got)
+	}
+	if got := DetectBackend(t.TempDir()); got != BackendFile {
+		t.Fatalf("empty dir detected as %q, want the file default", got)
+	}
+	// Manifest lost: loose segments must still be recognised as packed.
+	os.Remove(filepath.Join(packedDir, manifestName))
+	if got := DetectBackend(packedDir); got != BackendPacked {
+		t.Fatalf("manifest-less packed store detected as %q", got)
+	}
+}
+
+// TestOpenBackendRejectsUnknown pins the error path.
+func TestOpenBackendRejectsUnknown(t *testing.T) {
+	if _, err := OpenBackend("sqlite", t.TempDir(), PackedOptions{}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+// TestPackedStatsCountsDead checks the dead-record accounting that
+// feeds the auto-compaction heuristic. Duplicate keys across segments
+// can only enter via crash replays, so one is forged directly.
+func TestPackedStatsCountsDead(t *testing.T) {
+	dir := t.TempDir()
+	p := openPackedT(t, dir, PackedOptions{})
+	k := baseSpec().Key()
+	if err := p.Put(k, sampleRow()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Append a second record for the same key straight to the segment.
+	seg := filepath.Join(dir, segName(1))
+	data, err := encodeCellEntry(k, sampleRow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := appendRecord(nil, k, recKindCell, "", data)
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	os.Remove(filepath.Join(dir, indexName)) // force the scan path
+
+	p = openPackedT(t, dir, PackedOptions{NoAutoCompact: true})
+	defer p.Close()
+	if n, _ := p.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1 (duplicate key is one live entry)", n)
+	}
+	if st := p.Stats(); st.Dead != 1 {
+		t.Fatalf("Stats.Dead = %d, want 1", st.Dead)
+	}
+	if _, ok := p.Get(k); !ok {
+		t.Fatal("duplicated key must still resolve")
+	}
+}
+
+// TestPackedKeysDoNotRaceAppends is a smoke test that the store is
+// usable under its own mutex from concurrent goroutines.
+func TestPackedConcurrentUse(t *testing.T) {
+	dir := t.TempDir()
+	p := openPackedT(t, dir, PackedOptions{})
+	defer p.Close()
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			for i := 0; i < 50; i++ {
+				k := specAt(g*1000 + i).Key()
+				if err := p.Put(k, sampleRow()); err != nil {
+					done <- fmt.Errorf("put: %v", err)
+					return
+				}
+				if _, ok := p.Get(k); !ok {
+					done <- fmt.Errorf("goroutine %d: lost own write %d", g, i)
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := p.Len(); n != 200 {
+		t.Fatalf("Len = %d, want 200", n)
+	}
+}

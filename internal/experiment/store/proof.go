@@ -73,12 +73,12 @@ type ProofV1 struct {
 	Witness         *ProofWitnessV1 `json:"witness,omitempty"`
 }
 
-// PutProof stores a proof verdict under key k, with the same atomic
-// write discipline as Put.
-func (s *Store) PutProof(k Key, p ProofV1) error {
+// encodeProofEntry builds the checksummed on-disk envelope for a proof
+// verdict — the byte representation shared by every backend.
+func encodeProofEntry(k Key, p ProofV1) ([]byte, error) {
 	payload, err := json.Marshal(p)
 	if err != nil {
-		return fmt.Errorf("store: encoding proof %s: %v", k, err)
+		return nil, fmt.Errorf("store: encoding proof %s: %v", k, err)
 	}
 	sum := sha256.Sum256(payload)
 	data, err := json.Marshal(proofFileV1{
@@ -89,7 +89,17 @@ func (s *Store) PutProof(k Key, p ProofV1) error {
 		Proof: payload,
 	})
 	if err != nil {
-		return fmt.Errorf("store: encoding proof entry %s: %v", k, err)
+		return nil, fmt.Errorf("store: encoding proof entry %s: %v", k, err)
+	}
+	return data, nil
+}
+
+// PutProof stores a proof verdict under key k, with the same atomic
+// write discipline as Put.
+func (s *Store) PutProof(k Key, p ProofV1) error {
+	data, err := encodeProofEntry(k, p)
+	if err != nil {
+		return err
 	}
 	return s.writeAtomic(k, data)
 }
@@ -135,17 +145,28 @@ func decodeProofEntry(k Key, data []byte) (ProofV1, error) {
 	return p, nil
 }
 
-// validateEntry decodes an entry file of any kind, for the merge path:
-// cell entries (no kind tag), proof entries, and conformance entries
-// are all valid merge sources; anything else is corrupt.
-func validateEntry(k Key, data []byte) error {
+// entryKind sniffs an envelope's kind tag. Cell entries predate the
+// tag and have none, so they report the empty kind; undecodable bytes
+// report an error.
+func entryKind(data []byte) (string, error) {
 	var probe struct {
 		Kind string `json:"kind"`
 	}
 	if err := json.Unmarshal(data, &probe); err != nil {
+		return "", err
+	}
+	return probe.Kind, nil
+}
+
+// validateEntry decodes an entry file of any kind, for the merge path:
+// cell entries (no kind tag), proof entries, and conformance entries
+// are all valid merge sources; anything else is corrupt.
+func validateEntry(k Key, data []byte) error {
+	kind, err := entryKind(data)
+	if err != nil {
 		return fmt.Errorf("store: entry %s: %v", k, err)
 	}
-	switch probe.Kind {
+	switch kind {
 	case proofKind:
 		_, err := decodeProofEntry(k, data)
 		return err
@@ -153,6 +174,6 @@ func validateEntry(k Key, data []byte) error {
 		_, err := decodeConformEntry(k, data)
 		return err
 	}
-	_, err := decodeEntry(k, data)
+	_, err = decodeEntry(k, data)
 	return err
 }

@@ -1,0 +1,193 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Packed segment format. A segment is an append-only log file:
+//
+//	header:  8 bytes, the literal "tpsegv1\n"
+//	records: back to back until end of file
+//
+// One record:
+//
+//	[0:32]   key           (the entry's content address)
+//	[32]     kind          (0 = cell, 1 = proof, 2 = conform)
+//	[33]     tag length    (fingerprint tag, 0..255 bytes)
+//	[34:38]  payload length, uint32 little-endian
+//	[38:42]  CRC-32C over header[0:38] + tag + payload
+//	[42:...] tag bytes, then payload bytes
+//
+// The payload is the exact checksummed JSON envelope the file backend
+// would store one file per entry — byte-identical across backends,
+// which is what makes cross-backend merge and migration exact. The CRC
+// makes a sequential scan self-validating without parsing any JSON: a
+// record that fails its CRC (or runs past end of file) is a torn tail,
+// and the scan stops there. The tag records the engine fingerprint the
+// entry was written under, so compaction can drop entries under stale
+// fingerprints without decoding payloads.
+
+const (
+	segMagic      = "tpsegv1\n"
+	segHeaderSize = len(segMagic)
+	segSuffix     = ".seg"
+
+	recKindCell    = 0
+	recKindProof   = 1
+	recKindConform = 2
+
+	recHeaderSize = 32 + 1 + 1 + 4 + 4
+	// maxRecPayload bounds a record's payload during scans: a length
+	// field beyond it means a torn or corrupt header, not a real entry.
+	maxRecPayload = 1 << 30
+)
+
+// castagnoli is the CRC-32C table (the polynomial with hardware
+// support on both amd64 and arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// segName renders the canonical segment filename for an id. Ids grow
+// monotonically across rotations and compactions, so lexical order is
+// creation order — the recovery scan's newest-record-wins rule depends
+// on it.
+func segName(id uint64) string { return fmt.Sprintf("seg-%08d%s", id, segSuffix) }
+
+// appendRecord encodes one record onto buf and returns the extended
+// slice.
+func appendRecord(buf []byte, k Key, kind byte, tag string, payload []byte) []byte {
+	if len(tag) > 255 {
+		tag = tag[:255] // tags are fingerprints, far below this in practice
+	}
+	start := len(buf)
+	buf = append(buf, k[:]...)
+	buf = append(buf, kind, byte(len(tag)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // CRC placeholder
+	buf = append(buf, tag...)
+	buf = append(buf, payload...)
+	crc := crc32.Update(0, castagnoli, buf[start:start+38])
+	crc = crc32.Update(crc, castagnoli, buf[start+recHeaderSize:])
+	binary.LittleEndian.PutUint32(buf[start+38:start+42], crc)
+	return buf
+}
+
+// recordSize is the on-disk footprint of a record with the given tag
+// and payload lengths.
+func recordSize(tagLen, payloadLen int) int64 {
+	return int64(recHeaderSize + tagLen + payloadLen)
+}
+
+// scannedRecord is one valid record found by scanSegment.
+type scannedRecord struct {
+	key        Key
+	kind       byte
+	tag        string
+	payloadOff int64 // offset of the payload within the segment file
+	payloadLen uint32
+	recOff     int64 // offset of the record header
+}
+
+// scanSegment sequentially validates a segment from offset start
+// (which must sit on a record boundary; pass 0 for a full scan) and
+// calls fn for each valid record. Two distinct failure shapes exist:
+//
+//   - a record whose frame still fits in the file but whose CRC fails
+//     is bit rot; it is skipped (counted in the returned skipped) and
+//     the scan resyncs at the next frame, so one rotten record costs
+//     one miss, not the rest of the segment;
+//   - a record whose frame runs past end of file (or whose length
+//     field is implausible) is a torn tail from a crash mid-append;
+//     the scan stops there and returns that offset as validEnd —
+//     everything beyond it must be ignored or truncated by the caller.
+//
+// A missing or wrong file header reports 0 valid bytes.
+func scanSegment(f *os.File, size int64, start int64, fn func(scannedRecord)) (validEnd int64, skipped int, err error) {
+	if start < int64(segHeaderSize) {
+		var magic [8]byte
+		if _, err := f.ReadAt(magic[:], 0); err != nil || string(magic[:]) != segMagic {
+			return 0, 0, nil
+		}
+		start = int64(segHeaderSize)
+	}
+	r := io.NewSectionReader(f, 0, size)
+	off := start
+	var hdr [recHeaderSize]byte
+	// Payloads are re-read per record; a bufio reader would be faster
+	// but the scan is already sequential and runs only on open or
+	// compaction. Keep one growing scratch buffer across records.
+	var scratch []byte
+	for {
+		if size-off < int64(recHeaderSize) {
+			return off, skipped, nil
+		}
+		if _, err := r.ReadAt(hdr[:], off); err != nil {
+			return off, skipped, nil
+		}
+		tagLen := int(hdr[33])
+		payloadLen := binary.LittleEndian.Uint32(hdr[34:38])
+		if payloadLen > maxRecPayload {
+			return off, skipped, nil
+		}
+		total := recordSize(tagLen, int(payloadLen))
+		if size-off < total {
+			return off, skipped, nil
+		}
+		body := int(total) - recHeaderSize
+		if cap(scratch) < body {
+			scratch = make([]byte, body)
+		}
+		scratch = scratch[:body]
+		if _, err := r.ReadAt(scratch, off+int64(recHeaderSize)); err != nil {
+			return off, skipped, nil
+		}
+		crc := crc32.Update(0, castagnoli, hdr[:38])
+		crc = crc32.Update(crc, castagnoli, scratch)
+		if crc != binary.LittleEndian.Uint32(hdr[38:42]) {
+			// Bit rot within a structurally intact frame: skip this
+			// record, resync at the next. (If the length field itself
+			// rotted, resync lands on garbage — which keeps failing
+			// CRCs and skipping until a frame no longer fits; still
+			// never a wrong row.)
+			skipped++
+			off += total
+			continue
+		}
+		var rec scannedRecord
+		copy(rec.key[:], hdr[:32])
+		rec.kind = hdr[32]
+		rec.tag = string(scratch[:tagLen])
+		rec.recOff = off
+		rec.payloadOff = off + int64(recHeaderSize) + int64(tagLen)
+		rec.payloadLen = payloadLen
+		fn(rec)
+		off += total
+	}
+}
+
+// newSegmentFile creates and syncs a fresh segment file (header only)
+// and syncs the directory so the file survives a crash. The returned
+// handle is open read-write, positioned for appends at segHeaderSize.
+func newSegmentFile(dir, name string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, name), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: creating segment: %v", err)
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: writing segment header: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: syncing segment: %v", err)
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: syncing store dir: %v", err)
+	}
+	return f, nil
+}

@@ -9,20 +9,29 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
+	"time"
 
 	"timeprot/internal/attacks"
 	"timeprot/internal/channel"
 )
 
-// Store is a content-addressed cell store rooted at a directory. Cells
-// live one per file under two-hex-digit shard subdirectories
+// Store is the file-per-cell CellStore backend, rooted at a directory.
+// Cells live one per file under two-hex-digit shard subdirectories
 // (dir/ab/abcdef….json), named by their key. Store values are safe for
 // concurrent use by multiple goroutines and multiple processes.
 type Store struct {
 	dir string
 }
 
-// Open opens (creating if needed) the store rooted at dir.
+// tempMaxAge is how old a .put-* temp file must be before Open sweeps
+// it as a crashed writer's orphan. The age guard keeps Open from
+// deleting the temp file of a concurrent live writer mid-Put; a healthy
+// Put holds its temp file for milliseconds, never minutes.
+const tempMaxAge = 10 * time.Minute
+
+// Open opens (creating if needed) the file-per-cell store rooted at
+// dir, sweeping any temp files orphaned by crashed writers.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty directory")
@@ -30,11 +39,50 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %v", err)
 	}
-	return &Store{dir: dir}, nil
+	s := &Store{dir: dir}
+	s.sweepTemps()
+	return s, nil
+}
+
+// sweepTemps removes .put-* temp files orphaned by writers that crashed
+// between CreateTemp and the commit rename. Without the sweep they
+// accumulate in shard directories forever (nothing else ever unlinks
+// them). Only temps older than tempMaxAge go; a younger one may belong
+// to a live concurrent writer. Best-effort: a failed removal is not an
+// open error.
+func (s *Store) sweepTemps() {
+	shards, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	cutoff := time.Now().Add(-tempMaxAge)
+	for _, sh := range shards {
+		if !sh.IsDir() || len(sh.Name()) != 2 {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, sh.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if f.IsDir() || !strings.HasPrefix(f.Name(), ".put-") {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil || info.ModTime().After(cutoff) {
+				continue
+			}
+			os.Remove(filepath.Join(s.dir, sh.Name(), f.Name()))
+		}
+	}
 }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// Close is a no-op: the file backend holds no open handles and every
+// Put is individually durable. It exists to satisfy CellStore.
+func (s *Store) Close() error { return nil }
 
 // path maps a key to its file: two-hex-digit fan-out keeps directories
 // small even for million-cell matrices.
@@ -129,15 +177,14 @@ func decodeRow(c cellV1) attacks.Row {
 	return row
 }
 
-// Put stores a measured row under key k. The write is atomic: a temp
-// file in the destination shard directory is renamed into place, so a
-// concurrent reader sees either nothing or a complete entry, and
-// concurrent writers of the same key (which, by content addressing,
-// write identical payloads) cannot corrupt each other.
-func (s *Store) Put(k Key, row attacks.Row) error {
+// encodeCellEntry builds the checksummed on-disk envelope for a
+// measured row — the byte representation shared by every backend (the
+// file backend stores it one file per entry, the packed backend as a
+// length-prefixed segment record).
+func encodeCellEntry(k Key, row attacks.Row) ([]byte, error) {
 	cell, err := json.Marshal(encodeRow(row))
 	if err != nil {
-		return fmt.Errorf("store: encoding cell %s: %v", k, err)
+		return nil, fmt.Errorf("store: encoding cell %s: %v", k, err)
 	}
 	sum := sha256.Sum256(cell)
 	data, err := json.Marshal(fileV1{
@@ -147,12 +194,31 @@ func (s *Store) Put(k Key, row attacks.Row) error {
 		Cell: cell,
 	})
 	if err != nil {
-		return fmt.Errorf("store: encoding entry %s: %v", k, err)
+		return nil, fmt.Errorf("store: encoding entry %s: %v", k, err)
+	}
+	return data, nil
+}
+
+// Put stores a measured row under key k. The write is atomic: a temp
+// file in the destination shard directory is renamed into place, so a
+// concurrent reader sees either nothing or a complete entry, and
+// concurrent writers of the same key (which, by content addressing,
+// write identical payloads) cannot corrupt each other.
+func (s *Store) Put(k Key, row attacks.Row) error {
+	data, err := encodeCellEntry(k, row)
+	if err != nil {
+		return err
 	}
 	return s.writeAtomic(k, data)
 }
 
-// writeAtomic writes a complete entry file for k.
+// writeAtomic writes a complete entry file for k with the store's
+// crash-consistency contract: the entry bytes are fsynced before the
+// commit rename, and the shard directory is fsynced after it. Without
+// the file sync a crash shortly after Put could leave an empty or torn
+// file committed under the final name (a permanent miss at best);
+// without the directory sync the rename itself could vanish, leaving a
+// stale dirent pointing at recycled blocks.
 func (s *Store) writeAtomic(k Key, data []byte) error {
 	path := s.path(k)
 	dir := filepath.Dir(path)
@@ -168,6 +234,11 @@ func (s *Store) writeAtomic(k Key, data []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: writing %s: %v", path, err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: syncing %s: %v", path, err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: closing %s: %v", path, err)
@@ -176,7 +247,25 @@ func (s *Store) writeAtomic(k Key, data []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: committing %s: %v", path, err)
 	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("store: syncing dir of %s: %v", path, err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-committed rename survives a
+// crash. Filesystems that cannot sync directories report an error on
+// Sync, which is surfaced; all mainstream Linux filesystems support it.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Get returns the row stored under k. Every failure mode — missing
@@ -218,22 +307,22 @@ func decodeEntry(k Key, data []byte) (attacks.Row, error) {
 	return decodeRow(c), nil
 }
 
-// Keys lists the keys of every entry file present, in sorted order.
-// Presence is by well-formed filename only; Get still validates
-// content.
-func (s *Store) Keys() ([]Key, error) {
+// walkEntries calls fn for every well-formed entry filename present.
+// Temp files (.put-*), misnamed files, and stray directories are
+// invisible: presence is by well-formed filename only, and Get still
+// validates content.
+func (s *Store) walkEntries(fn func(k Key)) error {
 	shards, err := os.ReadDir(s.dir)
 	if err != nil {
-		return nil, fmt.Errorf("store: %v", err)
+		return fmt.Errorf("store: %v", err)
 	}
-	var keys []Key
 	for _, sh := range shards {
 		if !sh.IsDir() || len(sh.Name()) != 2 {
 			continue
 		}
 		files, err := os.ReadDir(filepath.Join(s.dir, sh.Name()))
 		if err != nil {
-			return nil, fmt.Errorf("store: %v", err)
+			return fmt.Errorf("store: %v", err)
 		}
 		for _, f := range files {
 			name := f.Name()
@@ -244,56 +333,67 @@ func (s *Store) Keys() ([]Key, error) {
 			if err != nil || k.String()[:2] != sh.Name() {
 				continue
 			}
-			keys = append(keys, k)
+			fn(k)
 		}
+	}
+	return nil
+}
+
+// Keys lists the keys of every entry file present, in sorted order.
+func (s *Store) Keys() ([]Key, error) {
+	var keys []Key
+	if err := s.walkEntries(func(k Key) { keys = append(keys, k) }); err != nil {
+		return nil, err
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
 	return keys, nil
 }
 
-// Len counts the entries present (by filename).
+// Len counts the entries present (by filename). It walks the shard
+// directories once and counts — no key slice is built or sorted, so
+// counting a huge store costs directory reads only.
 func (s *Store) Len() (int, error) {
-	keys, err := s.Keys()
-	if err != nil {
+	n := 0
+	if err := s.walkEntries(func(Key) { n++ }); err != nil {
 		return 0, err
 	}
-	return len(keys), nil
+	return n, nil
 }
 
 // MergeFrom copies into s every valid entry of the store rooted at src
-// that s does not already hold, returning the number added. Both entry
-// kinds — measured cells and proof verdicts — merge. Content
-// addressing makes merging associative and commutative — equal keys
-// hold equal payloads — so shard stores produced by independent
-// processes (or machines) combine in any order into the same store.
-// Corrupt or truncated source entries are skipped, and entries already
-// present in s are kept, never overwritten.
+// that s does not already hold, returning the number added. All three
+// entry kinds — measured cells, proof verdicts, and conformance
+// outcomes — merge, and the source may use either backend (file or
+// packed; the layout is detected). Content addressing makes merging
+// associative and commutative — equal keys hold equal payloads — so
+// shard stores produced by independent processes (or machines) combine
+// in any order into the same store. Corrupt or truncated source entries
+// are skipped, and entries already present in s are kept, never
+// overwritten.
 func (s *Store) MergeFrom(src string) (added int, err error) {
-	srcStore := &Store{dir: src}
-	keys, err := srcStore.Keys()
-	if err != nil {
-		return 0, err
+	return mergeInto(s, src)
+}
+
+// getRaw returns the validated envelope bytes stored under k, for the
+// cross-backend merge path.
+func (s *Store) getRaw(k Key) ([]byte, bool) {
+	data, err := os.ReadFile(s.path(k))
+	if err != nil || validateEntry(k, data) != nil {
+		return nil, false
 	}
-	for _, k := range keys {
-		// "Already present" means present AND valid: a corrupt
-		// destination entry is a miss by contract, so a valid source
-		// entry must replace it rather than be skipped.
-		if existing, readErr := os.ReadFile(s.path(k)); readErr == nil {
-			if validateEntry(k, existing) == nil {
-				continue
-			}
-		}
-		data, readErr := os.ReadFile(srcStore.path(k))
-		if readErr != nil {
-			continue
-		}
-		if validateEntry(k, data) != nil {
-			continue // never propagate a corrupt entry
-		}
-		if err := s.writeAtomic(k, data); err != nil {
-			return added, err
-		}
-		added++
-	}
-	return added, nil
+	return data, true
+}
+
+// hasValid reports whether s holds a valid entry under k. "Present but
+// corrupt" is false: a corrupt destination entry is a miss by contract,
+// so a valid source entry must replace it during a merge rather than be
+// skipped.
+func (s *Store) hasValid(k Key) bool {
+	_, ok := s.getRaw(k)
+	return ok
+}
+
+// putRaw commits pre-validated envelope bytes under k.
+func (s *Store) putRaw(k Key, data []byte) error {
+	return s.writeAtomic(k, data)
 }

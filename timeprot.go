@@ -358,6 +358,18 @@ type (
 	// sweeps become incremental (cached cells are served, not re-run)
 	// and sharded stores merge associatively across machines.
 	SweepStore = store.Store
+	// SweepCellStore is the backend-agnostic store contract both the
+	// file-per-cell and packed segment backends satisfy; it is what
+	// SweepOptions.Store accepts.
+	SweepCellStore = store.CellStore
+	// SweepPackedStore is the packed segment backend: entries as
+	// checksummed records in append-only segment files with an
+	// in-memory index — one or a handful of inodes for millions of
+	// cells.
+	SweepPackedStore = store.Packed
+	// SweepPackedOptions tunes a packed store (fingerprint tags for
+	// compaction, segment size, sync cadence).
+	SweepPackedOptions = store.PackedOptions
 	// SweepShard selects one shard of a matrix's deterministic
 	// partition for distributed execution.
 	SweepShard = experiment.ShardSel
@@ -376,6 +388,13 @@ const DefaultSweepCIHalfWidth = experiment.DefaultCIHalfWidth
 // store rooted at dir. Pass it via SweepOptions.Store; merge shard
 // stores with its MergeFrom method.
 func OpenSweepStore(dir string) (*SweepStore, error) { return store.Open(dir) }
+
+// OpenPackedSweepStore opens (creating if needed) the packed segment
+// store rooted at dir. Tag it with the current fingerprints (see
+// SweepPackedOptions) so Compact can drop entries no lookup can reach.
+func OpenPackedSweepStore(dir string, opt SweepPackedOptions) (*SweepPackedStore, error) {
+	return store.OpenPacked(dir, opt)
+}
 
 // SweepFingerprint returns the engine fingerprint under which this
 // build keys store cells: the registered model-version strings of the

@@ -5,6 +5,12 @@
 //
 //	go run ./tools/benchtrend OLD.json NEW.json [-max-regress PCT]
 //
+// Flags and the two positional files may be interleaved in any order:
+// benchtrend parses the whole command line itself, because the stdlib
+// flag package stops at the first positional and would silently drop a
+// trailing -max-regress — turning a deliberately tightened gate into
+// the default one with exit status 0.
+//
 // The gated figure is cells.cells_per_sec_warm — the whole-cell
 // throughput of the pooled hot path on the fixed bench matrix (see
 // tpbench -bench-cells). Absolute numbers are machine-dependent, so the
@@ -18,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 )
 
@@ -31,51 +38,84 @@ type benchFile struct {
 	} `json:"cells"`
 }
 
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "benchtrend: "+format+"\n", args...)
-	os.Exit(1)
-}
-
-func load(path string) benchFile {
+func load(path string) (benchFile, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
-		fail("%v", err)
+		return benchFile{}, err
 	}
 	var f benchFile
 	if err := json.Unmarshal(b, &f); err != nil {
-		fail("%s: %v", path, err)
+		return benchFile{}, fmt.Errorf("%s: %v", path, err)
 	}
-	return f
+	return f, nil
 }
 
-func main() {
-	maxRegress := flag.Float64("max-regress", 20, "maximum allowed cells/sec (warm) regression, percent")
-	flag.Parse()
-	if flag.NArg() != 2 {
-		fail("usage: benchtrend OLD.json NEW.json [-max-regress PCT]")
+// parseArgs splits a command line into flags and positionals with the
+// two freely interleaved: each flag.Parse pass stops at the first
+// positional, which is collected and parsing resumes after it.
+func parseArgs(fs *flag.FlagSet, args []string) (positionals []string, err error) {
+	rest := args
+	for len(rest) > 0 {
+		if err := fs.Parse(rest); err != nil {
+			return nil, err
+		}
+		rest = fs.Args()
+		if len(rest) == 0 {
+			break
+		}
+		positionals = append(positionals, rest[0])
+		rest = rest[1:]
 	}
-	oldF, newF := load(flag.Arg(0)), load(flag.Arg(1))
+	return positionals, nil
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchtrend", flag.ContinueOnError)
+	maxRegress := fs.Float64("max-regress", 20, "maximum allowed cells/sec (warm) regression, percent")
+	files, err := parseArgs(fs, args)
+	if err != nil {
+		return err
+	}
+	if len(files) != 2 {
+		return fmt.Errorf("usage: benchtrend OLD.json NEW.json [-max-regress PCT]")
+	}
+	oldF, err := load(files[0])
+	if err != nil {
+		return err
+	}
+	newF, err := load(files[1])
+	if err != nil {
+		return err
+	}
 
 	if oldF.Cells == nil {
-		fmt.Printf("benchtrend: %s (PR %d) has no cells section; nothing to compare\n", flag.Arg(0), oldF.PR)
-		return
+		fmt.Fprintf(stdout, "benchtrend: %s (PR %d) has no cells section; nothing to compare\n", files[0], oldF.PR)
+		return nil
 	}
 	if newF.Cells == nil {
-		fail("%s (PR %d) dropped the cells section present in %s", flag.Arg(1), newF.PR, flag.Arg(0))
+		return fmt.Errorf("%s (PR %d) dropped the cells section present in %s", files[1], newF.PR, files[0])
 	}
 	if oldF.CPU != newF.CPU {
-		fmt.Printf("benchtrend: hosts differ (%q vs %q); absolute throughput not comparable\n", oldF.CPU, newF.CPU)
-		return
+		fmt.Fprintf(stdout, "benchtrend: hosts differ (%q vs %q); absolute throughput not comparable\n", oldF.CPU, newF.CPU)
+		return nil
 	}
 	oldW, newW := oldF.Cells.CellsPerSecWarm, newF.Cells.CellsPerSecWarm
 	if oldW <= 0 {
-		fail("%s has non-positive cells_per_sec_warm %v", flag.Arg(0), oldW)
+		return fmt.Errorf("%s has non-positive cells_per_sec_warm %v", files[0], oldW)
 	}
 	change := 100 * (newW - oldW) / oldW
-	fmt.Printf("benchtrend: warm cells/sec %.2f -> %.2f (%+.1f%%), gate -%.0f%%\n",
+	fmt.Fprintf(stdout, "benchtrend: warm cells/sec %.2f -> %.2f (%+.1f%%), gate -%.0f%%\n",
 		oldW, newW, change, *maxRegress)
 	if change < -*maxRegress {
-		fail("PR %d regresses warm cell throughput %.1f%% vs PR %d (limit %.0f%%)",
+		return fmt.Errorf("PR %d regresses warm cell throughput %.1f%% vs PR %d (limit %.0f%%)",
 			newF.PR, -change, oldF.PR, *maxRegress)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
+		os.Exit(1)
 	}
 }

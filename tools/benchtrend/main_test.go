@@ -1,0 +1,79 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBench drops a minimal BENCH_N.json with the given warm
+// throughput and returns its path.
+func writeBench(t *testing.T, name string, pr int, warm float64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	data := fmt.Sprintf(`{"pr": %d, "cpu": "test-cpu", "cells": {"cells_per_sec_cold": 1, "cells_per_sec_warm": %g}}`, pr, warm)
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestFlagsParseInEitherOrder is the regression test for the silent
+// flag drop: with stdlib flag.Parse, a -max-regress AFTER the two
+// positional files was ignored and the default 20% gate applied. A 10%
+// regression must now fail a -max-regress=5 gate in both orderings.
+func TestFlagsParseInEitherOrder(t *testing.T) {
+	oldJSON := writeBench(t, "old.json", 1, 100)
+	newJSON := writeBench(t, "new.json", 2, 90) // 10% regression
+
+	orderings := map[string][]string{
+		"flags-first": {"-max-regress", "5", oldJSON, newJSON},
+		"flags-last":  {oldJSON, newJSON, "-max-regress", "5"},
+		"interleaved": {oldJSON, "-max-regress", "5", newJSON},
+	}
+	for name, args := range orderings {
+		t.Run(name, func(t *testing.T) {
+			err := run(args, &strings.Builder{})
+			if err == nil {
+				t.Fatalf("args %v: 10%% regression passed a 5%% gate (flag silently dropped)", args)
+			}
+			if !strings.Contains(err.Error(), "regresses") {
+				t.Fatalf("args %v: unexpected error: %v", args, err)
+			}
+		})
+	}
+}
+
+// TestDefaultGatePassesSmallRegression pins the default behaviour: a
+// 10% regression is within the default 20% gate, whatever the
+// argument order.
+func TestDefaultGatePassesSmallRegression(t *testing.T) {
+	oldJSON := writeBench(t, "old.json", 1, 100)
+	newJSON := writeBench(t, "new.json", 2, 90)
+	if err := run([]string{oldJSON, newJSON}, &strings.Builder{}); err != nil {
+		t.Fatalf("10%% regression failed the default 20%% gate: %v", err)
+	}
+}
+
+// TestLooseGateAfterPositionalsIsHonoured is the mirror image: a 30%
+// regression fails the default gate but passes an explicit trailing
+// -max-regress=50 — which only works if the trailing flag is parsed.
+func TestLooseGateAfterPositionalsIsHonoured(t *testing.T) {
+	oldJSON := writeBench(t, "old.json", 1, 100)
+	newJSON := writeBench(t, "new.json", 2, 70) // 30% regression
+
+	if err := run([]string{oldJSON, newJSON}, &strings.Builder{}); err == nil {
+		t.Fatal("30% regression passed the default 20% gate")
+	}
+	if err := run([]string{oldJSON, newJSON, "-max-regress", "50"}, &strings.Builder{}); err != nil {
+		t.Fatalf("trailing -max-regress=50 not honoured: %v", err)
+	}
+}
+
+func TestWrongArgCount(t *testing.T) {
+	if err := run([]string{"only-one.json"}, &strings.Builder{}); err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Fatalf("want usage error, got %v", err)
+	}
+}
