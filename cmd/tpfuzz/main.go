@@ -1,0 +1,153 @@
+// Command tpfuzz runs the coverage-guided channel-discovery fuzzer:
+// generative search for timing channels over the flush/pad/partition
+// ablation surface. Starting from a seed corpus of trojan/spy program
+// pairs, it mutates energy-selected parents, measures each candidate on
+// the concrete simulator with CI-backed capacity estimates, and takes
+// coverage feedback from a bitmap over microarchitectural state
+// transitions. A candidate becomes a discovery when its leak replicates
+// under independent reseeds AND full protection closes it; the witness
+// is then shrunk until every remaining action is load-bearing. A leak
+// that survives full protection while the abstract prover accepts the
+// pair is reported as a soundness violation and the run exits non-zero.
+//
+// The campaign is deterministic: the discovery set is a pure function
+// of (-seed, -budget, -rounds, -families, corpus). -parallel and store
+// temperature never change a bit of it. With -store, candidate
+// measurements are cached under the discover/1 keyspace, so re-running
+// a campaign is warm. -shard is not meaningful for a feedback-driven
+// search and is rejected.
+//
+// All timing goes to stderr; stdout, -out, and -md are pure functions
+// of the campaign, so outputs regenerate byte-stably.
+//
+// Usage:
+//
+//	tpfuzz [-seed S] [-budget N] [-rounds R] [-parallel P] [-families F]
+//	       [-corpus DIR] [-store DIR] [-merge-from DIR,...] [-warm-only]
+//	       [-out discoveries.json] [-md DISCOVERIES.md] [-quiet]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"timeprot"
+	"timeprot/internal/cliutil"
+	"timeprot/internal/discover"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tpfuzz: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	seed := flag.Uint64("seed", 42, "campaign seed; drives mutation, ablation choice, and measurement seeds")
+	budget := flag.Int("budget", 24, "candidate screening evaluations to spend (the default matches the pinned regression campaign)")
+	rounds := flag.Int("rounds", 24, "concrete transmission rounds per measurement")
+	parallel := flag.Int("parallel", 0, "evaluation worker count (0 = 1); never affects results")
+	families := flag.Int("families", 0, "sampled time-function families for the abstract soundness cross-check (0 = default)")
+	corpus := flag.String("corpus", "", "seed corpus directory of *.json pair files (default: built-in corpus)")
+	sf := cliutil.RegisterStore(flag.CommandLine, "discovery evaluation")
+	out := flag.String("out", "", "write the discoveries as JSON to this path")
+	md := flag.String("md", "", "write the discoveries as DISCOVERIES.md to this path")
+	quiet := flag.Bool("quiet", false, "suppress the text report on stdout")
+	flag.Parse()
+
+	if sf.Shard != "" {
+		fail("-shard is not supported: a feedback-driven search has no precomputable matrix to partition")
+	}
+
+	opt := timeprot.FuzzOptions{
+		Seed:     *seed,
+		Budget:   *budget,
+		Rounds:   *rounds,
+		Workers:  *parallel,
+		Families: *families,
+		Corpus:   discover.DefaultCorpus(),
+	}
+	if *corpus != "" {
+		pairs, err := discover.LoadCorpus(*corpus)
+		if err != nil {
+			fail("%v", err)
+		}
+		opt.Corpus = pairs
+	}
+
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	st, _, err := sf.Resolve(logf)
+	if err != nil {
+		fail("%v", err)
+	}
+	opt.Store = st
+
+	start := time.Now()
+	res, err := timeprot.Fuzz(opt)
+	if err != nil {
+		fail("%v", err)
+	}
+	// Close before the os.Exit paths below so the packed backend's index
+	// sidecar and final sync are persisted.
+	if st != nil {
+		if cerr := st.Close(); cerr != nil {
+			fail("closing store: %v", cerr)
+		}
+	}
+
+	if !*quiet {
+		if err := timeprot.WriteFuzzReport(os.Stdout, res); err != nil {
+			fail("%v", err)
+		}
+		// Timing is diagnostic only and must never enter a report
+		// stream: stdout stays a pure function of the campaign.
+		elapsed := time.Since(start).Seconds()
+		fmt.Fprintf(os.Stderr, "fuzzed %d candidate pairs in %.1fs (fuzz_pairs_per_sec %.2f)\n",
+			res.Evals, elapsed, float64(res.Evals)/elapsed)
+		if sf.Dir != "" {
+			fmt.Fprintf(os.Stderr, "store: %d measurements cached, %d simulated\n",
+				res.CacheHits, res.ColdMisses)
+		}
+	}
+	if sf.WarmOnly && res.ColdMisses > 0 {
+		fail("-warm-only: %d measurements were not served from the store", res.ColdMisses)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(res.Discoveries, "", "  ")
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fail("%v", err)
+		}
+		logf("wrote %s", *out)
+	}
+	if *md != "" {
+		f, err := os.Create(*md)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := timeprot.WriteDiscoveriesMD(f, res.Discoveries); err != nil {
+			fail("writing %s: %v", *md, err)
+		}
+		if err := f.Close(); err != nil {
+			fail("closing %s: %v", *md, err)
+		}
+		logf("wrote %s", *md)
+	}
+
+	if len(res.Violations) > 0 {
+		for _, v := range res.Violations {
+			fmt.Fprintf(os.Stderr, "tpfuzz: SOUNDNESS VIOLATION: pair %v / %v via %s (seed %d)\n",
+				v.HiA, v.HiB, v.Channel, v.Seed)
+		}
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,129 @@
+package timeprot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"timeprot/internal/attacks"
+	"timeprot/internal/experiment"
+)
+
+// TestCommittedDiscoveriesRegistered: init must have registered every
+// committed discovery as a dynamic scenario, resolvable by ID, with the
+// leak/closed variant pair.
+func TestCommittedDiscoveriesRegistered(t *testing.T) {
+	ds, err := CommittedDiscoveries()
+	if err != nil {
+		t.Fatalf("CommittedDiscoveries: %v", err)
+	}
+	if len(ds) == 0 {
+		t.Fatal("no committed discoveries; the embedded discoveries.json is empty")
+	}
+	for _, d := range ds {
+		s, ok := attacks.ScenarioByID(d.ID)
+		if !ok {
+			t.Errorf("discovery %s not registered", d.ID)
+			continue
+		}
+		if !s.Dynamic {
+			t.Errorf("%s registered as a static scenario", d.ID)
+		}
+		if len(s.Variants) != 2 {
+			t.Errorf("%s has %d variants, want leak/closed pair", d.ID, len(s.Variants))
+		}
+	}
+}
+
+// TestDiscoveriesExcludedFromAll: the "all" sweep selection must stay a
+// pure function of the static registry — F-scenarios run only when
+// selected explicitly.
+func TestDiscoveriesExcludedFromAll(t *testing.T) {
+	all, err := SweepSpec{Scenarios: []string{"all"}}.Cells()
+	if err != nil {
+		t.Fatalf("expanding all: %v", err)
+	}
+	for _, c := range all {
+		if strings.HasPrefix(c.ScenarioID, "F") {
+			t.Fatalf(`"all" selection includes dynamic scenario %s`, c.ScenarioID)
+		}
+	}
+	one, err := SweepSpec{Scenarios: []string{"F1"}, Seeds: []uint64{7}}.Cells()
+	if err != nil {
+		t.Fatalf("expanding F1: %v", err)
+	}
+	if len(one) == 0 {
+		t.Fatal("explicit F1 selection expanded to no cells")
+	}
+	for _, c := range one {
+		if c.ScenarioID != "F1" {
+			t.Errorf("explicit F1 selection produced cell for %s", c.ScenarioID)
+		}
+	}
+}
+
+// TestDiscoveryScenarioReplayColdWarm runs a registered F-scenario
+// through the sweep engine against a store, then re-runs it warm: the
+// warm report must be byte-identical with zero executions — a
+// discovered channel replays exactly like a static scenario.
+func TestDiscoveryScenarioReplayColdWarm(t *testing.T) {
+	spec := SweepSpec{Scenarios: []string{"F1"}, Rounds: 12, Seeds: []uint64{7}}
+	st, err := OpenSweepStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenSweepStore: %v", err)
+	}
+	defer st.Close()
+
+	render := func(label string) ([]byte, experiment.CacheStats) {
+		var stats experiment.CacheStats
+		rep, err := RunSweep(spec, SweepOptions{Store: st, Stats: &stats})
+		if err != nil {
+			t.Fatalf("%s RunSweep: %v", label, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteSweepJSON(&buf, rep); err != nil {
+			t.Fatalf("%s WriteSweepJSON: %v", label, err)
+		}
+		return buf.Bytes(), stats
+	}
+
+	cold, coldStats := render("cold")
+	if coldStats.Executed == 0 {
+		t.Fatal("cold run executed nothing")
+	}
+	warm, warmStats := render("warm")
+	if warmStats.Executed != 0 {
+		t.Errorf("warm run executed %d cells, want 0", warmStats.Executed)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Error("warm replay of F1 differs from cold run")
+	}
+
+	// The leak/closed contrast the discovery promises must be visible
+	// in the replayed rows: the ablation variant leaks, full protection
+	// does not.
+	rep, err := RunSweep(spec, SweepOptions{Store: st})
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	leakByLabel := map[string]float64{}
+	for _, c := range rep.Cells {
+		for _, kv := range c.Extra {
+			if kv.K == "leak_certain" {
+				leakByLabel[c.Variant] = kv.V
+			}
+		}
+	}
+	var leaked, closed bool
+	for label, v := range leakByLabel {
+		if strings.HasPrefix(label, "leak (") && v == 1 {
+			leaked = true
+		}
+		if label == "closed (full protection)" && v == 0 {
+			closed = true
+		}
+	}
+	if !leaked || !closed {
+		t.Errorf("replayed F1 rows do not show the leak/closed contrast: %v", leakByLabel)
+	}
+}

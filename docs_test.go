@@ -10,16 +10,34 @@ import (
 )
 
 // TestDocsCoverRegistry is the registry-completeness check: every
-// scenario the registry knows must be documented in EXPERIMENTS.md (a
-// result table) and DESIGN.md (the layer-3 inventory). A scenario that
-// ships without documentation — or a doc table that outlives a removed
-// scenario — fails here, so the docs pipeline cannot drift from the
-// code. The byte-level drift check (regenerating EXPERIMENTS.md from
-// the committed sweep store and comparing) runs in CI's docs job.
+// static scenario must be documented in EXPERIMENTS.md (a result table)
+// and DESIGN.md (the layer-3 inventory); every dynamically registered
+// discovery (the fuzzer's F-scenarios) must be documented in the
+// generated DISCOVERIES.md instead — the static tables stay pure
+// functions of the static registry. A scenario that ships without
+// documentation — or a doc table that outlives a removed scenario —
+// fails here, so the docs pipeline cannot drift from the code. The
+// byte-level drift check (regenerating EXPERIMENTS.md from the
+// committed sweep store and comparing) runs in CI's docs job.
 func TestDocsCoverRegistry(t *testing.T) {
 	experiments := readDoc(t, "EXPERIMENTS.md")
 	design := readDoc(t, "DESIGN.md")
+	discoveries := readDoc(t, "DISCOVERIES.md")
 	for _, s := range attacks.Scenarios() {
+		if s.Dynamic {
+			if !strings.Contains(discoveries, "| "+s.ID+" | "+s.Name+" | ") {
+				t.Errorf("DISCOVERIES.md has no table row for %s (%s)", s.ID, s.Name)
+			}
+			if !strings.Contains(discoveries, "### "+s.ID+" — ") {
+				t.Errorf("DISCOVERIES.md has no witness detail for %s (%s)", s.ID, s.Name)
+			}
+			for _, v := range s.Variants {
+				if !strings.Contains(discoveries, "`"+v.Label+"`") {
+					t.Errorf("DISCOVERIES.md entry for %s is missing variant %q", s.ID, v.Label)
+				}
+			}
+			continue
+		}
 		if !strings.Contains(experiments, "## "+s.ID+" — ") {
 			t.Errorf("EXPERIMENTS.md has no result table for %s (%s)", s.ID, s.Name)
 		}
@@ -31,6 +49,23 @@ func TestDocsCoverRegistry(t *testing.T) {
 				t.Errorf("EXPERIMENTS.md table for %s is missing variant %q", s.ID, v.Label)
 			}
 		}
+	}
+}
+
+// TestDiscoveriesDocMatchesCommitted: DISCOVERIES.md must be the exact
+// rendering of the embedded discoveries.json — the generated doc cannot
+// drift from the committed campaign output.
+func TestDiscoveriesDocMatchesCommitted(t *testing.T) {
+	ds, err := CommittedDiscoveries()
+	if err != nil {
+		t.Fatalf("CommittedDiscoveries: %v", err)
+	}
+	var want strings.Builder
+	if err := WriteDiscoveriesMD(&want, ds); err != nil {
+		t.Fatalf("WriteDiscoveriesMD: %v", err)
+	}
+	if got := readDoc(t, "DISCOVERIES.md"); got != want.String() {
+		t.Error("DISCOVERIES.md is stale; regenerate with: go run ./cmd/tpfuzz -md DISCOVERIES.md")
 	}
 }
 

@@ -83,6 +83,35 @@ func (cc *CellContext) endRun() {
 	cc.pool.ReleaseAll()
 }
 
+// The exported wrappers below let external harnesses (the conformance
+// driver's pooled path, the discovery fuzzer) ride the same arena with
+// the same contract: BeginRun, execute, EndRun — results bit-identical
+// to the fresh path. All are nil-receiver safe.
+
+// Pool returns the context's machine pool for kernel.SystemConfig.Pool
+// (nil without a context — the fresh-construction path).
+func (cc *CellContext) Pool() *platform.Pool {
+	if cc == nil {
+		return nil
+	}
+	return cc.pool
+}
+
+// BeginRun rewinds every reusable buffer for the next run.
+func (cc *CellContext) BeginRun() { cc.beginRun() }
+
+// EndRun returns pooled machines for reuse; defer it from the same
+// function that called BeginRun so a panicking run still releases its
+// machine.
+func (cc *CellContext) EndRun() { cc.endRun() }
+
+// EstimateLabelled is the package-level EstimateLabelled on the
+// context's reusable sample set and estimator scratch; results are
+// bit-identical to the free function (which IS a fresh estimator).
+func (cc *CellContext) EstimateLabelled(labels []int, vals []float64, bins int, seed uint64) (channel.Estimate, error) {
+	return execOpt{cc: cc}.estimateLabelled(labels, vals, bins, seed)
+}
+
 // intArena is a bump allocator for []int scratch on the cell path
 // (symbol sequences, shuffled probe orders, decode buffers). take carves
 // capacity-capped slices out of one slab; reset rewinds the slab for the

@@ -1,0 +1,91 @@
+package attacks
+
+import (
+	"strings"
+	"testing"
+
+	"timeprot/internal/core"
+)
+
+// stubScenario builds a minimal well-formed dynamic scenario.
+func stubScenario(id, name string) Scenario {
+	return Scenario{
+		ID: id, Name: name, Title: "stub discovery", Version: 1,
+		Dynamic: true,
+		Rounds:  minRounds(8),
+		Variants: []Variant{{
+			Label: "leak (stub)", Prot: core.NoProtection(),
+			run: func(cc *CellContext, rounds int, seed uint64) Row {
+				return Row{Label: "leak (stub)"}
+			},
+		}},
+	}
+}
+
+func TestRegisterScenarioLifecycle(t *testing.T) {
+	defer ResetDynamicScenarios()
+	ResetDynamicScenarios()
+
+	staticN := len(Scenarios())
+	if err := RegisterScenario(stubScenario("F90", "fstub90")); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(Scenarios()); got != staticN+1 {
+		t.Fatalf("Scenarios() length %d, want %d", got, staticN+1)
+	}
+	s, ok := ScenarioByID("F90")
+	if !ok || !s.Dynamic || s.Name != "fstub90" {
+		t.Fatalf("ScenarioByID(F90) = %+v, %v", s, ok)
+	}
+	if _, ok := ScenarioByID("FSTUB90"); !ok {
+		t.Fatal("dynamic lookup must be case-insensitive by name")
+	}
+	ids := ScenarioIDs()
+	if ids[len(ids)-1] != "F90" {
+		t.Fatalf("dynamic scenario must append to ID order, got tail %q", ids[len(ids)-1])
+	}
+
+	// Duplicate ID and name rejections.
+	if err := RegisterScenario(stubScenario("F90", "other")); err == nil {
+		t.Fatal("duplicate dynamic ID must be rejected")
+	}
+	if err := RegisterScenario(stubScenario("F91", "fstub90")); err == nil {
+		t.Fatal("duplicate dynamic name must be rejected")
+	}
+	if err := RegisterScenario(stubScenario("T2", "notl1pp")); err == nil {
+		t.Fatal("collision with a static ID must be rejected")
+	}
+	if err := RegisterScenario(stubScenario("F92", "l1pp")); err == nil {
+		t.Fatal("collision with a static name must be rejected")
+	}
+
+	ResetDynamicScenarios()
+	if got := len(Scenarios()); got != staticN {
+		t.Fatalf("after reset: %d scenarios, want %d", got, staticN)
+	}
+	if _, ok := ScenarioByID("F90"); ok {
+		t.Fatal("reset must unregister dynamic scenarios")
+	}
+}
+
+func TestRegisterScenarioValidation(t *testing.T) {
+	defer ResetDynamicScenarios()
+	cases := []struct {
+		mutate func(*Scenario)
+		want   string
+	}{
+		{func(s *Scenario) { s.Dynamic = false }, "Dynamic"},
+		{func(s *Scenario) { s.ID = "" }, "ID and Name"},
+		{func(s *Scenario) { s.Name = "" }, "ID and Name"},
+		{func(s *Scenario) { s.Rounds = nil }, "rounds policy"},
+		{func(s *Scenario) { s.Variants = nil }, "variants"},
+	}
+	for i, c := range cases {
+		s := stubScenario("F95", "fstub95")
+		c.mutate(&s)
+		err := RegisterScenario(s)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("case %d: err = %v, want mention of %q", i, err, c.want)
+		}
+	}
+}

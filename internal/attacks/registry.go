@@ -1,7 +1,9 @@
 package attacks
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 
 	"timeprot/internal/core"
 	"timeprot/internal/hw/interconn"
@@ -28,6 +30,14 @@ type Variant struct {
 	// run executes the variant at the given rounds and seed, routing
 	// allocations through cc when non-nil.
 	run func(cc *CellContext, rounds int, seed uint64) Row
+}
+
+// NewVariant builds a variant from its runner, for dynamically
+// registered scenarios assembled outside this package (the discovery
+// fuzzer's witness replays). Static-table variants use the package's
+// internal constructors.
+func NewVariant(label string, prot core.Config, run func(cc *CellContext, rounds int, seed uint64) Row) Variant {
+	return Variant{Label: label, Prot: prot, run: run}
 }
 
 // Run executes the variant and returns its measured row. Each call
@@ -84,6 +94,13 @@ type Scenario struct {
 	// finalize post-processes a complete ordered row set (e.g. T12's
 	// slowdown-vs-baseline column); nil when rows are independent.
 	finalize func(rows []Row) []Row
+	// Dynamic marks a scenario registered at runtime (the discovery
+	// fuzzer's F1, F2, … witness replays) rather than declared in the
+	// static table. Dynamic scenarios resolve by explicit ID/name but
+	// are excluded from the "all" sweep selection, so EXPERIMENTS.md and
+	// the committed docs store stay a pure function of the static
+	// registry; their documentation lives in generated DISCOVERIES.md.
+	Dynamic bool
 }
 
 // RunCustom runs the scenario under an arbitrary protection
@@ -138,14 +155,84 @@ func minRounds(min int) func(int) int {
 	}
 }
 
-// Scenarios returns the registry in presentation order. The returned
-// slice and its contents are shared; treat them as read-only.
-func Scenarios() []Scenario { return scenarios }
+// The dynamic registry holds runtime-registered scenarios (discovery
+// witnesses). Registration happens once at process start — from the
+// root package's committed-discovery loader — but the guard makes
+// concurrent registration and lookup safe anyway.
+var (
+	dynMu        sync.RWMutex
+	dynScenarios []Scenario
+)
+
+// RegisterScenario adds a dynamically discovered scenario to the
+// registry. The scenario must be marked Dynamic, carry an ID, name,
+// rounds policy and at least one variant, and must not collide with any
+// static or already-registered ID or name (case-insensitively).
+func RegisterScenario(s Scenario) error {
+	if !s.Dynamic {
+		return fmt.Errorf("attacks: RegisterScenario requires Dynamic=true (static scenarios live in the table)")
+	}
+	if s.ID == "" || s.Name == "" {
+		return fmt.Errorf("attacks: dynamic scenario needs both ID and Name")
+	}
+	if s.Rounds == nil {
+		return fmt.Errorf("attacks: dynamic scenario %s has no rounds policy", s.ID)
+	}
+	if len(s.Variants) == 0 {
+		return fmt.Errorf("attacks: dynamic scenario %s has no variants", s.ID)
+	}
+	dynMu.Lock()
+	defer dynMu.Unlock()
+	for _, have := range scenarios {
+		if strings.EqualFold(have.ID, s.ID) || strings.EqualFold(have.Name, s.Name) {
+			return fmt.Errorf("attacks: dynamic scenario %s/%s collides with static %s/%s", s.ID, s.Name, have.ID, have.Name)
+		}
+	}
+	for _, have := range dynScenarios {
+		if strings.EqualFold(have.ID, s.ID) || strings.EqualFold(have.Name, s.Name) {
+			return fmt.Errorf("attacks: dynamic scenario %s/%s already registered", s.ID, s.Name)
+		}
+	}
+	dynScenarios = append(dynScenarios, s)
+	return nil
+}
+
+// ResetDynamicScenarios removes every dynamically registered scenario.
+// It exists for tests that exercise registration; production code
+// registers once at process start and never unregisters.
+func ResetDynamicScenarios() {
+	dynMu.Lock()
+	defer dynMu.Unlock()
+	dynScenarios = nil
+}
+
+// Scenarios returns the registry in presentation order: the static
+// table followed by dynamically registered scenarios in registration
+// order. The returned scenarios share their variant tables; treat them
+// as read-only.
+func Scenarios() []Scenario {
+	dynMu.RLock()
+	defer dynMu.RUnlock()
+	if len(dynScenarios) == 0 {
+		return scenarios
+	}
+	out := make([]Scenario, 0, len(scenarios)+len(dynScenarios))
+	out = append(out, scenarios...)
+	return append(out, dynScenarios...)
+}
 
 // ScenarioByID finds a scenario by experiment ID or short name,
-// case-insensitively.
+// case-insensitively, searching the static table then the dynamic
+// registry.
 func ScenarioByID(key string) (Scenario, bool) {
 	for _, s := range scenarios {
+		if strings.EqualFold(s.ID, key) || strings.EqualFold(s.Name, key) {
+			return s, true
+		}
+	}
+	dynMu.RLock()
+	defer dynMu.RUnlock()
+	for _, s := range dynScenarios {
 		if strings.EqualFold(s.ID, key) || strings.EqualFold(s.Name, key) {
 			return s, true
 		}
@@ -153,10 +240,12 @@ func ScenarioByID(key string) (Scenario, bool) {
 	return Scenario{}, false
 }
 
-// ScenarioIDs returns the experiment IDs in presentation order.
+// ScenarioIDs returns the experiment IDs in presentation order,
+// including dynamically registered scenarios.
 func ScenarioIDs() []string {
-	out := make([]string, len(scenarios))
-	for i, s := range scenarios {
+	all := Scenarios()
+	out := make([]string, len(all))
+	for i, s := range all {
 		out[i] = s.ID
 	}
 	return out

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 
+	"timeprot/internal/discover"
 	"timeprot/internal/experiment"
 	"timeprot/internal/experiment/store"
 )
@@ -57,14 +58,15 @@ func RegisterStore(fs *flag.FlagSet, noun string) *StoreFlags {
 }
 
 // PackedOptions is the packed-backend configuration every CLI shares:
-// the three current engine fingerprints, so packed records are tagged
+// the four current engine fingerprints, so packed records are tagged
 // with the fingerprint they were computed under and compaction can
 // garbage-collect cells no lookup can ever hit again.
 func PackedOptions() store.PackedOptions {
 	return store.PackedOptions{
-		CellTag:    experiment.Fingerprint(),
-		ProofTag:   experiment.ProverFingerprint(),
-		ConformTag: experiment.ConformFingerprint(),
+		CellTag:     experiment.Fingerprint(),
+		ProofTag:    experiment.ProverFingerprint(),
+		ConformTag:  experiment.ConformFingerprint(),
+		DiscoverTag: discover.Fingerprint(),
 	}
 }
 

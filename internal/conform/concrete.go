@@ -7,6 +7,7 @@ import (
 	"timeprot/internal/channel"
 	"timeprot/internal/core"
 	"timeprot/internal/hw"
+	"timeprot/internal/hw/cover"
 	"timeprot/internal/hw/mem"
 	"timeprot/internal/hw/platform"
 	"timeprot/internal/kernel"
@@ -194,6 +195,9 @@ type trojan struct {
 	seq   []int
 	progs [2][]cop
 	syms  *attacks.SymLog
+	// ioLine is the IRQ line ActStartIO programs: the running domain
+	// must own it (0 for Hi, 2 for the Noise domain).
+	ioLine int
 
 	phase int
 	r, i  int
@@ -211,7 +215,7 @@ func (t *trojan) exec(m *kernel.Machine) kernel.Status {
 	case opSyscall:
 		return m.NullSyscall()
 	default:
-		return m.StartIO(0, t.p.FireIn)
+		return m.StartIO(t.ioLine, t.p.FireIn)
 	}
 }
 
@@ -413,6 +417,11 @@ func leakCertain(e channel.Estimate) bool {
 	return e.Leaks(attacks.LeakMargin) && e.CILow > e.FloorBits
 }
 
+// LeakCertain exposes the conformance leak predicate to the discovery
+// fuzzer, whose fitness function must be the same CI-backed floor test
+// so a "discovery" means exactly what a conformance leak means.
+func LeakCertain(e channel.Estimate) bool { return leakCertain(e) }
+
 // ConcreteResult is the simulator side of one conformance cell.
 type ConcreteResult struct {
 	// Channels are the per-stream capacity estimates, in fixed order.
@@ -430,9 +439,14 @@ type ConcreteResult struct {
 // conformance run; the zero value is the production setting. The
 // equivalence tests flip Legacy to drive the identical programs through
 // the goroutine adapter and Trace to compare event logs bit for bit.
+// Pool and Cov are the discovery fuzzer's hooks: a machine pool for
+// construction reuse and a coverage map attached to the cores for the
+// duration of the run — both invisible to every measured cycle.
 type BuildOpts struct {
 	Legacy bool
 	Trace  bool
+	Pool   *platform.Pool
+	Cov    *cover.Map
 }
 
 func (o BuildOpts) spawn(sys *kernel.System, domain int, name string, cpu int, p kernel.Program) {
@@ -454,19 +468,40 @@ func BuildConcrete(prot core.Config, pair Pair, p Params, seed uint64, o BuildOp
 	pcfg := platform.DefaultConfig()
 	pcfg.Cores = 1
 
+	// The two-domain layout is frozen (conform/1 cells key on it). A
+	// pair with a Noise program gets a third domain scheduled between
+	// Hi and Lo, with the colour space re-split three ways.
+	domains := []core.DomainSpec{
+		{Name: "Hi", SliceCycles: p.HiSlice, PadCycles: p.Pad, Colors: mem.ColorRange(1, 32), IRQLines: []int{0}, CodePages: 4, HeapPages: 16},
+		{Name: "Lo", SliceCycles: p.LoSlice, PadCycles: p.Pad, Colors: mem.ColorRange(32, 64), IRQLines: []int{1}, CodePages: 4, HeapPages: 16},
+	}
+	schedule := [][]int{{0, 1}}
+	perRound := p.HiSlice + p.LoSlice + 2*p.Pad + 60_000
+	if len(pair.Noise) > 0 {
+		domains[0].Colors = mem.ColorRange(1, 22)
+		domains[1].Colors = mem.ColorRange(22, 43)
+		domains = append(domains, core.DomainSpec{
+			Name: "Noise", SliceCycles: p.LoSlice, PadCycles: p.Pad,
+			Colors: mem.ColorRange(43, 64), IRQLines: []int{2}, CodePages: 4, HeapPages: 16,
+		})
+		schedule = [][]int{{0, 2, 1}}
+		perRound += p.LoSlice + p.Pad
+	}
+
 	sys, err := kernel.NewSystem(kernel.SystemConfig{
-		Platform:   pcfg,
-		Protection: prot,
-		Domains: []core.DomainSpec{
-			{Name: "Hi", SliceCycles: p.HiSlice, PadCycles: p.Pad, Colors: mem.ColorRange(1, 32), IRQLines: []int{0}, CodePages: 4, HeapPages: 16},
-			{Name: "Lo", SliceCycles: p.LoSlice, PadCycles: p.Pad, Colors: mem.ColorRange(32, 64), IRQLines: []int{1}, CodePages: 4, HeapPages: 16},
-		},
-		Schedule:    [][]int{{0, 1}},
+		Platform:    pcfg,
+		Protection:  prot,
+		Domains:     domains,
+		Schedule:    schedule,
 		EnableTrace: o.Trace,
-		MaxCycles:   uint64(p.Rounds+16) * (p.HiSlice + p.LoSlice + 2*p.Pad + 60_000) * 2,
+		MaxCycles:   uint64(p.Rounds+16) * perRound * 2,
+		Pool:        o.Pool,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("conform: %v", err))
+	}
+	if o.Cov != nil {
+		sys.Machine().SetCoverage(o.Cov)
 	}
 
 	seq := attacks.SymbolSeq(p.Rounds+8, 2, seed)
@@ -485,6 +520,19 @@ func BuildConcrete(prot core.Config, pair Pair, p Params, seed uint64, o BuildOp
 		prb:  probe{p: p, setOrder: setOrder},
 		spin: spin{burn: spinBurn},
 	})
+	if len(pair.Noise) > 0 {
+		// The noise domain is a trojan with the SAME compiled program
+		// for both symbols (so it cannot carry the secret) and a
+		// throwaway symbol log the estimators never see.
+		nprog := compile(p, pair.Noise, setOrder)
+		o.spawn(sys, 2, "noise", 0, &trojan{
+			p: p, seq: make([]int, p.Rounds+8),
+			progs:  [2][]cop{nprog, nprog},
+			syms:   &attacks.SymLog{},
+			ioLine: 2,
+			spin:   spin{burn: spinBurn},
+		})
+	}
 
 	return sys, func(rep kernel.Report) ConcreteResult {
 		res := ConcreteResult{SimOps: rep.Ops}
@@ -523,7 +571,19 @@ func shuffledSets(n int, seed uint64) []int {
 
 // MeasureConcrete runs the concrete side of one conformance cell.
 func MeasureConcrete(prot core.Config, pair Pair, p Params, seed uint64) ConcreteResult {
-	sys, finish := BuildConcrete(prot, pair, p, seed, BuildOpts{})
+	return MeasureConcreteIn(nil, prot, pair, p, seed, nil)
+}
+
+// MeasureConcreteIn is MeasureConcrete on a per-worker arena: machine
+// construction comes from the context's pool and, when cov is non-nil,
+// the run's microarchitectural transitions are recorded into it. Both
+// are invisible to the measurement — the result is bit-identical to
+// MeasureConcrete for the same inputs (nil context and nil cov degrade
+// to exactly that path).
+func MeasureConcreteIn(cc *attacks.CellContext, prot core.Config, pair Pair, p Params, seed uint64, cov *cover.Map) ConcreteResult {
+	cc.BeginRun()
+	defer cc.EndRun()
+	sys, finish := BuildConcrete(prot, pair, p, seed, BuildOpts{Pool: cc.Pool(), Cov: cov})
 	rep, err := sys.Run()
 	if err != nil {
 		panic(fmt.Sprintf("conform: %v", err))

@@ -49,6 +49,16 @@ type Pair struct {
 	// HiA and HiB are the two Hi programs over the abstract action
 	// alphabet (user inputs, syscalls, device-interrupt programming).
 	HiA, HiB []absmodel.Action
+	// Noise, when non-empty, is a symbol-INDEPENDENT background program
+	// run by a third domain scheduled between Hi and Lo — the
+	// multi-domain generator surface the discovery fuzzer searches.
+	// Because the noise program is the same whichever Hi program the
+	// round selects, it can never carry the symbol itself; it exists to
+	// perturb shared microarchitectural state (LLC occupancy, bus
+	// queueing, flush work) so marginal channels surface or drown.
+	// Conformance cells never set it, and it is omitted from their
+	// serialised form, so conform/1 cells and goldens are untouched.
+	Noise []absmodel.Action `json:",omitempty"`
 }
 
 // PairSeed derives the deterministic generation seed of pair `index`
@@ -104,4 +114,95 @@ func Generate(cfg absmodel.Config, seed uint64) Pair {
 		}
 	}
 	return Pair{HiA: a, HiB: b}
+}
+
+// Clone returns a deep copy of the pair; mutations of the copy never
+// alias the original's action slices.
+func (p Pair) Clone() Pair {
+	c := Pair{
+		HiA: append([]absmodel.Action(nil), p.HiA...),
+		HiB: append([]absmodel.Action(nil), p.HiB...),
+	}
+	if len(p.Noise) > 0 {
+		c.Noise = append([]absmodel.Action(nil), p.Noise...)
+	}
+	return c
+}
+
+// Mutate returns the deterministic mutant of a pair under a seed: one
+// randomly chosen operator applied to a deep copy, so the parent is
+// never aliased. The operators cover the discovery fuzzer's search
+// moves — point redraws, cross-program segment copies and swaps (which
+// manufacture near-identical pairs, the ones a sound model must prove
+// hardest), insertions and deletions (so pair length itself is
+// searched), and toggling a symbol-independent Noise program. Program
+// lengths stay within [1, 2×the generator's default length].
+func Mutate(cfg absmodel.Config, p Pair, seed uint64) Pair {
+	r := rng.New(seed)
+	acts := actions(cfg)
+	hiSlices := (cfg.Slices + 1) / 2
+	maxLen := 2 * cfg.StepsPerSlice * hiSlices
+	m := p.Clone()
+
+	// prog picks the mutation target: HiA or HiB.
+	prog := func() *[]absmodel.Action {
+		if r.Bool() {
+			return &m.HiA
+		}
+		return &m.HiB
+	}
+
+	switch r.Intn(7) {
+	case 0, 1: // redraw k random positions of one program
+		t := *prog()
+		k := 1 + r.Intn(len(t))
+		for _, i := range r.Perm(len(t))[:k] {
+			t[i] = acts[r.Intn(len(acts))]
+		}
+	case 2: // swap an aligned segment between A and B
+		n := min(len(m.HiA), len(m.HiB))
+		lo := r.Intn(n)
+		hi := lo + 1 + r.Intn(n-lo)
+		for i := lo; i < hi; i++ {
+			m.HiA[i], m.HiB[i] = m.HiB[i], m.HiA[i]
+		}
+	case 3: // copy an aligned segment one way (toward identical pairs)
+		n := min(len(m.HiA), len(m.HiB))
+		lo := r.Intn(n)
+		hi := lo + 1 + r.Intn(n-lo)
+		src, dst := m.HiA, m.HiB
+		if r.Bool() {
+			src, dst = dst, src
+		}
+		copy(dst[lo:hi], src[lo:hi])
+	case 4: // insert a random action
+		t := prog()
+		if len(*t) < maxLen {
+			i := r.Intn(len(*t) + 1)
+			*t = append(*t, 0)
+			copy((*t)[i+1:], (*t)[i:])
+			(*t)[i] = acts[r.Intn(len(acts))]
+		} else {
+			(*t)[r.Intn(len(*t))] = acts[r.Intn(len(acts))]
+		}
+	case 5: // delete a random action
+		t := prog()
+		if len(*t) > 1 {
+			i := r.Intn(len(*t))
+			*t = append((*t)[:i], (*t)[i+1:]...)
+		} else {
+			(*t)[0] = acts[r.Intn(len(acts))]
+		}
+	default: // toggle or redraw the Noise program
+		if len(m.Noise) > 0 && r.Bool() {
+			m.Noise = nil
+		} else {
+			n := 1 + r.Intn(cfg.StepsPerSlice*hiSlices)
+			m.Noise = make([]absmodel.Action, n)
+			for i := range m.Noise {
+				m.Noise[i] = acts[r.Intn(len(acts))]
+			}
+		}
+	}
+	return m
 }

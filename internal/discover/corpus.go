@@ -1,0 +1,95 @@
+package discover
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"timeprot/internal/conform"
+)
+
+// The seed corpus is a directory of JSON pair files (integer action
+// encoding), one pair per file, loaded in filename order so the corpus
+// — and with it the whole campaign — is deterministic. The committed
+// corpus under internal/discover/testdata/corpus seeds the regression
+// tests and the tpfuzz default campaign; it includes a planted
+// known-leaky pair the fuzzer must deterministically rediscover.
+
+// corpusPair is the on-disk form of one seed pair.
+type corpusPair struct {
+	HiA   []int `json:"hi_a"`
+	HiB   []int `json:"hi_b"`
+	Noise []int `json:"noise,omitempty"`
+}
+
+// LoadCorpus reads every *.json pair file under dir, in lexical
+// filename order.
+func LoadCorpus(dir string) ([]conform.Pair, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("discover: scanning corpus %s: %v", dir, err)
+	}
+	sort.Strings(paths)
+	var out []conform.Pair
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("discover: reading corpus pair: %v", err)
+		}
+		var cp corpusPair
+		if err := json.Unmarshal(data, &cp); err != nil {
+			return nil, fmt.Errorf("discover: corpus pair %s: %v", path, err)
+		}
+		if len(cp.HiA) == 0 || len(cp.HiB) == 0 {
+			return nil, fmt.Errorf("discover: corpus pair %s: empty program", path)
+		}
+		out = append(out, PairFromInts(cp.HiA, cp.HiB, cp.Noise))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("discover: no corpus pairs under %s", dir)
+	}
+	return out, nil
+}
+
+// SaveCorpusPair writes one pair as a corpus file.
+func SaveCorpusPair(path string, p conform.Pair) error {
+	data, err := json.MarshalIndent(corpusPair{
+		HiA:   EncodeProgram(p.HiA),
+		HiB:   EncodeProgram(p.HiB),
+		Noise: EncodeProgram(p.Noise),
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("discover: encoding corpus pair: %v", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// DefaultCorpus returns the built-in seed corpus used when no corpus
+// directory is given: the planted known-leaky pair (two maximally
+// distant constant programs — the unflushed prime-and-probe channel in
+// its purest form), an identical pair (the fuzzer must never "discover"
+// it), and a generated pair for mutation diversity.
+func DefaultCorpus() []conform.Pair {
+	return []conform.Pair{
+		PlantedLeakyPair(),
+		{HiA: DecodeProgram([]int{0, 0, 0}), HiB: DecodeProgram([]int{0, 0, 0})},
+		PairFromInts([]int{1, -1, 0, 1}, []int{0, -2, 1, 1}, nil),
+	}
+}
+
+// PlantedLeakyPair is the known-leaky regression seed: HiA touches only
+// cache-set group 0, HiB only group 1, every slice. Without flushing,
+// the spy's prime-and-probe sweep decodes the group directly; full
+// protection closes the channel. The deterministic rediscovery test
+// pins that the whole pipeline (screen, confirm, closure check, shrink,
+// dedupe) finds and minimises it from the seed corpus within one
+// bootstrap generation.
+func PlantedLeakyPair() conform.Pair {
+	return PairFromInts(
+		[]int{0, 0, 0, 0, 0, 0, 0, 0, 0},
+		[]int{1, 1, 1, 1, 1, 1, 1, 1, 1},
+		nil,
+	)
+}

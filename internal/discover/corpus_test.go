@@ -1,0 +1,50 @@
+package discover
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestCommittedCorpusMatchesDefault pins the committed corpus files to
+// the built-in corpus: tpfuzz -corpus testdata/corpus and the flagless
+// default must seed the identical campaign, so both the file loader and
+// the committed pair set are regression-locked at once.
+func TestCommittedCorpusMatchesDefault(t *testing.T) {
+	loaded, err := LoadCorpus(filepath.Join("testdata", "corpus"))
+	if err != nil {
+		t.Fatalf("LoadCorpus: %v", err)
+	}
+	want := DefaultCorpus()
+	if len(loaded) != len(want) {
+		t.Fatalf("committed corpus has %d pairs, built-in has %d", len(loaded), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(loaded[i], want[i]) {
+			t.Errorf("corpus pair %d differs: file %+v built-in %+v", i, loaded[i], want[i])
+		}
+	}
+}
+
+// TestCorpusRoundTrip: SaveCorpusPair output loads back equal.
+func TestCorpusRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	pair := PairFromInts([]int{2, -1, 0}, []int{1, -2}, []int{0, 1})
+	if err := SaveCorpusPair(filepath.Join(dir, "p.json"), pair); err != nil {
+		t.Fatalf("SaveCorpusPair: %v", err)
+	}
+	got, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatalf("LoadCorpus: %v", err)
+	}
+	if len(got) != 1 || !reflect.DeepEqual(got[0], pair) {
+		t.Errorf("round trip: got %+v want %+v", got, pair)
+	}
+}
+
+// TestLoadCorpusErrors pins the loader's failure modes.
+func TestLoadCorpusErrors(t *testing.T) {
+	if _, err := LoadCorpus(t.TempDir()); err == nil {
+		t.Error("empty directory accepted")
+	}
+}

@@ -1,0 +1,177 @@
+// Package discover is the coverage-guided channel-discovery fuzzer:
+// generative growth of the attack-scenario registry by searching the
+// trojan/spy program space for timing channels the hand-written
+// scenarios (T2–T17) do not cover.
+//
+// The fuzzer mutates seeded Hi program pairs (reusing the conformance
+// harness's generator, mutation operators, and concrete trojan/spy
+// driver), executes each candidate on pooled simulator machines across
+// an ablation surface (protection configurations with exactly one
+// mechanism disabled), and scores two signals:
+//
+//   - fitness: the channel estimator's bootstrap-CI capacity floor — a
+//     candidate is a potential discovery when some observation stream's
+//     CI lower bound clears the leak floor (the same CI-backed predicate
+//     a conformance soundness violation requires), under an ablation
+//     whose disabled mechanism should be what closes the channel;
+//   - coverage: a lightweight bitmap over hardware state transitions
+//     (cache-set touches per level, TLB fills, branch-predictor updates,
+//     bus contention slots, flush footprints). Candidates that light up
+//     new bits join the mutation corpus with energy proportional to
+//     their novelty, steering the search toward unexplored
+//     microarchitectural behaviour.
+//
+// A screening leak must replicate under independent measurement seeds,
+// and must be CLOSED by full protection — a pair that still leaks with
+// every mechanism armed is not a discovery but (when the abstract model
+// accepts the pair) a soundness violation, counted and reported
+// separately. Confirmed discoveries are shrunk to minimal witnesses
+// (every remaining action load-bearing, via the prover's shrink
+// machinery), deduplicated by content digest, and emitted as replayable
+// scenario definitions that register into the attack registry as
+// dynamic scenarios (F1, F2, …) running under the same engine, store,
+// and docs pipeline as the static table.
+//
+// Everything is deterministic: the discovery set is a pure function of
+// (seed corpus, options), bit-identical across worker counts and across
+// cold/warm store runs.
+package discover
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"timeprot/internal/attacks"
+	"timeprot/internal/channel"
+	"timeprot/internal/conform"
+	"timeprot/internal/core"
+	"timeprot/internal/hw"
+	"timeprot/internal/kernel"
+	"timeprot/internal/prove/absmodel"
+)
+
+// HarnessVersion is the discovery harness's registered model-version
+// string, part of the discovery fingerprint under which candidate
+// evaluations cache in the store. Bump it whenever an evaluation could
+// change for the same inputs — the candidate pipeline, the fitness
+// predicate, the coverage classes, or the concrete driver's use. Pure
+// refactors do not bump it.
+const HarnessVersion = "discover/1"
+
+// Fingerprint returns the discovery fingerprint: the registered
+// model-version string of every layer a candidate evaluation passes
+// through — the concrete simulator stack, the conformance driver that
+// compiles and measures pairs, and the discovery harness itself. Any
+// layer bump turns every cached evaluation into a structural miss.
+func Fingerprint() string {
+	return strings.Join([]string{
+		hw.ModelVersion,
+		kernel.ModelVersion,
+		channel.EstimatorVersion,
+		attacks.HarnessVersion,
+		conform.HarnessVersion,
+		HarnessVersion,
+	}, "|")
+}
+
+// Ablation is one row of the fuzzer's search surface: a protection
+// configuration with a single mechanism disabled, paired with the
+// matching abstract-model mutation so the soundness cross-check always
+// judges the same machine. The rows mirror the conformance ablation
+// rows the time-multiplexed concrete driver can express and a single
+// mechanism plausibly closes.
+type Ablation struct {
+	// Name labels the row, matching the conformance matrix's names.
+	Name string
+	// Abs mutates the abstract model configuration; Prot the concrete
+	// protection configuration.
+	Abs  func(*absmodel.Config)
+	Prot func(*core.Config)
+}
+
+// ProtConfig returns the row's concrete protection configuration:
+// full protection with the row's mechanism disabled.
+func (a Ablation) ProtConfig() core.Config {
+	c := core.FullProtection()
+	a.Prot(&c)
+	return c
+}
+
+// Ablations returns the discovery search surface in canonical order.
+// "no colour" and "shared kernel" are excluded: on the single-core
+// conformance driver their channels ride through the flush mechanism,
+// so their leaks are not closed by re-enabling only the ablated
+// mechanism and every candidate fails the closure check.
+func Ablations() []Ablation {
+	return []Ablation{
+		{"no flush",
+			func(c *absmodel.Config) { c.Flush = false },
+			func(c *core.Config) { c.FlushOnSwitch = false }},
+		{"no pad",
+			func(c *absmodel.Config) { c.Pad = false },
+			func(c *core.Config) { c.PadSwitch = false }},
+		{"no IRQ partition",
+			func(c *absmodel.Config) { c.PartitionIRQ = false },
+			func(c *core.Config) { c.PartitionIRQs = false }},
+	}
+}
+
+// AblationByName resolves a search-surface row by exact name.
+func AblationByName(name string) (Ablation, bool) {
+	for _, a := range Ablations() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Ablation{}, false
+}
+
+// EncodeProgram lowers an abstract program to the store's integer
+// action encoding (user inputs ≥ 0, ActSyscall = -1, ActStartIO = -2).
+func EncodeProgram(prog []absmodel.Action) []int {
+	if len(prog) == 0 {
+		return nil
+	}
+	out := make([]int, len(prog))
+	for i, a := range prog {
+		out[i] = int(a)
+	}
+	return out
+}
+
+// DecodeProgram lifts the integer encoding back to abstract actions.
+func DecodeProgram(ints []int) []absmodel.Action {
+	if len(ints) == 0 {
+		return nil
+	}
+	out := make([]absmodel.Action, len(ints))
+	for i, v := range ints {
+		out[i] = absmodel.Action(v)
+	}
+	return out
+}
+
+// PairFromInts assembles a conformance pair from integer-encoded
+// programs; an empty noise program yields a two-domain pair.
+func PairFromInts(hiA, hiB, noise []int) conform.Pair {
+	p := conform.Pair{HiA: DecodeProgram(hiA), HiB: DecodeProgram(hiB)}
+	if len(noise) > 0 {
+		p.Noise = DecodeProgram(noise)
+	}
+	return p
+}
+
+// WitnessDigest content-addresses a witness: the ablation row plus the
+// three integer-encoded programs, canonically rendered and hashed. Two
+// discoveries with the same digest are the same channel and deduplicate.
+func WitnessDigest(ablation string, pair conform.Pair) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ablation=%q\n", ablation)
+	fmt.Fprintf(&b, "hiA=%v\n", EncodeProgram(pair.HiA))
+	fmt.Fprintf(&b, "hiB=%v\n", EncodeProgram(pair.HiB))
+	fmt.Fprintf(&b, "noise=%v\n", EncodeProgram(pair.Noise))
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}

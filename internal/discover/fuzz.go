@@ -1,0 +1,672 @@
+package discover
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"timeprot/internal/attacks"
+	"timeprot/internal/channel"
+	"timeprot/internal/conform"
+	"timeprot/internal/core"
+	"timeprot/internal/experiment/store"
+	"timeprot/internal/hw/cover"
+	"timeprot/internal/prove/absmodel"
+	"timeprot/internal/prove/nonintf"
+	"timeprot/internal/rng"
+)
+
+// batchSize is the fixed candidate count per generation. It is a
+// constant — NOT derived from the worker count — because the candidate
+// stream and the sequential fold over results must be identical no
+// matter how many workers evaluate the batch.
+const batchSize = 12
+
+// maxCorpus bounds the mutation corpus; past it, the lowest-energy
+// entry (first on ties) is evicted.
+const maxCorpus = 256
+
+// confirmSeeds are the independent measurement reseeds a screening leak
+// must survive, mirroring the conformance harness's replication guard:
+// a real channel is systematic and survives reseeding, estimator noise
+// does not.
+var confirmSeeds = [...]uint64{0xC0417172, 0x1D05E5E1}
+
+// Options parameterises one fuzzing campaign. The discovery set is a
+// pure function of Options (Workers and Store excepted — they never
+// affect a bit of the result).
+type Options struct {
+	// Seed drives every random choice: candidate mutation, ablation
+	// selection, measurement seeds, parent selection.
+	Seed uint64
+	// Budget is the number of candidate screening evaluations to spend.
+	Budget int
+	// Rounds sizes each concrete measurement (floored at 8 by the
+	// conformance driver).
+	Rounds int
+	// Workers is the evaluation parallelism (0 = 1). Results are
+	// bit-identical for every value.
+	Workers int
+	// Families is the sampled time-function family count for the
+	// abstract soundness cross-check (0 = 3).
+	Families int
+	// Cfg is the abstract-model sizing configuration candidates are
+	// generated against (zero value = absmodel.DefaultConfig()).
+	Cfg absmodel.Config
+	// Corpus is the seed corpus; Fuzz fails without at least one pair.
+	Corpus []conform.Pair
+	// Store, when non-nil, caches candidate evaluations under the
+	// discovery fingerprint: warm runs replay measurements and coverage
+	// bit-identically without simulating.
+	Store store.CellStore
+}
+
+// Discovery is one confirmed, shrunk, deduplicated channel discovery —
+// the serialisable witness form that discoveries.json commits and the
+// registry replays. Programs use the integer action encoding.
+type Discovery struct {
+	// ID and Name are the registry identity (F1/fuzz1, F2/fuzz2, …),
+	// assigned in discovery order at the end of the campaign.
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	// Ablation names the search-surface row the channel leaks under;
+	// full protection closes it.
+	Ablation string `json:"ablation"`
+	// HiA, HiB and Noise are the minimal witness programs.
+	HiA   []int `json:"hi_a"`
+	HiB   []int `json:"hi_b"`
+	Noise []int `json:"noise,omitempty"`
+	// Rounds and Seed reproduce the discovery measurement.
+	Rounds int    `json:"rounds"`
+	Seed   uint64 `json:"seed"`
+	// Channel names the leaking observation stream; the float fields
+	// are the minimal witness's re-measured leaking estimate.
+	Channel      string  `json:"channel"`
+	CapacityBits float64 `json:"capacity_bits"`
+	FloorBits    float64 `json:"floor_bits"`
+	CILow        float64 `json:"ci_low"`
+	CIHigh       float64 `json:"ci_high"`
+	// ShrinkEvals counts the predicate evaluations minimisation spent.
+	ShrinkEvals int `json:"shrink_evals"`
+	// Digest is the witness content digest (WitnessDigest).
+	Digest string `json:"digest"`
+}
+
+// Violation is a candidate that leaks under FULL protection while the
+// abstract model accepts it — a conformance soundness violation
+// surfaced by the fuzzer rather than a discovery. Any violation means
+// the abstract model fails to over-approximate a concrete channel.
+type Violation struct {
+	HiA     []int  `json:"hi_a"`
+	HiB     []int  `json:"hi_b"`
+	Noise   []int  `json:"noise,omitempty"`
+	Seed    uint64 `json:"seed"`
+	Channel string `json:"channel"`
+}
+
+// Result is a completed fuzzing campaign.
+type Result struct {
+	// Discoveries in discovery order (deterministic).
+	Discoveries []Discovery
+	// Violations are soundness violations the search surfaced.
+	Violations []Violation
+	// Evals counts screening evaluations (the budget denominator);
+	// Failed how many candidate runs panicked (overran the simulator's
+	// cycle bound). CacheHits counts measurements served from the
+	// store and ColdMisses distinct measurements actually simulated —
+	// the only two fields that depend on store temperature (a fully
+	// warm campaign has ColdMisses == 0).
+	Evals, CacheHits, ColdMisses, Failed int
+	// Generations is the number of evaluation batches run.
+	Generations int
+	// CorpusSize is the final mutation-corpus size.
+	CorpusSize int
+	// CovBits is the global coverage bitmap's final popcount.
+	CovBits int
+	// SimOps sums simulated thread operations over every measurement.
+	SimOps uint64
+}
+
+// candidate is one scheduled evaluation: a pair under an ablation row
+// with a measurement seed.
+type candidate struct {
+	pair  conform.Pair
+	abl   Ablation
+	mseed uint64
+}
+
+// evalResult is one candidate's screening outcome.
+type evalResult struct {
+	res  conform.ConcreteResult
+	cov  *cover.Map
+	warm bool
+	ok   bool
+}
+
+// fuzzer is the campaign state. All mutation of it happens on the
+// driving goroutine; workers only compute pure evaluations.
+type fuzzer struct {
+	opt        Options
+	cfg        absmodel.Config
+	params     conform.Params
+	familySeed uint64
+	ablations  []Ablation
+	fullProt   core.Config
+
+	ctxs   []*attacks.CellContext
+	global *cover.Map
+	corpus []corpusEntry
+	seen   map[string]bool
+
+	// memo caches every evaluation for the life of the campaign, so the
+	// shrink fixpoint's repeated predicate checks cost one measurement
+	// each. Memoisation is semantics-free: it returns exactly what
+	// recomputation would.
+	memoMu sync.Mutex
+	memo   map[string]evalResult
+
+	res Result
+	// simOps, cacheHits and coldMisses are touched from workers; folded
+	// under atomics so -race stays clean (their totals are
+	// order-independent).
+	simOps     atomic.Uint64
+	cacheHits  atomic.Int64
+	coldMisses atomic.Int64
+}
+
+// corpusEntry is one mutation parent with its selection energy.
+type corpusEntry struct {
+	pair   conform.Pair
+	energy uint64
+}
+
+// newFuzzer validates options and builds the campaign state.
+func newFuzzer(opt Options) (*fuzzer, error) {
+	if len(opt.Corpus) == 0 {
+		return nil, fmt.Errorf("discover: empty seed corpus")
+	}
+	if opt.Budget <= 0 {
+		return nil, fmt.Errorf("discover: budget must be positive")
+	}
+	f := &fuzzer{
+		opt:        opt,
+		cfg:        opt.Cfg,
+		familySeed: rng.HashCombine(opt.Seed, 0xFA111E5),
+		ablations:  Ablations(),
+		fullProt:   core.FullProtection(),
+		global:     &cover.Map{},
+		seen:       make(map[string]bool),
+		memo:       make(map[string]evalResult),
+	}
+	if f.cfg.Domains == 0 {
+		f.cfg = absmodel.DefaultConfig()
+	}
+	if f.opt.Families <= 0 {
+		f.opt.Families = 3
+	}
+	if f.opt.Workers <= 0 {
+		f.opt.Workers = 1
+	}
+	f.params = conform.DefaultParams(opt.Rounds)
+	f.ctxs = make([]*attacks.CellContext, f.opt.Workers)
+	for i := range f.ctxs {
+		f.ctxs[i] = attacks.NewCellContext()
+	}
+	for _, p := range opt.Corpus {
+		f.corpus = append(f.corpus, corpusEntry{pair: p.Clone(), energy: 1})
+	}
+	return f, nil
+}
+
+// Fuzz runs one campaign. The returned result is a pure function of
+// opt's semantic fields: worker count, store presence, and store
+// temperature cannot change a bit of it — except the CacheHits and
+// ColdMisses diagnostics, which count store traffic.
+func Fuzz(opt Options) (*Result, error) {
+	f, err := newFuzzer(opt)
+	if err != nil {
+		return nil, err
+	}
+
+	f.run()
+
+	f.res.CacheHits = int(f.cacheHits.Load())
+	f.res.ColdMisses = int(f.coldMisses.Load())
+	f.res.SimOps = f.simOps.Load()
+	f.res.CovBits = f.global.Count()
+	f.res.CorpusSize = len(f.corpus)
+	for i := range f.res.Discoveries {
+		f.res.Discoveries[i].ID = fmt.Sprintf("F%d", i+1)
+		f.res.Discoveries[i].Name = fmt.Sprintf("fuzz%d", i+1)
+	}
+	return &f.res, nil
+}
+
+// run drives the generation loop: generation 0 screens every corpus
+// seed across the whole ablation surface (so planted seeds are found
+// within one bounded pass), later generations mutate energy-selected
+// parents. Batches evaluate in parallel; everything that feeds back
+// into search state folds sequentially in batch index order.
+func (f *fuzzer) run() {
+	for f.res.Evals < f.opt.Budget {
+		gen := f.res.Generations
+		var cands []candidate
+		if gen == 0 {
+			cands = f.bootstrapBatch()
+		} else {
+			cands = f.mutationBatch(gen)
+		}
+		if len(cands) > f.opt.Budget-f.res.Evals {
+			cands = cands[:f.opt.Budget-f.res.Evals]
+		}
+		results := f.evalBatch(cands)
+		for i, r := range results {
+			f.res.Evals++
+			if !r.ok {
+				f.res.Failed++
+				continue
+			}
+			fresh := r.cov.MergeNew(f.global)
+			if fresh > 0 {
+				f.addToCorpus(cands[i].pair, 1+uint64(fresh))
+			}
+			if r.res.Leak {
+				f.promote(cands[i])
+			}
+		}
+		f.res.Generations++
+	}
+}
+
+// bootstrapBatch schedules every seed-corpus pair under every ablation
+// row, with measurement seeds derived from the campaign seed.
+func (f *fuzzer) bootstrapBatch() []candidate {
+	var out []candidate
+	for j, e := range f.corpus {
+		for k, abl := range f.ablations {
+			mseed := rng.HashCombine(f.opt.Seed, uint64(j)<<8|uint64(k))
+			out = append(out, candidate{pair: e.pair.Clone(), abl: abl, mseed: mseed})
+		}
+	}
+	return out
+}
+
+// mutationBatch derives one generation's candidates: each slot selects
+// an energy-weighted parent and mutates it, all choices driven by a
+// per-slot seed so the batch is a pure function of (campaign seed,
+// generation, corpus state).
+func (f *fuzzer) mutationBatch(gen int) []candidate {
+	gseed := rng.HashCombine(f.opt.Seed, uint64(gen))
+	out := make([]candidate, batchSize)
+	for i := range out {
+		r := rng.New(rng.HashCombine(gseed, uint64(i)+1))
+		parent := f.pickParent(r)
+		out[i] = candidate{
+			pair:  conform.Mutate(f.cfg, parent, r.Uint64()),
+			abl:   f.ablations[r.Intn(len(f.ablations))],
+			mseed: r.Uint64(),
+		}
+	}
+	return out
+}
+
+// pickParent selects a corpus entry with probability proportional to
+// its energy.
+func (f *fuzzer) pickParent(r *rng.RNG) conform.Pair {
+	var total uint64
+	for _, e := range f.corpus {
+		total += e.energy
+	}
+	x := r.Uint64n(total)
+	for _, e := range f.corpus {
+		if x < e.energy {
+			return e.pair
+		}
+		x -= e.energy
+	}
+	return f.corpus[len(f.corpus)-1].pair
+}
+
+// addToCorpus appends a coverage-novel pair, evicting the lowest-energy
+// entry once the corpus is full.
+func (f *fuzzer) addToCorpus(p conform.Pair, energy uint64) {
+	f.corpus = append(f.corpus, corpusEntry{pair: p.Clone(), energy: energy})
+	if len(f.corpus) <= maxCorpus {
+		return
+	}
+	evict := 0
+	for i, e := range f.corpus {
+		if e.energy < f.corpus[evict].energy {
+			evict = i
+		}
+	}
+	f.corpus = append(f.corpus[:evict], f.corpus[evict+1:]...)
+}
+
+// evalBatch evaluates candidates in parallel. Each evaluation is a pure
+// function of its candidate, so scheduling order cannot influence the
+// result slice.
+func (f *fuzzer) evalBatch(cands []candidate) []evalResult {
+	results := make([]evalResult, len(cands))
+	workers := f.opt.Workers
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		for i, c := range cands {
+			results[i] = f.eval(f.ctxs[0], c.abl.ProtConfig(), c.abl.Name, c.pair, c.mseed)
+		}
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(cc *attacks.CellContext) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cands) {
+					return
+				}
+				c := cands[i]
+				results[i] = f.eval(cc, c.abl.ProtConfig(), c.abl.Name, c.pair, c.mseed)
+			}
+		}(f.ctxs[w])
+	}
+	wg.Wait()
+	return results
+}
+
+// eval measures one pair under one protection row, serving cached
+// evaluations from the store when present. The store entry carries the
+// coverage bitmap, so warm replays feed the fuzzer's energy accounting
+// the exact bits the cold run would.
+func (f *fuzzer) eval(cc *attacks.CellContext, prot core.Config, ablName string, pair conform.Pair, mseed uint64) evalResult {
+	mk := fmt.Sprintf("%s|%d|%v|%v|%v", ablName, mseed,
+		EncodeProgram(pair.HiA), EncodeProgram(pair.HiB), EncodeProgram(pair.Noise))
+	f.memoMu.Lock()
+	if r, ok := f.memo[mk]; ok {
+		f.memoMu.Unlock()
+		f.simOps.Add(r.res.SimOps)
+		return r
+	}
+	f.memoMu.Unlock()
+
+	var key store.Key
+	if f.opt.Store != nil {
+		key = store.DiscoverSpec{
+			Fingerprint: Fingerprint(),
+			Ablation:    ablName,
+			Prot:        prot,
+			Cfg:         f.cfg,
+			HiA:         EncodeProgram(pair.HiA),
+			HiB:         EncodeProgram(pair.HiB),
+			Noise:       EncodeProgram(pair.Noise),
+			Rounds:      f.params.Rounds,
+			Seed:        mseed,
+		}.Key()
+		if d, ok := f.opt.Store.GetDiscover(key); ok {
+			if r, ok := decodeEval(d); ok {
+				f.cacheHits.Add(1)
+				f.simOps.Add(r.res.SimOps)
+				f.memoize(mk, r)
+				return r
+			}
+		}
+	}
+	r := f.evalCold(cc, prot, pair, mseed)
+	f.coldMisses.Add(1)
+	if r.ok {
+		f.simOps.Add(r.res.SimOps)
+		if f.opt.Store != nil {
+			// A failed write-back only costs a future re-run.
+			_ = f.opt.Store.PutDiscover(key, encodeEval(r))
+		}
+	}
+	f.memoize(mk, r)
+	return r
+}
+
+// memoize records one evaluation in the campaign memo.
+func (f *fuzzer) memoize(mk string, r evalResult) {
+	f.memoMu.Lock()
+	f.memo[mk] = r
+	f.memoMu.Unlock()
+}
+
+// evalCold runs the measurement, converting a simulator panic (a mutant
+// overrunning the run's cycle bound) into a failed evaluation instead
+// of aborting the campaign. The panic is deterministic, so so is the
+// failure.
+func (f *fuzzer) evalCold(cc *attacks.CellContext, prot core.Config, pair conform.Pair, mseed uint64) (r evalResult) {
+	defer func() {
+		if recover() != nil {
+			r = evalResult{}
+		}
+	}()
+	cov := &cover.Map{}
+	res := conform.MeasureConcreteIn(cc, prot, pair, f.params, mseed, cov)
+	return evalResult{res: res, cov: cov, ok: true}
+}
+
+// promote runs the discovery pipeline on a screening leak: replicate
+// under independent reseeds, check full protection closes it (a leak
+// that survives full protection is a soundness-violation candidate,
+// not a discovery), shrink to a minimal witness, deduplicate by digest.
+// It runs sequentially on the driving goroutine in batch index order.
+func (f *fuzzer) promote(c candidate) {
+	cc := f.ctxs[0]
+	prot := c.abl.ProtConfig()
+	for _, d := range confirmSeeds {
+		r := f.eval(cc, prot, c.abl.Name, c.pair, c.mseed^d)
+		if !r.ok || !r.res.Leak {
+			return
+		}
+	}
+	full := f.eval(cc, f.fullProt, "full protection", c.pair, c.mseed)
+	if !full.ok {
+		return
+	}
+	if full.res.Leak {
+		// Full protection does not close it. If the abstract model
+		// accepts the pair, the fuzzer has surfaced a soundness
+		// violation — count it; the conformance harness owns witness
+		// minimisation for violations.
+		if conform.CheckAbstract(f.cfg, c.pair, f.opt.Families, f.familySeed).Accepts {
+			f.res.Violations = append(f.res.Violations, Violation{
+				HiA:     EncodeProgram(c.pair.HiA),
+				HiB:     EncodeProgram(c.pair.HiB),
+				Noise:   EncodeProgram(c.pair.Noise),
+				Seed:    c.mseed,
+				Channel: bestChannel(full.res),
+			})
+		}
+		return
+	}
+
+	pair, evals := f.shrink(c)
+	dig := WitnessDigest(c.abl.Name, pair)
+	if f.seen[dig] {
+		return
+	}
+	f.seen[dig] = true
+	final := f.eval(cc, prot, c.abl.Name, pair, c.mseed)
+	if !final.ok || !final.res.Leak {
+		return // unreachable for a qualifying witness; belt and braces
+	}
+	d := Discovery{
+		Ablation:    c.abl.Name,
+		HiA:         EncodeProgram(pair.HiA),
+		HiB:         EncodeProgram(pair.HiB),
+		Noise:       EncodeProgram(pair.Noise),
+		Rounds:      f.params.Rounds,
+		Seed:        c.mseed,
+		ShrinkEvals: evals,
+		Digest:      dig,
+	}
+	for _, ch := range final.res.Channels {
+		if conform.LeakCertain(ch.Est) {
+			d.Channel = ch.Name
+			d.CapacityBits = ch.Est.CapacityBits
+			d.FloorBits = ch.Est.FloorBits
+			d.CILow = ch.Est.CILow
+			d.CIHigh = ch.Est.CIHigh
+			break
+		}
+	}
+	f.res.Discoveries = append(f.res.Discoveries, d)
+}
+
+// qualifies is the witness predicate minimisation preserves: the pair
+// leaks under the ablation with replication, and full protection closes
+// it. Every measurement routes through the store cache.
+func (f *fuzzer) qualifies(c candidate, pair conform.Pair) bool {
+	cc := f.ctxs[0]
+	prot := c.abl.ProtConfig()
+	r := f.eval(cc, prot, c.abl.Name, pair, c.mseed)
+	if !r.ok || !r.res.Leak {
+		return false
+	}
+	for _, d := range confirmSeeds {
+		rr := f.eval(cc, prot, c.abl.Name, pair, c.mseed^d)
+		if !rr.ok || !rr.res.Leak {
+			return false
+		}
+	}
+	full := f.eval(cc, f.fullProt, "full protection", pair, c.mseed)
+	return full.ok && !full.res.Leak
+}
+
+// shrink minimises a confirmed discovery: the prover's greedy shrink
+// over HiA/HiB against the qualifying predicate, then greedy per-index
+// deletion passes over all three programs, iterated to a fixpoint.
+// MinimizeWith's step set only drops trailing actions and unifies
+// differing positions, so interior deletions can survive it; the
+// deletion passes close that gap. At the fixpoint every remaining
+// action is load-bearing: no single-action deletion (down to the
+// witness well-formedness floor of one action per Hi program) keeps the
+// pair qualifying.
+func (f *fuzzer) shrink(c candidate) (conform.Pair, int) {
+	noise := append([]absmodel.Action(nil), c.pair.Noise...)
+	still := func(a, b []absmodel.Action) bool {
+		p := conform.Pair{HiA: a, HiB: b}
+		if len(noise) > 0 {
+			p.Noise = noise
+		}
+		return f.qualifies(c, p)
+	}
+	hiA, hiB, evals := nonintf.MinimizeWith(c.pair.HiA, c.pair.HiB, still)
+
+	qual := func(a, b, n []absmodel.Action) bool {
+		evals++
+		p := conform.Pair{HiA: a, HiB: b}
+		if len(n) > 0 {
+			p.Noise = n
+		}
+		return f.qualifies(c, p)
+	}
+	drop := func(xs []absmodel.Action, i int) []absmodel.Action {
+		out := append([]absmodel.Action(nil), xs[:i]...)
+		return append(out, xs[i+1:]...)
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; len(hiA) > 1 && i < len(hiA); {
+			if t := drop(hiA, i); qual(t, hiB, noise) {
+				hiA, changed = t, true
+			} else {
+				i++
+			}
+		}
+		for i := 0; len(hiB) > 1 && i < len(hiB); {
+			if t := drop(hiB, i); qual(hiA, t, noise) {
+				hiB, changed = t, true
+			} else {
+				i++
+			}
+		}
+		if len(noise) > 0 && qual(hiA, hiB, nil) {
+			noise, changed = nil, true
+		}
+		for i := 0; i < len(noise); {
+			if t := drop(noise, i); qual(hiA, hiB, t) {
+				noise, changed = t, true
+			} else {
+				i++
+			}
+		}
+	}
+	p := conform.Pair{HiA: hiA, HiB: hiB}
+	if len(noise) > 0 {
+		p.Noise = noise
+	}
+	return p, evals
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }
+
+// bestChannel names the highest-capacity observation stream.
+func bestChannel(res conform.ConcreteResult) string {
+	if len(res.Channels) == 0 {
+		return ""
+	}
+	return res.Channels[res.Best].Name
+}
+
+// encodeEval converts a successful evaluation to its stored form, with
+// floats as IEEE-754 bit patterns so the round trip is exact.
+func encodeEval(r evalResult) store.DiscoverV1 {
+	d := store.DiscoverV1{
+		Best:    r.res.Best,
+		Leak:    r.res.Leak,
+		SimOps:  r.res.SimOps,
+		CovBits: r.cov.Count(),
+	}
+	text, _ := r.cov.MarshalText()
+	d.Coverage = string(text)
+	for _, ch := range r.res.Channels {
+		d.Channels = append(d.Channels, store.ConformChannelV1{
+			Name:         ch.Name,
+			CapacityBits: floatBits(ch.Est.CapacityBits),
+			MIUniform:    floatBits(ch.Est.MIUniform),
+			FloorBits:    floatBits(ch.Est.FloorBits),
+			CILow:        floatBits(ch.Est.CILow),
+			CIHigh:       floatBits(ch.Est.CIHigh),
+			N:            ch.Est.N,
+			Bins:         ch.Est.Bins,
+		})
+	}
+	return d
+}
+
+// decodeEval reconstructs an evaluation from its stored form; a
+// malformed entry (impossible from this code, possible from a corrupted
+// or foreign store) reports failure and falls back to cold execution.
+func decodeEval(d store.DiscoverV1) (evalResult, bool) {
+	cov := &cover.Map{}
+	if err := cov.UnmarshalText([]byte(d.Coverage)); err != nil {
+		return evalResult{}, false
+	}
+	if d.Best < 0 || d.Best >= len(d.Channels) {
+		return evalResult{}, false
+	}
+	res := conform.ConcreteResult{Best: d.Best, Leak: d.Leak, SimOps: d.SimOps}
+	for _, ch := range d.Channels {
+		res.Channels = append(res.Channels, conform.NamedEstimate{
+			Name: ch.Name,
+			Est: channel.Estimate{
+				CapacityBits: bitsFloat(ch.CapacityBits),
+				MIUniform:    bitsFloat(ch.MIUniform),
+				FloorBits:    bitsFloat(ch.FloorBits),
+				CILow:        bitsFloat(ch.CILow),
+				CIHigh:       bitsFloat(ch.CIHigh),
+				N:            ch.N,
+				Bins:         ch.Bins,
+			},
+		})
+	}
+	return evalResult{res: res, cov: cov, warm: true, ok: true}, true
+}

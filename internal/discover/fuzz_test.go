@@ -1,0 +1,283 @@
+package discover
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"timeprot/internal/conform"
+	"timeprot/internal/experiment"
+	"timeprot/internal/experiment/store"
+)
+
+// campaignOpts are the pinned regression-campaign options, identical to
+// the committed discoveries.json campaign.
+func campaignOpts() Options {
+	return Options{Seed: 42, Budget: 24, Rounds: 24, Corpus: DefaultCorpus()}
+}
+
+func mustFuzz(t *testing.T, opt Options) *Result {
+	t.Helper()
+	res, err := Fuzz(opt)
+	if err != nil {
+		t.Fatalf("Fuzz: %v", err)
+	}
+	return res
+}
+
+// baselineResult runs the pinned campaign once per test binary; every
+// determinism test compares against the same baseline.
+var (
+	baseOnce sync.Once
+	baseRes  *Result
+	baseErr  error
+)
+
+func baselineResult(t *testing.T) *Result {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("pinned campaign is expensive; skipped in -short (the race CI job) — TestShortCampaignWorkerStable covers the concurrent paths")
+	}
+	baseOnce.Do(func() { baseRes, baseErr = Fuzz(campaignOpts()) })
+	if baseErr != nil {
+		t.Fatalf("baseline Fuzz: %v", baseErr)
+	}
+	return baseRes
+}
+
+// TestShortCampaignWorkerStable is the -short (and race-detector) slice
+// of the determinism contract: a quarter-size campaign still exercises
+// the parallel batch evaluation, the memo, the corpus fold, and the
+// promotion pipeline, and must be bit-identical across worker counts.
+func TestShortCampaignWorkerStable(t *testing.T) {
+	opt := Options{Seed: 42, Budget: 6, Rounds: 12, Corpus: DefaultCorpus()}
+	opt.Workers = 1
+	want := resultJSON(t, mustFuzz(t, opt))
+	opt.Workers = 4
+	if got := resultJSON(t, mustFuzz(t, opt)); !bytes.Equal(want, got) {
+		t.Errorf("workers=4: result differs from workers=1\nw1: %s\nw4: %s", want, got)
+	}
+}
+
+// resultJSON serialises a result for bit-identity comparison, zeroing
+// the two fields documented to depend on store temperature.
+func resultJSON(t *testing.T, r *Result) []byte {
+	t.Helper()
+	norm := *r
+	norm.CacheHits = 0
+	norm.ColdMisses = 0
+	data, err := json.Marshal(&norm)
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	return data
+}
+
+// TestRediscoversPlantedPair pins the end-to-end regression: the pinned
+// campaign deterministically rediscovers the planted known-leaky pair
+// from the seed corpus, with zero soundness violations, and the result
+// is bit-identical across repeated runs and worker counts.
+func TestRediscoversPlantedPair(t *testing.T) {
+	res := baselineResult(t)
+	if len(res.Discoveries) == 0 {
+		t.Fatalf("pinned campaign found no discoveries (evals=%d failed=%d)", res.Evals, res.Failed)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("pinned campaign surfaced soundness violations: %+v", res.Violations)
+	}
+	found := false
+	for _, d := range res.Discoveries {
+		if d.Ablation == "no flush" {
+			found = true
+			if d.Channel == "" {
+				t.Errorf("%s: empty channel name", d.ID)
+			}
+			if !(d.CILow > d.FloorBits) {
+				t.Errorf("%s: CI lower bound %v does not clear floor %v", d.ID, d.CILow, d.FloorBits)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("planted no-flush channel not rediscovered; discoveries: %+v", res.Discoveries)
+	}
+	if res.CovBits == 0 {
+		t.Error("campaign recorded no coverage")
+	}
+
+	want := resultJSON(t, res)
+	for _, workers := range []int{1, 4} {
+		opt := campaignOpts()
+		opt.Workers = workers
+		got := resultJSON(t, mustFuzz(t, opt))
+		if !bytes.Equal(want, got) {
+			t.Errorf("workers=%d: result differs from baseline\nbase: %s\ngot:  %s", workers, want, got)
+		}
+	}
+}
+
+// TestFuzzColdWarmIdentical pins the store-cache contract: a warm rerun
+// of the same campaign serves evaluations from the store and still
+// produces a bit-identical result, on both store backends.
+func TestFuzzColdWarmIdentical(t *testing.T) {
+	baseline := resultJSON(t, baselineResult(t))
+	for _, backend := range []string{"file", "packed"} {
+		t.Run(backend, func(t *testing.T) {
+			dir := t.TempDir()
+			cs, err := store.OpenBackend(backend, dir, store.PackedOptions{})
+			if err != nil {
+				t.Fatalf("OpenBackend(%s): %v", backend, err)
+			}
+			if c, ok := cs.(interface{ Close() error }); ok {
+				defer c.Close()
+			}
+			opt := campaignOpts()
+			opt.Store = cs
+			cold := mustFuzz(t, opt)
+			if got := resultJSON(t, cold); !bytes.Equal(baseline, got) {
+				t.Fatalf("cold store run differs from storeless baseline\nbase: %s\ngot:  %s", baseline, got)
+			}
+			warm := mustFuzz(t, opt)
+			if warm.CacheHits == 0 {
+				t.Error("warm run served no evaluations from the store")
+			}
+			if got := resultJSON(t, warm); !bytes.Equal(baseline, got) {
+				t.Fatalf("warm store run differs from storeless baseline\nbase: %s\ngot:  %s", baseline, got)
+			}
+		})
+	}
+}
+
+// TestWitnessMinimality is the minimality property: for every campaign
+// discovery, every single-action deletion from the witness breaks the
+// qualifying predicate — each retained action is load-bearing.
+func TestWitnessMinimality(t *testing.T) {
+	res := baselineResult(t)
+	if len(res.Discoveries) == 0 {
+		t.Fatal("no discoveries to check")
+	}
+	f, err := newFuzzer(campaignOpts())
+	if err != nil {
+		t.Fatalf("newFuzzer: %v", err)
+	}
+	for _, d := range res.Discoveries {
+		abl, ok := AblationByName(d.Ablation)
+		if !ok {
+			t.Fatalf("%s: unknown ablation %q", d.ID, d.Ablation)
+		}
+		pair := PairFromInts(d.HiA, d.HiB, d.Noise)
+		c := candidate{pair: pair, abl: abl, mseed: d.Seed}
+		if !f.qualifies(c, pair) {
+			t.Errorf("%s: committed witness does not qualify", d.ID)
+			continue
+		}
+		drop := func(xs []int, i int) []int {
+			out := append([]int(nil), xs[:i]...)
+			return append(out, xs[i+1:]...)
+		}
+		// Hi programs shrink down to the well-formedness floor of one
+		// action; only deletions above it must break the predicate.
+		if len(d.HiA) > 1 {
+			for i := range d.HiA {
+				if f.qualifies(c, PairFromInts(drop(d.HiA, i), d.HiB, d.Noise)) {
+					t.Errorf("%s: hiA[%d] is not load-bearing", d.ID, i)
+				}
+			}
+		}
+		if len(d.HiB) > 1 {
+			for i := range d.HiB {
+				if f.qualifies(c, PairFromInts(d.HiA, drop(d.HiB, i), d.Noise)) {
+					t.Errorf("%s: hiB[%d] is not load-bearing", d.ID, i)
+				}
+			}
+		}
+		for i := range d.Noise {
+			if f.qualifies(c, PairFromInts(d.HiA, d.HiB, drop(d.Noise, i))) {
+				t.Errorf("%s: noise[%d] is not load-bearing", d.ID, i)
+			}
+		}
+	}
+}
+
+// TestCommittedDiscoveriesMatchCampaign pins discoveries.json as the
+// determinism golden: re-running the pinned campaign reproduces the
+// committed file exactly.
+func TestCommittedDiscoveriesMatchCampaign(t *testing.T) {
+	committed, err := CommittedDiscoveries()
+	if err != nil {
+		t.Fatalf("CommittedDiscoveries: %v", err)
+	}
+	res := baselineResult(t)
+	got, err := json.Marshal(res.Discoveries)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	want, err := json.Marshal(committed)
+	if err != nil {
+		t.Fatalf("marshal committed: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("committed discoveries.json is stale; regenerate with tpfuzz\nwant: %s\ngot:  %s", want, got)
+	}
+}
+
+// TestAblationsSubsetOfConform cross-checks the fuzzer's search surface
+// against the conformance ablation table: every fuzzer ablation must be
+// a conformance ablation (same names, so reports line up), and the
+// exclusions must stay excluded for the documented closure reason.
+func TestAblationsSubsetOfConform(t *testing.T) {
+	known := make(map[string]bool)
+	for _, a := range experiment.ConformAblations() {
+		known[a.Name] = true
+	}
+	for _, a := range Ablations() {
+		if a.Name == "full protection" {
+			t.Errorf("fuzzer surface must not include %q (nothing to discover)", a.Name)
+		}
+		if !known[a.Name] {
+			t.Errorf("fuzzer ablation %q is not a conformance ablation", a.Name)
+		}
+	}
+	if _, ok := AblationByName("no flush"); !ok {
+		t.Error("AblationByName failed on a known row")
+	}
+	if _, ok := AblationByName("nonexistent"); ok {
+		t.Error("AblationByName accepted an unknown row")
+	}
+}
+
+// TestFuzzOptionValidation pins the error paths.
+func TestFuzzOptionValidation(t *testing.T) {
+	if _, err := Fuzz(Options{Budget: 4}); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	if _, err := Fuzz(Options{Corpus: []conform.Pair{PlantedLeakyPair()}}); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+// TestProgramCodec round-trips the integer action encoding.
+func TestProgramCodec(t *testing.T) {
+	ints := []int{0, 3, -1, 1, -2, 0}
+	if got := EncodeProgram(DecodeProgram(ints)); !intsEqual(got, ints) {
+		t.Errorf("round trip: got %v want %v", got, ints)
+	}
+	if DecodeProgram(nil) != nil {
+		t.Error("DecodeProgram(nil) != nil")
+	}
+	if EncodeProgram(nil) != nil {
+		t.Error("EncodeProgram(nil) != nil")
+	}
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

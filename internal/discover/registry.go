@@ -1,0 +1,146 @@
+package discover
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+
+	"timeprot/internal/attacks"
+	"timeprot/internal/conform"
+	"timeprot/internal/core"
+)
+
+// Committed discoveries: the fuzzer's pinned output, embedded at build
+// time and auto-registered into the attack-scenario registry as dynamic
+// scenarios (F1, F2, …). Each registered scenario replays its minimal
+// witness through the conformance driver under two variants — the
+// discovering ablation (the leak) and full protection (the closure) —
+// so discovered channels run under the exact same engine, store, and
+// CLI pipeline as the static T2–T17 table. Regenerate discoveries.json
+// with:
+//
+//	go run ./cmd/tpfuzz -budget 24 -rounds 24 -seed 42 -out internal/discover/discoveries.json
+//
+// The regression tests replay the same campaign and require
+// byte-identical output, so the committed file doubles as the fuzzer's
+// determinism golden.
+
+//go:embed discoveries.json
+var committedJSON []byte
+
+// CommittedDiscoveries parses the embedded discoveries.json.
+func CommittedDiscoveries() ([]Discovery, error) {
+	var out []Discovery
+	if err := json.Unmarshal(committedJSON, &out); err != nil {
+		return nil, fmt.Errorf("discover: parsing committed discoveries: %v", err)
+	}
+	return out, nil
+}
+
+var (
+	regOnce sync.Once
+	regErr  error
+)
+
+// RegisterCommitted registers every committed discovery as a dynamic
+// attack scenario, once per process. The root timeprot package calls it
+// from init, so every embedder — CLIs, tests, library users — sees the
+// discovered scenarios in the registry without any wiring.
+func RegisterCommitted() error {
+	regOnce.Do(func() {
+		ds, err := CommittedDiscoveries()
+		if err != nil {
+			regErr = err
+			return
+		}
+		for _, d := range ds {
+			s, err := ScenarioFor(d)
+			if err == nil {
+				err = attacks.RegisterScenario(s)
+			}
+			if err != nil {
+				regErr = fmt.Errorf("discover: registering %s: %v", d.ID, err)
+				return
+			}
+		}
+	})
+	return regErr
+}
+
+// ScenarioFor builds the replayable dynamic scenario of one discovery:
+// two variants measuring the witness pair through the conformance
+// driver, under the discovering ablation and under full protection.
+// Rows are pure functions of (rounds, seed), so engine runs replay
+// byte-identically cold and warm from the store.
+func ScenarioFor(d Discovery) (attacks.Scenario, error) {
+	abl, ok := AblationByName(d.Ablation)
+	if !ok {
+		return attacks.Scenario{}, fmt.Errorf("discover: unknown ablation %q", d.Ablation)
+	}
+	if len(d.HiA) == 0 || len(d.HiB) == 0 {
+		return attacks.Scenario{}, fmt.Errorf("discover: empty witness program")
+	}
+	pair := PairFromInts(d.HiA, d.HiB, d.Noise)
+	short := d.Digest
+	if len(short) > 12 {
+		short = short[:12]
+	}
+	return attacks.Scenario{
+		ID:      d.ID,
+		Name:    d.Name,
+		Title:   fmt.Sprintf("discovered channel via %s (fuzzer witness %s)", d.Channel, short),
+		Version: versionFromDigest(d.Digest),
+		Rounds:  func(r int) int { return r }, // the driver floors at 8
+		Dynamic: true,
+		Variants: []attacks.Variant{
+			witnessVariant("leak ("+d.Ablation+")", abl.ProtConfig(), pair),
+			witnessVariant("closed (full protection)", core.FullProtection(), pair),
+		},
+	}, nil
+}
+
+// witnessVariant builds one replay variant: the witness pair measured
+// under prot, the best observation stream's estimate as the row.
+func witnessVariant(label string, prot core.Config, pair conform.Pair) attacks.Variant {
+	return attacks.NewVariant(label, prot,
+		func(cc *attacks.CellContext, rounds int, seed uint64) attacks.Row {
+			res := conform.MeasureConcreteIn(cc, prot, pair, conform.DefaultParams(rounds), seed, nil)
+			return rowFromResult(label, res)
+		})
+}
+
+// rowFromResult flattens a conformance measurement into a registry row:
+// the best stream's estimate, plus the leak verdict and stream count as
+// extra columns.
+func rowFromResult(label string, res conform.ConcreteResult) attacks.Row {
+	row := attacks.Row{Label: label, ErrRate: math.NaN(), SimOps: res.SimOps}
+	if len(res.Channels) > 0 {
+		row.Est = res.Channels[res.Best].Est
+	}
+	leak := 0.0
+	if res.Leak {
+		leak = 1
+	}
+	row.Extra = append(row.Extra,
+		attacks.KV{K: "leak_certain", V: leak},
+		attacks.KV{K: "streams", V: float64(len(res.Channels))})
+	return row
+}
+
+// versionFromDigest derives the scenario's model-version tag from the
+// witness digest: the first eight hex digits as a positive int. Any
+// change to the witness changes the version, so stale cached cells of a
+// re-fuzzed discovery read as misses.
+func versionFromDigest(digest string) int {
+	if len(digest) < 8 {
+		return 1
+	}
+	v, err := strconv.ParseUint(digest[:8], 16, 32)
+	if err != nil {
+		return 1
+	}
+	return int(v&0x7fffffff) | 1
+}

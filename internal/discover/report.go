@@ -1,0 +1,120 @@
+package discover
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Report rendering. Both writers are pure functions of their inputs —
+// no timestamps, no environment — so outputs regenerate byte-stably
+// and CI can diff two runs of the same campaign for determinism.
+
+// fmtBits renders a capacity figure with the shortest exact decimal
+// representation, the same stability contract the sweep reports use.
+func fmtBits(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// WriteReport renders a campaign result as aligned text: the campaign
+// accounting header, one row per discovery, and one row per soundness
+// violation.
+func WriteReport(w io.Writer, r *Result) error {
+	if _, err := fmt.Fprintf(w, "discovery fuzzer (%s)\n", Fingerprint()); err != nil {
+		return err
+	}
+	// CacheHits/ColdMisses are store-temperature diagnostics and stay
+	// out of this stream: the report is byte-stable across cold, warm,
+	// and storeless runs of the same campaign.
+	if _, err := fmt.Fprintf(w,
+		"evals=%d failed=%d generations=%d corpus=%d coverage_bits=%d\n",
+		r.Evals, r.Failed, r.Generations, r.CorpusSize, r.CovBits); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "discoveries=%d violations=%d\n\n",
+		len(r.Discoveries), len(r.Violations)); err != nil {
+		return err
+	}
+	if len(r.Discoveries) == 0 {
+		if _, err := fmt.Fprintln(w, "no discoveries"); err != nil {
+			return err
+		}
+	}
+	for _, d := range r.Discoveries {
+		if _, err := fmt.Fprintf(w, "%-4s %-18s witness %d+%d+%d  %-11s capacity=%s floor=%s ci=[%s,%s] shrink_evals=%d digest=%s\n",
+			d.ID, d.Ablation, len(d.HiA), len(d.HiB), len(d.Noise),
+			d.Channel, fmtBits(d.CapacityBits), fmtBits(d.FloorBits),
+			fmtBits(d.CILow), fmtBits(d.CIHigh), d.ShrinkEvals, d.Digest[:12]); err != nil {
+			return err
+		}
+	}
+	for _, v := range r.Violations {
+		if _, err := fmt.Fprintf(w, "SOUNDNESS VIOLATION: pair %v / %v noise %v via %s (seed %d)\n",
+			v.HiA, v.HiB, v.Noise, v.Channel, v.Seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteDiscoveriesMD renders the committed discoveries as the
+// DISCOVERIES.md document: the dynamic-registry documentation the
+// registry-completeness test checks F-scenarios against (the static
+// table's scenarios are documented in EXPERIMENTS.md and DESIGN.md).
+func WriteDiscoveriesMD(w io.Writer, ds []Discovery) error {
+	if _, err := fmt.Fprintf(w, `# Discovered channels
+
+Auto-registered attack scenarios found by the coverage-guided discovery
+fuzzer (`+"`cmd/tpfuzz`"+`, see DESIGN.md layer 6). Each row is a minimal
+witness: a Hi program pair (plus an optional symbol-independent noise
+program) that leaks with CI-backed certainty under the named ablation
+and is closed by full protection. Witness programs use the integer
+action encoding (user inputs >= 0, syscall -1, start-IO -2). Every
+retained action is load-bearing: no single shrink step preserves the
+leak.
+
+Discoveries register as dynamic scenarios (replayed through the
+conformance driver) and run under the same engine, store, and CLI
+pipeline as T2-T17; they are excluded from the "all" sweep selection so
+EXPERIMENTS.md stays a pure function of the static registry.
+
+Regenerate with:
+
+	go run ./cmd/tpfuzz -md DISCOVERIES.md
+
+Fingerprint: %s
+
+| ID | name | ablation | channel | capacity (bits) | CI low | CI high | witness |
+|---|---|---|---|---|---|---|---|
+`, Fingerprint()); err != nil {
+		return err
+	}
+	for _, d := range ds {
+		if _, err := fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s | %s | `%v` vs `%v` noise `%v` |\n",
+			d.ID, d.Name, d.Ablation, d.Channel,
+			fmtBits(d.CapacityBits), fmtBits(d.CILow), fmtBits(d.CIHigh),
+			d.HiA, d.HiB, d.Noise); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, "\n## Witness detail"); err != nil {
+		return err
+	}
+	for _, d := range ds {
+		if _, err := fmt.Fprintf(w, `
+### %s — leak under %q, closed by full protection
+
+- variants: %s
+- measurement: %d rounds, seed %d
+- capacity %s bits over floor %s (CI [%s, %s]) on stream %q
+- shrink evaluations: %d
+- digest: %s
+`,
+			d.ID, d.Ablation,
+			"`leak ("+d.Ablation+")` / `closed (full protection)`",
+			d.Rounds, d.Seed,
+			fmtBits(d.CapacityBits), fmtBits(d.FloorBits), fmtBits(d.CILow), fmtBits(d.CIHigh), d.Channel,
+			d.ShrinkEvals, d.Digest); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -159,7 +159,18 @@ func trialSeed(base uint64, trial int) uint64 {
 func selectScenarios(keys []string) ([]attacks.Scenario, error) {
 	all := attacks.Scenarios()
 	if len(keys) == 0 || (len(keys) == 1 && strings.EqualFold(strings.TrimSpace(keys[0]), "all")) {
-		return all, nil
+		// "all" means the static table only: dynamically registered
+		// discovery scenarios (F1, F2, …) must be selected explicitly,
+		// so EXPERIMENTS.md and the committed docs store remain a pure
+		// function of the static registry regardless of which
+		// discoveries a build has loaded.
+		static := make([]attacks.Scenario, 0, len(all))
+		for _, s := range all {
+			if !s.Dynamic {
+				static = append(static, s)
+			}
+		}
+		return static, nil
 	}
 	wanted := make(map[string]bool)
 	for _, k := range keys {

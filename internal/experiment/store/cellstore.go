@@ -11,8 +11,8 @@ import (
 
 // CellStore is the backend-agnostic contract of the content-addressed
 // result store: everything the experiment engine and the CLIs need
-// from a store, over all three entry kinds (attack cells, proof
-// verdicts, conformance outcomes).
+// from a store, over all four entry kinds (attack cells, proof
+// verdicts, conformance outcomes, discovery evaluations).
 //
 // Two backends implement it:
 //
@@ -48,6 +48,10 @@ type CellStore interface {
 	GetConform(k Key) (ConformV1, bool)
 	// PutConform stores a conformance outcome under k.
 	PutConform(k Key, c ConformV1) error
+	// GetDiscover returns the discovery evaluation stored under k.
+	GetDiscover(k Key) (DiscoverV1, bool)
+	// PutDiscover stores a discovery evaluation under k.
+	PutDiscover(k Key, d DiscoverV1) error
 	// Keys lists every entry's key in sorted order.
 	Keys() ([]Key, error)
 	// Len counts the entries without building or sorting a key list.

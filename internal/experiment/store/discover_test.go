@@ -1,0 +1,223 @@
+package store
+
+import (
+	"os"
+	"testing"
+
+	"timeprot/internal/core"
+	"timeprot/internal/prove/absmodel"
+)
+
+// baseDiscoverSpec is a representative fuzzer evaluation point.
+func baseDiscoverSpec() DiscoverSpec {
+	return DiscoverSpec{
+		Fingerprint: "hw/1|kernel/2|channel/2|attacks/1|conform/1|discover/1",
+		Ablation:    "no flush",
+		Prot:        core.NoProtection(),
+		Cfg:         absmodel.DefaultConfig(),
+		HiA:         []int{0, 1, -1, 2},
+		HiB:         []int{2, -2, 1, 0},
+		Noise:       nil,
+		Rounds:      96,
+		Seed:        42,
+	}
+}
+
+// discoverKeyAt derives a distinct discovery key per index.
+func discoverKeyAt(i int) Key {
+	s := baseDiscoverSpec()
+	s.Seed = uint64(i)
+	return s.Key()
+}
+
+// sampleDiscover is a representative stored evaluation.
+func sampleDiscover() DiscoverV1 {
+	return DiscoverV1{
+		Channels: []ConformChannelV1{
+			{Name: "cache", CapacityBits: 0x3ff0000000000000, N: 96, Bins: 16},
+			{Name: "tlb", CapacityBits: 0x3fe0000000000000, N: 96, Bins: 16},
+		},
+		Best:     0,
+		Leak:     true,
+		SimOps:   55443322,
+		Coverage: "00ff",
+		CovBits:  8,
+	}
+}
+
+// TestDiscoverRoundTripBothBackends stores an evaluation in each backend
+// and reads it back bit-identically; a cell key must never serve it.
+func TestDiscoverRoundTripBothBackends(t *testing.T) {
+	fs, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := openPackedT(t, t.TempDir(), PackedOptions{DiscoverTag: "fp"})
+	defer p.Close()
+
+	k := baseDiscoverSpec().Key()
+	want := sampleDiscover()
+	for name, st := range map[string]CellStore{"file": fs, "packed": p} {
+		if _, ok := st.GetDiscover(k); ok {
+			t.Fatalf("%s: cold GetDiscover hit", name)
+		}
+		if err := st.PutDiscover(k, want); err != nil {
+			t.Fatalf("%s: PutDiscover: %v", name, err)
+		}
+		got, ok := st.GetDiscover(k)
+		if !ok {
+			t.Fatalf("%s: warm GetDiscover missed", name)
+		}
+		if len(got.Channels) != 2 || got.Channels[0] != want.Channels[0] ||
+			got.Channels[1] != want.Channels[1] || got.Best != want.Best ||
+			got.Leak != want.Leak || got.SimOps != want.SimOps ||
+			got.Coverage != want.Coverage || got.CovBits != want.CovBits {
+			t.Fatalf("%s: round trip mutated the evaluation: %+v", name, got)
+		}
+		// Kind confusion: the discovery key must not serve as any other
+		// kind, and a cell key must not serve as a discovery.
+		if _, ok := st.Get(k); ok {
+			t.Fatalf("%s: discovery key served as cell", name)
+		}
+		if _, ok := st.GetProof(k); ok {
+			t.Fatalf("%s: discovery key served as proof", name)
+		}
+		if _, ok := st.GetConform(k); ok {
+			t.Fatalf("%s: discovery key served as conform", name)
+		}
+	}
+}
+
+// TestDiscoverCorruptIsMiss bit-flips a stored discovery entry in the
+// file backend and checks every read reports a miss, never a wrong row.
+func TestDiscoverCorruptIsMiss(t *testing.T) {
+	fs, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := baseDiscoverSpec().Key()
+	if err := fs.PutDiscover(k, sampleDiscover()); err != nil {
+		t.Fatal(err)
+	}
+	path := fs.path(k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fs.GetDiscover(k); ok {
+		t.Fatal("corrupt discovery entry served as a hit")
+	}
+}
+
+// TestDiscoverPackedSurvivesReopen checks discovery records land in
+// segments, reopen from the sidecar, and reopen from a raw scan.
+func TestDiscoverPackedSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	p := openPackedT(t, dir, PackedOptions{DiscoverTag: "fp"})
+	for i := 0; i < 5; i++ {
+		if err := p.PutDiscover(discoverKeyAt(i), sampleDiscover()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(phase string) {
+		t.Helper()
+		p = openPackedT(t, dir, PackedOptions{DiscoverTag: "fp"})
+		defer p.Close()
+		for i := 0; i < 5; i++ {
+			if d, ok := p.GetDiscover(discoverKeyAt(i)); !ok || !d.Leak {
+				t.Fatalf("%s: discovery %d lost (ok=%v)", phase, i, ok)
+			}
+		}
+	}
+	check("sidecar reopen")
+	os.Remove(dir + "/" + indexName)
+	check("scan reopen")
+}
+
+// TestMergeCarriesDiscover merges a file store holding all four entry
+// kinds into a packed store and checks the discovery entries arrive.
+func TestMergeCarriesDiscover(t *testing.T) {
+	fileDir := t.TempDir()
+	fs, err := Open(fileDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, proofs, conforms := seedMixedStore(t, fs, 2)
+	var discovers []Key
+	for i := 0; i < 3; i++ {
+		k := discoverKeyAt(i)
+		if err := fs.PutDiscover(k, sampleDiscover()); err != nil {
+			t.Fatal(err)
+		}
+		discovers = append(discovers, k)
+	}
+
+	p := openPackedT(t, t.TempDir(), PackedOptions{})
+	defer p.Close()
+	added, err := p.MergeFrom(fileDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(cells) + len(proofs) + len(conforms) + len(discovers); added != want {
+		t.Fatalf("merged %d entries, want %d", added, want)
+	}
+	for i, k := range discovers {
+		if d, ok := p.GetDiscover(k); !ok || d.CovBits != 8 {
+			t.Fatalf("discovery %d failed cross-backend merge (ok=%v)", i, ok)
+		}
+	}
+	assertMixedStore(t, p, cells, proofs, conforms, "merge with discover")
+}
+
+// TestDiscoverKeyNeverAliasesOtherKinds is the keyspace-disjointness
+// property test: a DiscoverSpec key can never collide with a cell,
+// proof, or conformance key, because its canonical encoding is prefixed
+// with a kind tag no other spec's encoding starts with. Checked over a
+// spread of specs per kind.
+func TestDiscoverKeyNeverAliasesOtherKinds(t *testing.T) {
+	const n = 64
+	other := make(map[Key]string, 3*n)
+	for i := 0; i < n; i++ {
+		other[specAt(i).Key()] = "cell"
+		other[proofSpecAt(i).Key()] = "proof"
+		other[conformKeyAt(i)] = "conform"
+	}
+	seen := make(map[Key]bool, 2*n)
+	for i := 0; i < n; i++ {
+		for v, s := range map[string]DiscoverSpec{
+			"seed": func() DiscoverSpec { s := baseDiscoverSpec(); s.Seed = uint64(i); return s }(),
+			"prog": func() DiscoverSpec {
+				s := baseDiscoverSpec()
+				s.HiA = append(s.HiA, i)
+				return s
+			}(),
+		} {
+			k := s.Key()
+			if kind, clash := other[k]; clash {
+				t.Fatalf("discover key (%s variant %d) aliases a %s key", v, i, kind)
+			}
+			seen[k] = true
+		}
+	}
+	if len(seen) != 2*n {
+		t.Fatalf("distinct DiscoverSpecs collided among themselves: %d keys for %d specs", len(seen), 2*n)
+	}
+
+	// Program bytes vs noise split must be keyed apart: moving an action
+	// from HiA to Noise is a different evaluation.
+	a := baseDiscoverSpec()
+	b := baseDiscoverSpec()
+	b.Noise = []int{b.HiA[len(b.HiA)-1]}
+	b.HiA = b.HiA[:len(b.HiA)-1]
+	if a.Key() == b.Key() {
+		t.Fatal("HiA/Noise split does not affect the key")
+	}
+}

@@ -64,15 +64,16 @@ type packedLoc struct {
 
 // PackedOptions tunes a packed store. The zero value is valid.
 type PackedOptions struct {
-	// CellTag, ProofTag, ConformTag are the current engine fingerprints
-	// for each entry kind. New records are tagged with them, and
-	// Compact drops records whose non-empty tag no longer matches —
-	// fingerprint garbage collection without decoding a payload. An
-	// empty tag means "unknown fingerprint": such records are written
-	// for merged entries and are never collected.
-	CellTag    string
-	ProofTag   string
-	ConformTag string
+	// CellTag, ProofTag, ConformTag and DiscoverTag are the current
+	// engine fingerprints for each entry kind. New records are tagged
+	// with them, and Compact drops records whose non-empty tag no
+	// longer matches — fingerprint garbage collection without decoding
+	// a payload. An empty tag means "unknown fingerprint": such records
+	// are written for merged entries and are never collected.
+	CellTag     string
+	ProofTag    string
+	ConformTag  string
+	DiscoverTag string
 	// SegmentBytes rotates the active segment once it exceeds this
 	// size. 0 means the default (256 MiB).
 	SegmentBytes int64
@@ -118,6 +119,8 @@ func (o PackedOptions) tagFor(kind byte) string {
 		return o.ProofTag
 	case recKindConform:
 		return o.ConformTag
+	case recKindDiscover:
+		return o.DiscoverTag
 	}
 	return ""
 }
@@ -587,6 +590,34 @@ func (p *Packed) PutConform(k Key, c ConformV1) error {
 	return p.append(k, recKindConform, data)
 }
 
+// GetDiscover returns the discovery evaluation stored under k.
+func (p *Packed) GetDiscover(k Key) (DiscoverV1, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	loc, ok := p.index[k]
+	if !ok || loc.kind != recKindDiscover {
+		return DiscoverV1{}, false
+	}
+	data, err := p.readPayload(loc)
+	if err != nil {
+		return DiscoverV1{}, false
+	}
+	d, err := decodeDiscoverEntry(k, data)
+	if err != nil {
+		return DiscoverV1{}, false
+	}
+	return d, true
+}
+
+// PutDiscover stores a discovery evaluation under k.
+func (p *Packed) PutDiscover(k Key, d DiscoverV1) error {
+	data, err := encodeDiscoverEntry(k, d)
+	if err != nil {
+		return err
+	}
+	return p.append(k, recKindDiscover, data)
+}
+
 // Keys lists every live entry's key in sorted order.
 func (p *Packed) Keys() ([]Key, error) {
 	p.mu.Lock()
@@ -654,6 +685,8 @@ func (p *Packed) putRaw(k Key, data []byte) error {
 		rk = recKindProof
 	case conformKind:
 		rk = recKindConform
+	case discoverKind:
+		rk = recKindDiscover
 	default:
 		rk = recKindCell
 	}

@@ -159,7 +159,7 @@ func entryKind(data []byte) (string, error) {
 }
 
 // validateEntry decodes an entry file of any kind, for the merge path:
-// cell entries (no kind tag), proof entries, and conformance entries
+// cell entries (no kind tag), proof, conformance, and discovery entries
 // are all valid merge sources; anything else is corrupt.
 func validateEntry(k Key, data []byte) error {
 	kind, err := entryKind(data)
@@ -172,6 +172,9 @@ func validateEntry(k Key, data []byte) error {
 		return err
 	case conformKind:
 		_, err := decodeConformEntry(k, data)
+		return err
+	case discoverKind:
+		_, err := decodeDiscoverEntry(k, data)
 		return err
 	}
 	_, err = decodeEntry(k, data)

@@ -17,7 +17,7 @@ import (
 // One record:
 //
 //	[0:32]   key           (the entry's content address)
-//	[32]     kind          (0 = cell, 1 = proof, 2 = conform)
+//	[32]     kind          (0 = cell, 1 = proof, 2 = conform, 3 = discover)
 //	[33]     tag length    (fingerprint tag, 0..255 bytes)
 //	[34:38]  payload length, uint32 little-endian
 //	[38:42]  CRC-32C over header[0:38] + tag + payload
@@ -37,9 +37,10 @@ const (
 	segHeaderSize = len(segMagic)
 	segSuffix     = ".seg"
 
-	recKindCell    = 0
-	recKindProof   = 1
-	recKindConform = 2
+	recKindCell     = 0
+	recKindProof    = 1
+	recKindConform  = 2
+	recKindDiscover = 3
 
 	recHeaderSize = 32 + 1 + 1 + 4 + 4
 	// maxRecPayload bounds a record's payload during scans: a length

@@ -1,0 +1,199 @@
+// Package cover provides a lightweight coverage signal map over
+// microarchitectural state transitions. The discovery fuzzer (Layer 6)
+// attaches a Map to the cores of a pooled machine while a candidate
+// program pair executes; every cache-set touch, miss-depth transition,
+// TLB fill, branch-predictor update, flush write-back and bus-queue
+// occupancy folds one bit into a fixed-size bitmap. Pairs that light up
+// bits no earlier candidate reached get extra mutation energy, so the
+// search concentrates on the frontier of reachable hardware states.
+//
+// Design constraints, in order:
+//
+//   - Timing-neutral: recording coverage must not change a single
+//     measured cycle. Touch only reads values the hardware model already
+//     computed and writes into the Map — it never feeds back.
+//   - Deterministic: the bitmap is a pure function of the executed
+//     transition stream. Same pair, same seed, same bits — on any worker
+//     count, cold or warm.
+//   - Allocation-free on the hot path: Touch is a mask-and-or into a
+//     fixed array. The cpu layer guards every call site with a nil check
+//     so detached runs (all of T2–T17, proofs, conformance) pay one
+//     predictable branch and nothing else.
+package cover
+
+import (
+	"encoding/hex"
+	"fmt"
+	"math/bits"
+)
+
+// Class partitions the signal space so that, say, TLB fill #3 and LLC
+// set #3 land on different bits.
+type Class uint8
+
+// Transition classes recorded by the cpu and platform layers.
+const (
+	// ClassL1 is an L1 (I or D) set touch.
+	ClassL1 Class = iota
+	// ClassL2 is a private-L2 set touch on an L1 miss.
+	ClassL2
+	// ClassLLC is a shared-LLC set touch on an L2 miss.
+	ClassLLC
+	// ClassTLB is a TLB refill, keyed by virtual page number.
+	ClassTLB
+	// ClassBP is a branch-predictor update, keyed by pc and outcome.
+	ClassBP
+	// ClassBus is a bus access, keyed by core and queue-delay bucket
+	// (the "bus slot" actually occupied).
+	ClassBus
+	// ClassLevel is the demand-miss depth reached, keyed by access
+	// kind and satisfying level.
+	ClassLevel
+	// ClassFlush is a core-state flush, keyed by the dirty-line count
+	// bucket (the history-dependent part of flush latency).
+	ClassFlush
+
+	// NumClasses counts the defined classes.
+	NumClasses = int(ClassFlush) + 1
+)
+
+const (
+	// MapBits is the bitmap size. Power of two so hashing is a mask.
+	MapBits = 8192
+	// mapWords is the backing array length.
+	mapWords = MapBits / 64
+)
+
+// Map is a fixed-size coverage bitmap. The zero value is ready to use.
+// A nil *Map is a valid no-op receiver for Touch, so instrumented code
+// may hold an always-present pointer.
+type Map struct {
+	w [mapWords]uint64
+}
+
+// Touch folds one (class, value) transition into the map.
+func (m *Map) Touch(class Class, v uint64) {
+	if m == nil {
+		return
+	}
+	// splitmix64-style finalizer over the class-salted value: cheap,
+	// deterministic, and good enough dispersion for a feedback bitmap.
+	h := v + 0x9e3779b97f4a7c15*uint64(class+1)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	bit := h & (MapBits - 1)
+	m.w[bit>>6] |= 1 << (bit & 63)
+}
+
+// Reset clears the map.
+func (m *Map) Reset() {
+	if m == nil {
+		return
+	}
+	m.w = [mapWords]uint64{}
+}
+
+// Count returns the number of set bits.
+func (m *Map) Count() int {
+	if m == nil {
+		return 0
+	}
+	n := 0
+	for _, w := range m.w {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// MergeNew ORs m into the accumulated map g and returns how many of m's
+// bits were new to g — the fuzzer's "reached fresh state" fitness signal.
+func (m *Map) MergeNew(g *Map) int {
+	if m == nil || g == nil {
+		return 0
+	}
+	fresh := 0
+	for i, w := range m.w {
+		fresh += bits.OnesCount64(w &^ g.w[i])
+		g.w[i] |= w
+	}
+	return fresh
+}
+
+// Contains reports whether every set bit of m is already set in g.
+func (m *Map) Contains(o *Map) bool {
+	if o == nil {
+		return true
+	}
+	if m == nil {
+		return o.Count() == 0
+	}
+	for i, w := range o.w {
+		if w&^m.w[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the map (nil-safe).
+func (m *Map) Clone() *Map {
+	c := &Map{}
+	if m != nil {
+		c.w = m.w
+	}
+	return c
+}
+
+// Signature digests the bitmap to a 64-bit FNV-1a value, for cheap
+// equality checks and store fingerprints.
+func (m *Map) Signature() uint64 {
+	h := uint64(1469598103934665603)
+	if m == nil {
+		return h
+	}
+	for _, w := range m.w {
+		for s := 0; s < 64; s += 8 {
+			h ^= (w >> s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// MarshalText encodes the bitmap as lowercase hex (big-endian words),
+// the store's discover/1 round-trip format.
+func (m *Map) MarshalText() ([]byte, error) {
+	buf := make([]byte, mapWords*8)
+	if m != nil {
+		for i, w := range m.w {
+			for b := 0; b < 8; b++ {
+				buf[i*8+b] = byte(w >> (56 - 8*b))
+			}
+		}
+	}
+	out := make([]byte, hex.EncodedLen(len(buf)))
+	hex.Encode(out, buf)
+	return out, nil
+}
+
+// UnmarshalText decodes the MarshalText format.
+func (m *Map) UnmarshalText(text []byte) error {
+	buf := make([]byte, hex.DecodedLen(len(text)))
+	if _, err := hex.Decode(buf, text); err != nil {
+		return fmt.Errorf("cover: bad map encoding: %v", err)
+	}
+	if len(buf) != mapWords*8 {
+		return fmt.Errorf("cover: map encoding is %d bytes, want %d", len(buf), mapWords*8)
+	}
+	for i := range m.w {
+		var w uint64
+		for b := 0; b < 8; b++ {
+			w = w<<8 | uint64(buf[i*8+b])
+		}
+		m.w[i] = w
+	}
+	return nil
+}

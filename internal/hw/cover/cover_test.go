@@ -1,0 +1,139 @@
+package cover
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTouchDeterministicAndClassSeparated(t *testing.T) {
+	a, b := &Map{}, &Map{}
+	for i := uint64(0); i < 100; i++ {
+		a.Touch(ClassL1, i)
+		b.Touch(ClassL1, i)
+	}
+	if a.w != b.w {
+		t.Fatal("same touch stream must produce the same bitmap")
+	}
+	c := &Map{}
+	for i := uint64(0); i < 100; i++ {
+		c.Touch(ClassLLC, i)
+	}
+	if a.w == c.w {
+		t.Fatal("distinct classes must not alias the same bit pattern")
+	}
+}
+
+func TestCountAndReset(t *testing.T) {
+	m := &Map{}
+	if m.Count() != 0 {
+		t.Fatalf("fresh map count = %d", m.Count())
+	}
+	m.Touch(ClassTLB, 7)
+	m.Touch(ClassTLB, 7) // idempotent
+	if m.Count() != 1 {
+		t.Fatalf("one distinct touch: count = %d, want 1", m.Count())
+	}
+	for i := uint64(0); i < 500; i++ {
+		m.Touch(ClassBP, i)
+	}
+	if got := m.Count(); got < 400 || got > 500 {
+		t.Fatalf("500 distinct touches set %d bits; hash dispersion looks broken", got)
+	}
+	m.Reset()
+	if m.Count() != 0 {
+		t.Fatalf("after Reset count = %d", m.Count())
+	}
+}
+
+func TestMergeNewCountsOnlyFreshBits(t *testing.T) {
+	global := &Map{}
+	first := &Map{}
+	for i := uint64(0); i < 50; i++ {
+		first.Touch(ClassL2, i)
+	}
+	n1 := first.MergeNew(global)
+	if n1 != first.Count() {
+		t.Fatalf("first merge into empty global: fresh = %d, want %d", n1, first.Count())
+	}
+	// Same bits again: nothing fresh.
+	if n := first.MergeNew(global); n != 0 {
+		t.Fatalf("re-merging identical map reported %d fresh bits", n)
+	}
+	// Overlap plus genuinely new.
+	second := &Map{}
+	second.Touch(ClassL2, 0) // already in global
+	second.Touch(ClassBus, 1<<8|3)
+	fresh := second.MergeNew(global)
+	if fresh < 1 || fresh > 2 {
+		t.Fatalf("fresh = %d, want 1 (new bus bit) unless L2#0 collided", fresh)
+	}
+	if !global.Contains(second) {
+		t.Fatal("global must contain every merged bit")
+	}
+}
+
+func TestCloneAndSignature(t *testing.T) {
+	m := &Map{}
+	for i := uint64(0); i < 30; i++ {
+		m.Touch(ClassFlush, i)
+	}
+	c := m.Clone()
+	if c.w != m.w {
+		t.Fatal("clone differs")
+	}
+	if c.Signature() != m.Signature() {
+		t.Fatal("signature must be content-determined")
+	}
+	c.Touch(ClassFlush, 1000)
+	if c.Signature() == m.Signature() && c.w != m.w {
+		t.Fatal("signature failed to move with content")
+	}
+	if m.Signature() == (&Map{}).Signature() {
+		t.Fatal("non-empty map must not share the empty signature")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	m := &Map{}
+	for i := uint64(0); i < 64; i++ {
+		m.Touch(Class(i%uint64(NumClasses)), i*977)
+	}
+	enc, err := m.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Map
+	if err := back.UnmarshalText(enc); err != nil {
+		t.Fatal(err)
+	}
+	if back.w != m.w {
+		t.Fatal("text round-trip lost bits")
+	}
+	enc2, _ := back.MarshalText()
+	if !bytes.Equal(enc, enc2) {
+		t.Fatal("re-encoding is not byte-stable")
+	}
+	if err := back.UnmarshalText([]byte("zz")); err == nil {
+		t.Fatal("bad hex must error")
+	}
+	if err := back.UnmarshalText(enc[:10]); err == nil {
+		t.Fatal("truncated encoding must error")
+	}
+}
+
+func TestNilMapIsInert(t *testing.T) {
+	var m *Map
+	m.Touch(ClassL1, 1) // must not panic
+	m.Reset()
+	if m.Count() != 0 || m.MergeNew(&Map{}) != 0 {
+		t.Fatal("nil map must observe as empty")
+	}
+	if c := m.Clone(); c == nil || c.Count() != 0 {
+		t.Fatal("clone of nil must be an empty map")
+	}
+	g := &Map{}
+	g.Touch(ClassL1, 1)
+	if n := g.MergeNew(nil); n != 0 {
+		t.Fatal("merging into nil must be a no-op")
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"timeprot/internal/hw/branch"
 	"timeprot/internal/hw/cache"
 	"timeprot/internal/hw/clock"
+	"timeprot/internal/hw/cover"
 	"timeprot/internal/hw/interconn"
 	"timeprot/internal/hw/mem"
 	"timeprot/internal/hw/prefetch"
@@ -117,6 +118,12 @@ type Core struct {
 
 	Clock clock.Clock
 
+	// Cov, when non-nil, records microarchitectural state transitions
+	// into a coverage bitmap (see internal/hw/cover). It is observation
+	// only: attaching a map never changes a measured cycle. All call
+	// sites are nil-guarded so detached runs pay one branch.
+	Cov *cover.Map
+
 	un *Uncore
 }
 
@@ -161,6 +168,9 @@ func (c *Core) Reset() {
 		c.PF.Reset()
 	}
 	c.Clock.Reset()
+	// A fresh core has no coverage map attached; pooled reuse must not
+	// leak one run's observer into the next.
+	c.Cov = nil
 }
 
 // ID returns the core's index.
@@ -237,6 +247,9 @@ func (c *Core) Translate(asid tlb.ASID, pt *mem.PageTable, va hw.Addr) (pa hw.PA
 		return 0, c.un.Lat.PageWalk, true, &Fault{VA: va, ASID: asid}
 	}
 	c.TLB.Refill(asid, vpn, pte.PFN, pte.Global)
+	if c.Cov != nil {
+		c.Cov.Touch(cover.ClassTLB, uint64(vpn))
+	}
 	return hw.FrameBase(pte.PFN) + hw.PAddr(hw.PageOffset(va)), c.un.Lat.PageWalk, true, nil
 }
 
@@ -284,24 +297,34 @@ func (c *Core) accessPA(va hw.Addr, pa hw.PAddr, kind AccessKind, owner hw.Domai
 
 	info := AccessInfo{LLCSet: -1}
 	// L1: virtually indexed, physically tagged.
-	res := l1.Access(l1.SetIndex(vaLine), paLine, write, owner)
+	l1Set := l1.SetIndex(vaLine)
+	res := l1.Access(l1Set, paLine, write, owner)
 	info.Cycles += lat.L1Hit
+	if c.Cov != nil {
+		c.Cov.Touch(cover.ClassL1, uint64(l1Set)|uint64(kind)<<16)
+	}
 	if res.WritebackVictim {
 		info.Cycles += c.writeback(res.VictimTag, res.VictimOwner)
 	}
 	if res.Hit {
 		info.Level = 1
+		c.covLevel(kind, info.Level)
 		return info
 	}
 
 	// L2: physically indexed private cache.
-	res = c.L2.Access(c.L2.SetIndex(paLine), paLine, false, owner)
+	l2Set := c.L2.SetIndex(paLine)
+	res = c.L2.Access(l2Set, paLine, false, owner)
 	info.Cycles += lat.L2Hit
+	if c.Cov != nil {
+		c.Cov.Touch(cover.ClassL2, uint64(l2Set))
+	}
 	if res.WritebackVictim {
 		info.Cycles += c.writeback(res.VictimTag, res.VictimOwner)
 	}
 	if res.Hit {
 		info.Level = 2
+		c.covLevel(kind, info.Level)
 		return info
 	}
 
@@ -310,24 +333,54 @@ func (c *Core) accessPA(va hw.Addr, pa hw.PAddr, kind AccessKind, owner hw.Domai
 	res = c.un.LLC.Access(llcSet, paLine, false, owner)
 	info.Cycles += lat.LLCHit
 	info.LLCSet = llcSet
+	if c.Cov != nil {
+		c.Cov.Touch(cover.ClassLLC, uint64(llcSet))
+	}
 	if res.Evicted {
 		dirtyCopies := c.un.backInvalidate(res.VictimTag)
 		if res.WritebackVictim || dirtyCopies > 0 {
 			// Dirty LLC victim (or a dirtier private copy) goes
 			// to memory over the bus.
-			info.Cycles += c.un.Bus.Access(c.cfg.ID, c.Clock.Now()+info.Cycles)
+			info.Cycles += c.busAccess(info.Cycles)
 		}
 	}
 	if res.Hit {
 		info.Level = 3
+		c.covLevel(kind, info.Level)
 		return info
 	}
 
 	// Memory: bus transfer plus DRAM latency.
-	info.Cycles += c.un.Bus.Access(c.cfg.ID, c.Clock.Now()+info.Cycles)
+	info.Cycles += c.busAccess(info.Cycles)
 	info.Cycles += lat.Mem
 	info.Level = 4
+	c.covLevel(kind, info.Level)
 	return info
+}
+
+// busAccess performs one bus transfer at the core clock plus offset,
+// recording the occupied bus slot (queue-delay bucket) as coverage.
+func (c *Core) busAccess(offset uint64) uint64 {
+	cycles := c.un.Bus.Access(c.cfg.ID, c.Clock.Now()+offset)
+	if c.Cov != nil {
+		beat := c.un.Lat.BusBeat
+		if beat == 0 {
+			beat = 1
+		}
+		slot := cycles / beat
+		if slot > 255 {
+			slot = 255
+		}
+		c.Cov.Touch(cover.ClassBus, uint64(c.cfg.ID)<<8|slot)
+	}
+	return cycles
+}
+
+// covLevel records the demand-miss depth an access bottomed out at.
+func (c *Core) covLevel(kind AccessKind, level int) {
+	if c.Cov != nil {
+		c.Cov.Touch(cover.ClassLevel, uint64(kind)<<8|uint64(level))
+	}
 }
 
 // writeback pushes an evicted dirty line (identified by its physical line
@@ -351,7 +404,18 @@ func (c *Core) writeback(paLine uint64, owner hw.DomainID) uint64 {
 // Branch resolves a conditional branch at pc, charging the misprediction
 // penalty when the predictor was wrong.
 func (c *Core) Branch(pc hw.Addr, taken bool) (cycles uint64, mispredicted bool) {
-	if c.BP.Resolve(pc, taken) {
+	mispredicted = c.BP.Resolve(pc, taken)
+	if c.Cov != nil {
+		v := uint64(pc) << 2
+		if taken {
+			v |= 2
+		}
+		if mispredicted {
+			v |= 1
+		}
+		c.Cov.Touch(cover.ClassBP, v)
+	}
+	if mispredicted {
 		return c.un.Lat.Mispredict, true
 	}
 	return 1, false
@@ -397,6 +461,11 @@ func (c *Core) FlushCoreState() FlushReport {
 		c.PF.Flush()
 	}
 	rep.Cycles = lat.FlushBase + uint64(rep.DirtyL1D+rep.DirtyL2)*lat.FlushPerDirtyLine
+	if c.Cov != nil {
+		// The dirty-line count is the history-dependent part of flush
+		// latency — the flush-channel signal itself.
+		c.Cov.Touch(cover.ClassFlush, uint64(rep.DirtyL1D+rep.DirtyL2))
+	}
 	return rep
 }
 

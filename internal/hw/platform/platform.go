@@ -8,6 +8,7 @@ import (
 
 	"timeprot/internal/hw"
 	"timeprot/internal/hw/cache"
+	"timeprot/internal/hw/cover"
 	"timeprot/internal/hw/cpu"
 	"timeprot/internal/hw/interconn"
 	"timeprot/internal/hw/mem"
@@ -154,6 +155,16 @@ func (m *Machine) Reset() {
 	m.IRQ.Reset()
 	for _, c := range m.Cores {
 		c.Reset()
+	}
+}
+
+// SetCoverage attaches cov to every core's transition recorder (nil
+// detaches). Coverage is observation only — it never changes a measured
+// cycle — and Reset detaches any attached map, so pooled machines cannot
+// leak one run's observer into the next.
+func (m *Machine) SetCoverage(cov *cover.Map) {
+	for _, c := range m.Cores {
+		c.Cov = cov
 	}
 }
 

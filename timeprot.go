@@ -41,6 +41,7 @@ import (
 	"timeprot/internal/attacks"
 	"timeprot/internal/conform"
 	"timeprot/internal/core"
+	"timeprot/internal/discover"
 	"timeprot/internal/experiment"
 	"timeprot/internal/experiment/store"
 	"timeprot/internal/hw/mem"
@@ -440,6 +441,52 @@ func CheckInvariantsTLB() bool {
 // work for a platform — the "separate analysis" the paper's padding
 // assumption calls for (§5.2). Use it as DomainSpec.PadCycles.
 func RecommendPad(p PlatformConfig) uint64 { return kernel.RecommendPad(p) }
+
+// Channel-discovery fuzzer types, re-exported from the discover layer:
+// the public API for coverage-guided search over the ablation surface.
+type (
+	// FuzzOptions parameterises one discovery campaign; the discovery
+	// set is a pure function of its semantic fields.
+	FuzzOptions = discover.Options
+	// FuzzResult is a completed campaign: discoveries, soundness
+	// violations, and search accounting.
+	FuzzResult = discover.Result
+	// FuzzDiscovery is one confirmed, shrunk channel discovery — the
+	// witness form discoveries.json commits and the registry replays.
+	FuzzDiscovery = discover.Discovery
+)
+
+// Fuzz runs one channel-discovery campaign: mutate seeded trojan/spy
+// pairs, screen them across the flush/pad/partition ablation surface
+// with coverage feedback, and shrink every confirmed leak that full
+// protection closes into a minimal replayable witness.
+func Fuzz(opt FuzzOptions) (*FuzzResult, error) { return discover.Fuzz(opt) }
+
+// FuzzFingerprint returns the discovery fingerprint under which the
+// fuzzer keys cached candidate evaluations in the store.
+func FuzzFingerprint() string { return discover.Fingerprint() }
+
+// WriteFuzzReport renders a campaign result as aligned text.
+func WriteFuzzReport(w io.Writer, r *FuzzResult) error { return discover.WriteReport(w, r) }
+
+// WriteDiscoveriesMD renders committed discoveries as DISCOVERIES.md.
+func WriteDiscoveriesMD(w io.Writer, ds []FuzzDiscovery) error {
+	return discover.WriteDiscoveriesMD(w, ds)
+}
+
+// CommittedDiscoveries returns the discoveries pinned in the embedded
+// discoveries.json — the ones init auto-registered as F-scenarios.
+func CommittedDiscoveries() ([]FuzzDiscovery, error) { return discover.CommittedDiscoveries() }
+
+// The committed discoveries register as dynamic attack scenarios (F1,
+// F2, …) in every embedding process, so CLIs, tests, and library users
+// all see the same registry. A malformed committed file is a build
+// defect, not a runtime condition: fail loudly.
+func init() {
+	if err := discover.RegisterCommitted(); err != nil {
+		panic(err)
+	}
+}
 
 // NIResult is a concrete two-run noninterference comparison outcome.
 type NIResult = invariant.NIResult

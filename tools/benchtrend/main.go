@@ -36,6 +36,9 @@ type benchFile struct {
 		CellsPerSecCold float64 `json:"cells_per_sec_cold"`
 		CellsPerSecWarm float64 `json:"cells_per_sec_warm"`
 	} `json:"cells"`
+	Fuzz *struct {
+		PairsPerSec float64 `json:"fuzz_pairs_per_sec"`
+	} `json:"fuzz"`
 }
 
 func load(path string) (benchFile, error) {
@@ -109,6 +112,28 @@ func run(args []string, stdout io.Writer) error {
 	if change < -*maxRegress {
 		return fmt.Errorf("PR %d regresses warm cell throughput %.1f%% vs PR %d (limit %.0f%%)",
 			newF.PR, -change, oldF.PR, *maxRegress)
+	}
+
+	// The fuzzer-throughput gate arms itself the same way the cells
+	// gate did: trajectories before the fuzz section pass, dropping the
+	// section once present fails.
+	if oldF.Fuzz == nil {
+		fmt.Fprintf(stdout, "benchtrend: %s (PR %d) has no fuzz section; fuzz gate not armed\n", files[0], oldF.PR)
+		return nil
+	}
+	if newF.Fuzz == nil {
+		return fmt.Errorf("%s (PR %d) dropped the fuzz section present in %s", files[1], newF.PR, files[0])
+	}
+	oldP, newP := oldF.Fuzz.PairsPerSec, newF.Fuzz.PairsPerSec
+	if oldP <= 0 {
+		return fmt.Errorf("%s has non-positive fuzz_pairs_per_sec %v", files[0], oldP)
+	}
+	fchange := 100 * (newP - oldP) / oldP
+	fmt.Fprintf(stdout, "benchtrend: fuzz pairs/sec %.2f -> %.2f (%+.1f%%), gate -%.0f%%\n",
+		oldP, newP, fchange, *maxRegress)
+	if fchange < -*maxRegress {
+		return fmt.Errorf("PR %d regresses fuzzer throughput %.1f%% vs PR %d (limit %.0f%%)",
+			newF.PR, -fchange, oldF.PR, *maxRegress)
 	}
 	return nil
 }

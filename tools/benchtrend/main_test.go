@@ -77,3 +77,38 @@ func TestWrongArgCount(t *testing.T) {
 		t.Fatalf("want usage error, got %v", err)
 	}
 }
+
+// writeBenchFuzz drops a BENCH_N.json carrying both the cells and fuzz
+// sections.
+func writeBenchFuzz(t *testing.T, name string, pr int, warm, pairs float64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	data := fmt.Sprintf(`{"pr": %d, "cpu": "test-cpu", "cells": {"cells_per_sec_cold": 1, "cells_per_sec_warm": %g}, "fuzz": {"fuzz_pairs_per_sec": %g}}`, pr, warm, pairs)
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestFuzzGate covers the fuzzer-throughput gate: it arms once both
+// files carry the fuzz section, fails a regression past the gate,
+// passes one within it, and fails a new file that drops the section.
+func TestFuzzGate(t *testing.T) {
+	oldFuzz := writeBenchFuzz(t, "old.json", 8, 100, 100)
+
+	if err := run([]string{oldFuzz, writeBenchFuzz(t, "new.json", 9, 100, 70)}, &strings.Builder{}); err == nil ||
+		!strings.Contains(err.Error(), "fuzzer throughput") {
+		t.Fatalf("30%% fuzzer regression passed the default 20%% gate: %v", err)
+	}
+	if err := run([]string{oldFuzz, writeBenchFuzz(t, "new.json", 9, 100, 90)}, &strings.Builder{}); err != nil {
+		t.Fatalf("10%% fuzzer regression failed the default 20%% gate: %v", err)
+	}
+	if err := run([]string{oldFuzz, writeBench(t, "new.json", 9, 100)}, &strings.Builder{}); err == nil ||
+		!strings.Contains(err.Error(), "dropped the fuzz section") {
+		t.Fatalf("dropping the fuzz section was accepted: %v", err)
+	}
+	// Pre-fuzz trajectories never arm the gate.
+	if err := run([]string{writeBench(t, "old.json", 7, 100), writeBenchFuzz(t, "new.json", 9, 100, 50)}, &strings.Builder{}); err != nil {
+		t.Fatalf("unarmed fuzz gate failed: %v", err)
+	}
+}
