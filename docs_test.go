@@ -175,6 +175,39 @@ func TestDocsCoverConformance(t *testing.T) {
 	}
 }
 
+// TestDocsCoverService is the service-side completeness check: both
+// README.md and DESIGN.md must document the sweep service — the binary,
+// the package, the submit endpoint, and the singleflight dedup
+// mechanism — and DESIGN.md must carry the Layer 7 inventory with the
+// dedup invariant spelled out. A service change that ships without
+// documentation fails here, exactly like a scenario or proof row would.
+func TestDocsCoverService(t *testing.T) {
+	design := readDoc(t, "DESIGN.md")
+	readme := readDoc(t, "README.md")
+	for _, doc := range []struct{ name, body string }{
+		{"DESIGN.md", design},
+		{"README.md", readme},
+	} {
+		for _, want := range []string{"cmd/tpserved", "internal/serve", "singleflight", "/v1/jobs", "dedup invariant", "byte identity"} {
+			if !strings.Contains(doc.body, want) {
+				t.Errorf("%s does not mention %q", doc.name, want)
+			}
+		}
+	}
+	for _, want := range []string{
+		"## Layer 7",
+		"internal/serve/loadtest",
+		"distinct submitted keys",
+	} {
+		if !strings.Contains(design, want) {
+			t.Errorf("DESIGN.md does not contain %q", want)
+		}
+	}
+	if !strings.Contains(readme, "-selftest") {
+		t.Error("README.md does not document tpserved -selftest")
+	}
+}
+
 func readDoc(t *testing.T, name string) string {
 	t.Helper()
 	b, err := os.ReadFile(name)

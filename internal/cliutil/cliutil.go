@@ -102,18 +102,47 @@ func (f *StoreFlags) Resolve(logf func(format string, args ...any)) (store.CellS
 		return nil, experiment.ShardSel{}, fmt.Errorf("-warm-only requires -store")
 	}
 
-	var sel experiment.ShardSel
-	if f.Shard != "" {
-		is, ns, ok := strings.Cut(f.Shard, "/")
-		i, erri := strconv.Atoi(is)
-		n, errn := strconv.Atoi(ns)
-		if !ok || erri != nil || errn != nil || n < 1 || i < 0 || i >= n {
-			if st != nil {
-				st.Close()
-			}
-			return nil, experiment.ShardSel{}, fmt.Errorf("bad -shard %q: want i/n with 0 <= i < n", f.Shard)
+	sel, err := ParseShard(f.Shard)
+	if err != nil {
+		if st != nil {
+			st.Close()
 		}
-		sel = experiment.ShardSel{Index: i, Count: n}
+		return nil, experiment.ShardSel{}, err
 	}
 	return st, sel, nil
+}
+
+// ParseShard parses an "i/n" shard selector into a ShardSel; the empty
+// string selects the full matrix. It is the single definition of the
+// selector syntax, shared by the CLIs' -shard flag and the sweep
+// service's submit API.
+func ParseShard(s string) (experiment.ShardSel, error) {
+	if s == "" {
+		return experiment.ShardSel{}, nil
+	}
+	is, ns, ok := strings.Cut(s, "/")
+	i, erri := strconv.Atoi(is)
+	n, errn := strconv.Atoi(ns)
+	if !ok || erri != nil || errn != nil || n < 1 || i < 0 || i >= n {
+		return experiment.ShardSel{}, fmt.Errorf("bad -shard %q: want i/n with 0 <= i < n", s)
+	}
+	return experiment.ShardSel{Index: i, Count: n}, nil
+}
+
+// ServeFlags is the flag pair shared by the service binaries: where to
+// listen and how many cell workers to run.
+type ServeFlags struct {
+	// Addr is -addr: the host:port the HTTP service listens on.
+	Addr string
+	// Workers is -workers: the bounded cell worker pool size
+	// (<=0 = GOMAXPROCS).
+	Workers int
+}
+
+// RegisterServe registers the serve flag pair on fs.
+func RegisterServe(fs *flag.FlagSet) *ServeFlags {
+	f := &ServeFlags{}
+	fs.StringVar(&f.Addr, "addr", "127.0.0.1:7411", "host:port the HTTP service listens on")
+	fs.IntVar(&f.Workers, "workers", 0, "bounded cell worker pool size (0 = GOMAXPROCS); never affects served bytes")
+	return f
 }

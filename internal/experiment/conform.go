@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -296,6 +297,10 @@ type ConformanceOptions struct {
 	Shard ShardSel
 	// Stats, when non-nil, receives the run's cache statistics.
 	Stats *CacheStats
+	// Context, when non-nil, scopes the run to a job: see
+	// Options.Context — cancellation stops dispatch, finishes in-flight
+	// cells, and returns the context's error.
+	Context context.Context
 }
 
 // shardConformCells returns the cells of one shard, preserving
@@ -418,11 +423,19 @@ func RunConformance(spec ConformanceSpec, opt ConformanceOptions) (*ConformanceM
 			}
 		}()
 	}
+feed:
 	for _, i := range pending {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctxDone(opt.Context):
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	if cancelled(opt.Context) {
+		return nil, opt.Context.Err()
+	}
 
 	if opt.Stats != nil {
 		*opt.Stats = stats

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -348,6 +349,10 @@ type ProofOptions struct {
 	Shard ShardSel
 	// Stats, when non-nil, receives the run's cache statistics.
 	Stats *CacheStats
+	// Context, when non-nil, scopes the run to a job: see
+	// Options.Context — cancellation stops dispatch, finishes in-flight
+	// cells, and returns the context's error.
+	Context context.Context
 }
 
 // shardProofCells returns the cells of one shard, preserving
@@ -470,11 +475,19 @@ func RunProofMatrix(spec ProofSpec, opt ProofOptions) (*ProofMatrix, error) {
 			}
 		}()
 	}
+feed:
 	for _, i := range pending {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctxDone(opt.Context):
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	if cancelled(opt.Context) {
+		return nil, opt.Context.Err()
+	}
 
 	if opt.Stats != nil {
 		*opt.Stats = stats

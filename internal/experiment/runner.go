@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -40,6 +41,25 @@ type Options struct {
 	// appear in the report (whose bytes must not depend on cache
 	// state).
 	Stats *CacheStats
+	// Context, when non-nil, scopes the run to a job: once it is
+	// cancelled no further cells are dispatched, in-flight cells finish
+	// (and their results are written back, so no completed work is
+	// lost), and Run returns the context's error instead of a report.
+	Context context.Context
+}
+
+// cancelled reports whether an optional job context has been cancelled.
+func cancelled(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
+}
+
+// ctxDone returns the context's done channel, or nil (blocks forever in
+// a select) when no context was given.
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
 }
 
 // CacheStats summarises how a run interacted with its store.
@@ -344,11 +364,19 @@ func Run(spec Spec, opt Options) (*Report, error) {
 			}
 		}()
 	}
+feed:
 	for _, i := range pending {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctxDone(opt.Context):
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	if cancelled(opt.Context) {
+		return nil, opt.Context.Err()
+	}
 
 	finalizeGroups(results)
 
@@ -366,7 +394,7 @@ func Run(spec Spec, opt Options) (*Report, error) {
 		var pstats CacheStats
 		pm, err := RunProofMatrix(
 			sweepProofSpec(spec.ProofFamilies, spec.ProofRandom, firstSeed(spec)),
-			ProofOptions{Parallelism: proofPar, Store: opt.Store, Stats: &pstats})
+			ProofOptions{Parallelism: proofPar, Store: opt.Store, Stats: &pstats, Context: opt.Context})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"timeprot/internal/experiment"
+	"timeprot/internal/experiment/store"
+)
+
+// waitTerminal blocks until the job reaches a terminal state.
+func waitTerminal(j *Job) JobStatus {
+	for {
+		_, isTerminal, changed := j.follow(0)
+		if isTerminal {
+			return j.status()
+		}
+		<-changed
+	}
+}
+
+// TestServerRestartReusesStore is the crash/restart contract: a server
+// killed mid-sweep loses no completed work. Close cancels the job but
+// in-flight cells finish and write back, so a new server over the same
+// store directory serves every completed cell as a hit, executes
+// exactly the remainder, and emits a report byte-identical to a cold
+// single-process run.
+func TestServerRestartReusesStore(t *testing.T) {
+	dir := t.TempDir()
+	spec := experiment.Spec{Scenarios: []string{"T2"}, Rounds: 40, Seeds: []uint64{1, 2, 3, 4}}
+	req := SubmitRequest{Kind: KindSweep, Sweep: &spec}
+
+	cold, err := experiment.Run(spec, experiment.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var coldJSON bytes.Buffer
+	if err := experiment.WriteJSON(&coldJSON, cold); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run 1: single worker, killed once the first cell has landed.
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := New(st1, Config{Workers: 1})
+	j1, err := srv1.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j1.status().Done == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	first := j1.status()
+	executed1 := first.Executed
+	if executed1 == 0 {
+		t.Fatalf("run 1 executed nothing before the kill: %+v", first)
+	}
+
+	// Run 2: fresh server, same store directory, same spec.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := New(st2, Config{Workers: 1})
+	defer srv2.Close()
+	j2, err := srv2.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := waitTerminal(j2)
+	if second.State != StateDone {
+		t.Fatalf("run 2 finished %s (%s)", second.State, second.Error)
+	}
+	if second.StoreHits != executed1 {
+		t.Fatalf("run 2 reused %d cells; run 1 completed %d", second.StoreHits, executed1)
+	}
+	if second.Executed+second.StoreHits != second.Total {
+		t.Fatalf("run 2 accounting broken: %+v", second)
+	}
+
+	j2.mu.Lock()
+	body := append([]byte(nil), j2.result...)
+	j2.mu.Unlock()
+	if !bytes.Equal(body, coldJSON.Bytes()) {
+		t.Fatalf("post-restart report diverges from the cold run (%d vs %d bytes)", len(body), coldJSON.Len())
+	}
+}

@@ -1,0 +1,284 @@
+// Package loadtest is the harness that proves the sweep service's
+// concurrency math instead of trusting it. It drives N concurrent
+// clients submitting overlapping matrices — full-matrix submissions,
+// n-way-sharded submissions, and pure duplicates — against one server,
+// then checks the two service invariants over the server's own
+// accounting:
+//
+//   - dedup math: executed cells == distinct store keys submitted
+//     (on a cold store; a warm replay pass must execute zero), and
+//   - byte identity: the served union report is byte-for-byte the
+//     report a cold single-process engine run of the same spec emits.
+//
+// It runs in-process (tpserved -selftest, the CI serve job) and over
+// the wire against any live server (BaseURL).
+package loadtest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"timeprot/internal/experiment"
+	"timeprot/internal/serve"
+)
+
+// Client is a thin HTTP client for the service's v1 API.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient points a client at a server's base URL (no trailing slash).
+func NewClient(base string) *Client {
+	return &Client{base: base, hc: &http.Client{}}
+}
+
+// apiErr decodes a non-2xx body into an error.
+func apiErr(resp *http.Response) error {
+	defer resp.Body.Close()
+	var e serve.ErrorReply
+	if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("%s", resp.Status)
+}
+
+// Submit posts one job.
+func (c *Client) Submit(req serve.SubmitRequest) (serve.SubmitResponse, error) {
+	var out serve.SubmitResponse
+	body, err := json.Marshal(req)
+	if err != nil {
+		return out, err
+	}
+	resp, err := c.hc.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return out, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return out, apiErr(resp)
+	}
+	defer resp.Body.Close()
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// Wait follows the job's event stream until it is terminal and returns
+// the final status.
+func (c *Client) Wait(id string) (serve.JobStatus, error) {
+	resp, err := c.hc.Get(c.base + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return serve.JobStatus{}, apiErr(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		// The stream ends when the server publishes a terminal state;
+		// the final status snapshot is one GET away.
+	}
+	resp.Body.Close()
+	if err := sc.Err(); err != nil {
+		return serve.JobStatus{}, err
+	}
+	return c.Status(id)
+}
+
+// Status fetches the job's status snapshot.
+func (c *Client) Status(id string) (serve.JobStatus, error) {
+	var st serve.JobStatus
+	resp, err := c.hc.Get(c.base + "/v1/jobs/" + id)
+	if err != nil {
+		return st, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return st, apiErr(resp)
+	}
+	defer resp.Body.Close()
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// Result fetches a done job's report bytes.
+func (c *Client) Result(id string) ([]byte, error) {
+	resp, err := c.hc.Get(c.base + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiErr(resp)
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// Cancel cancels a job.
+func (c *Client) Cancel(id string) (serve.JobStatus, error) {
+	var st serve.JobStatus
+	resp, err := c.hc.Post(c.base+"/v1/jobs/"+id+"/cancel", "application/json", nil)
+	if err != nil {
+		return st, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return st, apiErr(resp)
+	}
+	defer resp.Body.Close()
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// Stats fetches the server-wide dedup accounting.
+func (c *Client) Stats() (serve.Stats, error) {
+	var st serve.Stats
+	resp, err := c.hc.Get(c.base + "/v1/stats")
+	if err != nil {
+		return st, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return st, apiErr(resp)
+	}
+	defer resp.Body.Close()
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// Options configures one load-test round.
+type Options struct {
+	// BaseURL is the server under test.
+	BaseURL string
+	// Clients is the number of concurrent clients (>= 2; one always
+	// submits the full union matrix).
+	Clients int
+	// Shards is the n of the "i/n"-sharded submissions mixed into the
+	// schedule (<= 1 disables sharded submissions).
+	Shards int
+	// Spec is the union sweep matrix every submission overlaps with.
+	Spec experiment.Spec
+}
+
+// Result is one round's outcome.
+type Result struct {
+	// Jobs are the final statuses, one per client.
+	Jobs []serve.JobStatus
+	// UnionReport is the served report of the first full-matrix job.
+	UnionReport []byte
+	// Stats is the server accounting after the round.
+	Stats serve.Stats
+}
+
+// schedule builds client i's submission. Client 0 submits the full
+// union matrix; later clients rotate through the matrix's shards, and
+// every (Shards+1)-th slot submits the full matrix again as a pure
+// duplicate — so every submission overlaps every other, and the union
+// of all submissions is exactly the union matrix.
+func schedule(i int, opt Options) serve.SubmitRequest {
+	req := serve.SubmitRequest{Kind: serve.KindSweep, Sweep: &opt.Spec}
+	if opt.Shards > 1 && i > 0 {
+		if slot := (i - 1) % (opt.Shards + 1); slot < opt.Shards {
+			req.Shard = fmt.Sprintf("%d/%d", slot, opt.Shards)
+		}
+	}
+	return req
+}
+
+// Run drives one round: all clients submit concurrently, wait for
+// their jobs, and the first full-matrix job's report is kept as the
+// served union report.
+func Run(opt Options) (*Result, error) {
+	if opt.Clients < 2 {
+		return nil, fmt.Errorf("loadtest: want >= 2 clients, got %d", opt.Clients)
+	}
+	c := NewClient(opt.BaseURL)
+	ids := make([]string, opt.Clients)
+	errs := make([]error, opt.Clients)
+	var wg sync.WaitGroup
+	for i := 0; i < opt.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sub, err := c.Submit(schedule(i, opt))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ids[i] = sub.ID
+			_, errs[i] = c.Wait(sub.ID)
+		}(i)
+	}
+	wg.Wait()
+	res := &Result{}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("loadtest: client %d: %v", i, err)
+		}
+		st, err := c.Status(ids[i])
+		if err != nil {
+			return nil, fmt.Errorf("loadtest: client %d status: %v", i, err)
+		}
+		if st.State != serve.StateDone {
+			return nil, fmt.Errorf("loadtest: client %d job %s finished %s (%s)", i, st.ID, st.State, st.Error)
+		}
+		res.Jobs = append(res.Jobs, st)
+	}
+	var err error
+	if res.UnionReport, err = c.Result(ids[0]); err != nil {
+		return nil, fmt.Errorf("loadtest: union report: %v", err)
+	}
+	if res.Stats, err = c.Stats(); err != nil {
+		return nil, fmt.Errorf("loadtest: stats: %v", err)
+	}
+	return res, nil
+}
+
+// ColdReport runs the union spec cold in-process — no store, no
+// service — and returns the exact bytes a single-process engine run
+// emits, the byte-identity baseline.
+func ColdReport(spec experiment.Spec) ([]byte, error) {
+	rep, err := experiment.Run(spec, experiment.Options{})
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := experiment.WriteJSON(&buf, rep); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Check asserts the round's invariants against a cold baseline and the
+// stats delta attributable to the round (pass the pre-round stats as
+// before — zero-valued for a fresh server).
+//
+//   - dedup math: the round's executions == the round's new distinct
+//     keys (every distinct key cold-missed exactly once, nothing ran
+//     twice);
+//   - completeness: every job finished done, and the per-job
+//     accounting adds up (done == executed + storeHits + joined ==
+//     total);
+//   - byte identity: the served union report equals the cold run's.
+func Check(res *Result, before serve.Stats, cold []byte) error {
+	executed := res.Stats.Executed - before.Executed
+	distinct := res.Stats.DistinctKeys - before.DistinctKeys
+	if executed != distinct {
+		return fmt.Errorf("dedup invariant violated: %d cells executed for %d distinct keys", executed, distinct)
+	}
+	for _, j := range res.Jobs {
+		if j.Done != j.Total || j.Executed+j.StoreHits+j.Joined != j.Done {
+			return fmt.Errorf("job %s accounting broken: total=%d done=%d executed=%d hits=%d joined=%d",
+				j.ID, j.Total, j.Done, j.Executed, j.StoreHits, j.Joined)
+		}
+		if j.CellErrors > 0 {
+			return fmt.Errorf("job %s had %d cell errors", j.ID, j.CellErrors)
+		}
+	}
+	if res.Stats.FailedPuts != before.FailedPuts {
+		return fmt.Errorf("%d store write-backs failed during the round", res.Stats.FailedPuts-before.FailedPuts)
+	}
+	if !bytes.Equal(res.UnionReport, cold) {
+		return fmt.Errorf("served union report diverges from the cold single-process run (%d vs %d bytes)",
+			len(res.UnionReport), len(cold))
+	}
+	return nil
+}

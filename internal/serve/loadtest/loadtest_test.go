@@ -1,0 +1,42 @@
+package loadtest
+
+import (
+	"testing"
+
+	"timeprot/internal/experiment"
+	"timeprot/internal/serve"
+)
+
+// TestSelfTest runs the full harness — real listener, concurrent HTTP
+// clients, cold round plus warm replay — exactly as `tpserved
+// -selftest` and the CI serve job do, on a small matrix.
+func TestSelfTest(t *testing.T) {
+	spec := experiment.Spec{Scenarios: []string{"T2"}, Rounds: 6, Seeds: []uint64{42}}
+	if err := SelfTest(t.TempDir(), 3, 2, spec, t.Logf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedule pins the submission mix: client 0 always carries the
+// full union matrix, later clients rotate shards with a full duplicate
+// every Shards+1 slots, and disabling sharding degrades every client
+// to the full matrix.
+func TestSchedule(t *testing.T) {
+	opt := Options{Shards: 2}
+	shards := make([]string, 6)
+	for i := range shards {
+		shards[i] = schedule(i, opt).Shard
+	}
+	want := []string{"", "0/2", "1/2", "", "0/2", "1/2"}
+	for i, w := range want {
+		if shards[i] != w {
+			t.Fatalf("schedule with 2 shards = %q, want %q", shards, want)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		req := schedule(i, Options{Shards: 1})
+		if req.Shard != "" || req.Kind != serve.KindSweep {
+			t.Fatalf("unsharded schedule emitted %+v", req)
+		}
+	}
+}

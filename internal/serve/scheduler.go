@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"timeprot/internal/attacks"
+	"timeprot/internal/experiment"
+	"timeprot/internal/experiment/store"
+)
+
+// task is the scheduler's work unit: one finalisation group of attack
+// cells, or one proof/conformance cell, belonging to one job. Every
+// job's runner feeds its tasks into the one shared queue, so an idle
+// worker steals the next group regardless of which tenant submitted it
+// — cross-job work-stealing over the same partition unit the shard
+// machinery uses.
+type task struct {
+	job *Job
+	wg  *sync.WaitGroup
+
+	cells   []experiment.Cell
+	proof   *experiment.ProofCell
+	conform *experiment.ConformanceCell
+}
+
+// scheduler is the bounded worker pool shared by every job. Each
+// worker owns one reusable attacks.CellContext — the allocation-free
+// hot path — recycled across cells of every tenant.
+type scheduler struct {
+	tasks  chan task
+	flight *flightGroup
+	store  *syncStore
+	stats  *serverStats
+	wg     sync.WaitGroup
+}
+
+func newScheduler(workers int, st *syncStore, stats *serverStats) *scheduler {
+	s := &scheduler{
+		tasks:  make(chan task),
+		flight: newFlightGroup(),
+		store:  st,
+		stats:  stats,
+	}
+	for w := 0; w < workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// close drains the pool: the queue must no longer be fed (all job
+// runners have exited) when this is called.
+func (s *scheduler) close() {
+	close(s.tasks)
+	s.wg.Wait()
+}
+
+func (s *scheduler) worker() {
+	defer s.wg.Done()
+	cc := attacks.NewCellContext()
+	for t := range s.tasks {
+		for _, c := range t.cells {
+			s.runAttack(t.job, cc, c)
+		}
+		if t.proof != nil {
+			s.runProof(t.job, *t.proof)
+		}
+		if t.conform != nil {
+			s.runConform(t.job, *t.conform)
+		}
+		t.wg.Done()
+	}
+}
+
+// runAttack resolves one attack cell under the dedup discipline. A
+// cancelled job's remaining cells are skipped silently — they are not
+// failures, and another job that also wants them will flight them
+// itself.
+func (s *scheduler) runAttack(j *Job, cc *attacks.CellContext, c experiment.Cell) {
+	if j.ctx.Err() != nil {
+		return
+	}
+	label := fmt.Sprintf("%s/%s seed=%d", c.ScenarioID, c.Variant, c.Seed)
+	key, ok := experiment.CellKey(c)
+	if !ok {
+		// Unreachable after submit-time validation; degrade to a cell error.
+		j.cellDone(label, SourceExecuted, fmt.Errorf("cell does not resolve against the registry"))
+		return
+	}
+	src, err := s.flight.Do(key,
+		func() bool { _, hit := s.store.Get(key); return hit },
+		func() error {
+			row, rerr := experiment.ExecuteCell(cc, c)
+			if rerr != nil {
+				return rerr
+			}
+			if perr := s.store.Put(key, row); perr != nil {
+				s.stats.failedPut()
+			}
+			return nil
+		})
+	j.cellDone(label, src, err)
+	s.stats.cellDone(src)
+}
+
+func (s *scheduler) runProof(j *Job, c experiment.ProofCell) {
+	if j.ctx.Err() != nil {
+		return
+	}
+	label := fmt.Sprintf("proof %s/%s fam=%d seed=%d", c.Model, c.Ablation, c.Families, c.Seed)
+	key := experiment.ProofKey(c)
+	src, err := s.flight.Do(key,
+		func() bool { _, hit := s.store.GetProof(key); return hit },
+		func() error {
+			p, rerr := experiment.ExecuteProofCell(c)
+			if rerr != nil {
+				return rerr
+			}
+			if perr := s.store.PutProof(key, p); perr != nil {
+				s.stats.failedPut()
+			}
+			return nil
+		})
+	j.cellDone(label, src, err)
+	s.stats.cellDone(src)
+}
+
+func (s *scheduler) runConform(j *Job, c experiment.ConformanceCell) {
+	if j.ctx.Err() != nil {
+		return
+	}
+	label := fmt.Sprintf("conform %s/%s pair=%d seed=%d", c.Model, c.Ablation, c.Pair, c.Seed)
+	key := experiment.ConformKey(c)
+	src, err := s.flight.Do(key,
+		func() bool { _, hit := s.store.GetConform(key); return hit },
+		func() error {
+			cv, rerr := experiment.ExecuteConformCell(c)
+			if rerr != nil {
+				return rerr
+			}
+			if perr := s.store.PutConform(key, cv); perr != nil {
+				s.stats.failedPut()
+			}
+			return nil
+		})
+	j.cellDone(label, src, err)
+	s.stats.cellDone(src)
+}
+
+// serverStats is the server-wide dedup ledger: distinct submitted keys
+// on one side, executions on the other. The load-test harness asserts
+// Executed <= DistinctKeys (== on a cold store) over this exact
+// accounting.
+type serverStats struct {
+	mu             sync.Mutex
+	jobs           int
+	cellsSubmitted int
+	executed       int
+	hits           int
+	joined         int
+	failedPuts     int
+	keys           map[store.Key]struct{}
+}
+
+func newServerStats() *serverStats {
+	return &serverStats{keys: make(map[store.Key]struct{})}
+}
+
+// addJob records one accepted submission and folds its key set into
+// the distinct-key union.
+func (s *serverStats) addJob(keys []store.Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs++
+	s.cellsSubmitted += len(keys)
+	for _, k := range keys {
+		s.keys[k] = struct{}{}
+	}
+}
+
+func (s *serverStats) cellDone(source string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch source {
+	case SourceExecuted:
+		s.executed++
+	case SourceStore:
+		s.hits++
+	case SourceJoined:
+		s.joined++
+	}
+}
+
+func (s *serverStats) failedPut() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failedPuts++
+}
+
+func (s *serverStats) snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Jobs:               s.jobs,
+		CellsSubmitted:     s.cellsSubmitted,
+		DistinctKeys:       len(s.keys),
+		Executed:           s.executed,
+		StoreHits:          s.hits,
+		Joined:             s.joined,
+		FailedPuts:         s.failedPuts,
+		CellFingerprint:    experiment.Fingerprint(),
+		ProofFingerprint:   experiment.ProverFingerprint(),
+		ConformFingerprint: experiment.ConformFingerprint(),
+	}
+}

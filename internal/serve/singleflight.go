@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"sync"
+
+	"timeprot/internal/experiment/store"
+)
+
+// flightGroup is the in-flight cell dedup: at most one execution per
+// store key is ever in flight, and every concurrent requester of that
+// key waits for it instead of executing its own copy. Combined with the
+// store check running *inside* the flight (so it is serialised against
+// the previous flight's write-back), this is what bounds global
+// executions by the number of distinct keys submitted.
+type flightGroup struct {
+	mu       sync.Mutex
+	inflight map[store.Key]*flightCall
+}
+
+// flightCall is one in-flight key: waiters block on done; err is the
+// owner's execution error, readable after done closes.
+type flightCall struct {
+	done chan struct{}
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{inflight: make(map[store.Key]*flightCall)}
+}
+
+// Do resolves one cell under the dedup discipline. cached reports
+// whether the store already holds the key; exec executes the cell and
+// writes it back. Exactly one of three things happens, reported by the
+// returned source: the caller joined another job's in-flight execution
+// (SourceJoined), the store served it (SourceStore), or this caller
+// executed it (SourceExecuted).
+//
+// Ordering is the invariant's proof obligation: a key's flight is
+// removed from the in-flight map only after exec's write-back returned,
+// so any later Do either joins the live flight or sees the store hit —
+// a second execution of the same key requires a failed write-back.
+func (g *flightGroup) Do(k store.Key, cached func() bool, exec func() error) (source string, err error) {
+	g.mu.Lock()
+	if c, ok := g.inflight[k]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return SourceJoined, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.inflight[k] = c
+	g.mu.Unlock()
+
+	defer func() {
+		g.mu.Lock()
+		delete(g.inflight, k)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+
+	if cached() {
+		return SourceStore, nil
+	}
+	c.err = exec()
+	return SourceExecuted, c.err
+}

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"timeprot/internal/attacks"
+	"timeprot/internal/experiment/store"
+)
+
+// syncStore wraps the server's shared CellStore in the
+// concurrent-reader / single-writer discipline the service needs: any
+// number of jobs may probe concurrently (warm serving and assembly are
+// read-bound), writers are serialised against each other and against
+// readers, and Close is serialised against everything — after Close,
+// reads are misses and writes fail instead of racing a closed backend.
+//
+// Both store backends are individually goroutine-safe; the wrapper adds
+// what they do not promise: a close barrier shared by many jobs, and a
+// single writer at a time so the packed backend's append path is never
+// interleaved by tenant load. It implements store.CellStore, so the
+// engine's runners use the wrapped store directly at assembly time.
+type syncStore struct {
+	mu     sync.RWMutex
+	closed bool
+	st     store.CellStore
+}
+
+func newSyncStore(st store.CellStore) *syncStore { return &syncStore{st: st} }
+
+func (s *syncStore) Dir() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.st.Dir()
+}
+
+func (s *syncStore) Get(k store.Key) (attacks.Row, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return attacks.Row{}, false
+	}
+	return s.st.Get(k)
+}
+
+func (s *syncStore) Put(k store.Key, row attacks.Row) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("serve: store is closed")
+	}
+	return s.st.Put(k, row)
+}
+
+func (s *syncStore) GetProof(k store.Key) (store.ProofV1, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return store.ProofV1{}, false
+	}
+	return s.st.GetProof(k)
+}
+
+func (s *syncStore) PutProof(k store.Key, p store.ProofV1) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("serve: store is closed")
+	}
+	return s.st.PutProof(k, p)
+}
+
+func (s *syncStore) GetConform(k store.Key) (store.ConformV1, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return store.ConformV1{}, false
+	}
+	return s.st.GetConform(k)
+}
+
+func (s *syncStore) PutConform(k store.Key, c store.ConformV1) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("serve: store is closed")
+	}
+	return s.st.PutConform(k, c)
+}
+
+func (s *syncStore) GetDiscover(k store.Key) (store.DiscoverV1, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return store.DiscoverV1{}, false
+	}
+	return s.st.GetDiscover(k)
+}
+
+func (s *syncStore) PutDiscover(k store.Key, d store.DiscoverV1) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("serve: store is closed")
+	}
+	return s.st.PutDiscover(k, d)
+}
+
+func (s *syncStore) Keys() ([]store.Key, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, fmt.Errorf("serve: store is closed")
+	}
+	return s.st.Keys()
+}
+
+func (s *syncStore) Len() (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 0, fmt.Errorf("serve: store is closed")
+	}
+	return s.st.Len()
+}
+
+// MergeFrom folds a source store in under the writer lock —
+// merge-on-complete: a finished shard store (or another server's store)
+// merges atomically with respect to every concurrent reader.
+func (s *syncStore) MergeFrom(src string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("serve: store is closed")
+	}
+	return s.st.MergeFrom(src)
+}
+
+func (s *syncStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.st.Close()
+}
